@@ -1,0 +1,99 @@
+// Figure 7 reproduction — CosmoFlow loss trajectories over multiple runs
+// (the MLPerf HPC guidelines require repeated runs; convergence is known to
+// vary widely). Compares base (FP32) vs decoded (FP16) samples: the paper
+// observes the decoded samples converge at least as well, with reduced
+// variability.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sciprep/apps/models.hpp"
+#include "sciprep/apps/trainer.hpp"
+#include "sciprep/codec/cosmo_codec.hpp"
+#include "sciprep/common/stats.hpp"
+#include "sciprep/data/cosmo_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sciprep;
+  const int runs = argc > 1 ? std::atoi(argv[1]) : 16;  // paper: 16 repetitions
+  const int nsamples = argc > 2 ? std::atoi(argv[2]) : 16;
+  const int epochs = argc > 3 ? std::atoi(argv[3]) : 5;
+  const int dim = 16;
+
+  data::CosmoGenConfig cfg;
+  cfg.dim = dim;
+  cfg.seed = 77;
+  const data::CosmoGenerator gen(cfg);
+  const codec::CosmoCodec codec;
+
+  auto build = [&](bool decoded) {
+    std::vector<apps::Example> examples;
+    for (int i = 0; i < nsamples; ++i) {
+      const auto sample = gen.generate(static_cast<std::uint64_t>(i));
+      apps::Example ex;
+      ex.input = decoded ? apps::cosmo_input_from_fp16(codec.decode_sample_cpu(
+                               codec.encode_sample(sample)))
+                         : apps::cosmo_input_fp32(sample);
+      ex.regression_target.assign(sample.params.begin(), sample.params.end());
+      examples.push_back(std::move(ex));
+    }
+    return examples;
+  };
+
+  benchutil::print_header(
+      fmt("Figure 7 — CosmoFlow loss across {} runs: base vs decoded "
+          "({} samples, dim={}, {} epochs)",
+          runs, nsamples, dim, epochs));
+
+  auto run_arm = [&](bool decoded) {
+    std::vector<std::vector<double>> curves;
+    auto examples = build(decoded);
+    for (int r = 0; r < runs; ++r) {
+      Rng rng(1000 + static_cast<std::uint64_t>(r));  // per-run weight init
+      auto model = apps::build_cosmoflow_model(dim, rng);
+      apps::TrainConfig tc;
+      tc.batch_size = 4;
+      tc.epochs = epochs;
+      tc.seed = static_cast<std::uint64_t>(r);  // per-run shuffling
+      tc.sgd = {.learning_rate = 0.02F, .momentum = 0.9F, .weight_decay = 0.0F,
+                .warmup_steps = 4, .decay_every = 0};
+      curves.push_back(apps::train(*model, examples, tc).epoch_losses);
+    }
+    return curves;
+  };
+
+  const auto base = run_arm(false);
+  const auto dec = run_arm(true);
+
+  std::printf("%-8s %-12s %-12s %-12s %-12s %-12s %-12s\n", "epoch",
+              "base.mean", "base.min", "base.max", "dec.mean", "dec.min",
+              "dec.max");
+  for (int e = 0; e < epochs; ++e) {
+    RunningStats sb;
+    RunningStats sd;
+    for (int r = 0; r < runs; ++r) {
+      sb.add(base[static_cast<std::size_t>(r)][static_cast<std::size_t>(e)]);
+      sd.add(dec[static_cast<std::size_t>(r)][static_cast<std::size_t>(e)]);
+    }
+    std::printf("%-8d %-12.5f %-12.5f %-12.5f %-12.5f %-12.5f %-12.5f\n", e,
+                sb.mean(), sb.min(), sb.max(), sd.mean(), sd.min(), sd.max());
+  }
+
+  RunningStats final_base;
+  RunningStats final_dec;
+  for (int r = 0; r < runs; ++r) {
+    final_base.add(base[static_cast<std::size_t>(r)].back());
+    final_dec.add(dec[static_cast<std::size_t>(r)].back());
+  }
+  std::printf(
+      "\nfinal epoch: base mean=%.5f sd=%.5f | decoded mean=%.5f sd=%.5f\n",
+      final_base.mean(), final_base.stddev(), final_dec.mean(),
+      final_dec.stddev());
+  std::printf(
+      "paper: decoded samples converge at least as well (lower loss, reduced\n"
+      "variability); measured decoded/base final-loss ratio = %.3f,\n"
+      "variability ratio = %.3f\n",
+      final_dec.mean() / std::max(1e-12, final_base.mean()),
+      final_dec.stddev() / std::max(1e-12, final_base.stddev()));
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 9 reproduction — DeepCAM per-sample time breakdown on Cori V100 and
+// A100 (small set, staged, batch 4): host-CPU timeline vs device timeline
+// for the baseline and the two plugins.
+//
+// Paper shape: baseline dominated by host preprocessing + H2D movement,
+// which does NOT improve on the A100; the plugin removes host work and
+// shrinks transfers, also calming the allreduce fluctuations.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sciprep/apps/measure.hpp"
+
+int main() {
+  using namespace sciprep;
+  using apps::LoaderConfig;
+
+  benchutil::print_header(
+      "Figure 9 — DeepCAM time breakdown (ms/sample), small set, batch 4");
+  std::printf("measuring codec paths on this host...\n\n");
+  const auto base = apps::measure_cam(LoaderConfig::kBaseline);
+  const auto cpu = apps::measure_cam(LoaderConfig::kCpuPlugin);
+  const auto gpu = apps::measure_cam(LoaderConfig::kGpuPlugin);
+
+  std::printf("%-10s %-11s | %-9s %-9s | %-7s %-9s %-9s %-9s | %-9s\n",
+              "platform", "config", "io", "hostPrep", "h2d", "gpuDecode",
+              "gpuModel", "allreduce", "step");
+  for (const auto& platform : {sim::cori_v100(), sim::cori_a100()}) {
+    const auto scenario =
+        benchutil::make_scenario(platform, 1536, true, 4, /*deepcam=*/true);
+    struct Named {
+      const char* name;
+      const sim::WorkloadProfile* profile;
+    };
+    for (const Named& cfg :
+         {Named{"base", &base.profile}, Named{"cpu-plugin", &cpu.profile},
+          Named{"gpu-plugin", &gpu.profile}}) {
+      const auto b = sim::model_step(scenario, *cfg.profile);
+      std::printf(
+          "%-10s %-11s | %-9.2f %-9.2f | %-7.2f %-9.2f %-9.2f %-9.2f | "
+          "%-9.2f\n",
+          platform.name.c_str(), cfg.name, b.io_read * 1e3, b.host_work * 1e3,
+          b.h2d * 1e3, b.gpu_decode * 1e3, b.gpu_compute * 1e3,
+          b.allreduce * 1e3, b.step_seconds() * 1e3);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "paper: baseline host preprocessing + data movement do not improve on\n"
+      "the A100; the plugin exposes the accelerator's raw speed and reduces\n"
+      "allreduce contention (contention term visible in the allreduce "
+      "column).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// CosmoFlow end-to-end: dataset -> DataPipeline (GPU-placed decoder plugin)
+// -> miniature 3D-conv regression model, training for a few epochs.
+//
+// This is the full integration the paper describes in §VI: the encoded
+// TFRecord-replacement format feeds the training loop through the pipeline
+// with no model changes, and the FP16 samples drop into the (emulated)
+// mixed-precision step.
+//
+// Usage: cosmoflow_train [samples=24] [epochs=4] [dim=16]
+#include <cstdio>
+
+#include "sciprep/common/stats.hpp"
+#include "sciprep/apps/models.hpp"
+#include "sciprep/apps/trainer.hpp"
+#include "sciprep/codec/cosmo_codec.hpp"
+#include "sciprep/dnn/loss.hpp"
+#include "sciprep/dnn/optimizer.hpp"
+#include "sciprep/pipeline/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sciprep;
+  const int nsamples = argc > 1 ? std::atoi(argv[1]) : 24;
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int dim = argc > 3 ? std::atoi(argv[3]) : 16;
+
+  // Dataset in the encoded storage format.
+  data::CosmoGenConfig gen_cfg;
+  gen_cfg.dim = dim;
+  gen_cfg.seed = 2022;
+  const data::CosmoGenerator generator(gen_cfg);
+  const codec::CosmoCodec codec;
+  const auto dataset = pipeline::InMemoryDataset::make_cosmo(
+      generator, static_cast<std::size_t>(nsamples),
+      pipeline::StorageFormat::kEncoded, &codec);
+  std::printf("dataset: %zu encoded samples, %s at rest (%.2fx vs raw)\n",
+              dataset.size(), format_bytes(dataset.total_bytes()).c_str(),
+              static_cast<double>(nsamples) *
+                  (static_cast<double>(dim) * dim * dim * 8) /
+                  static_cast<double>(dataset.total_bytes()));
+
+  // Pipeline: shuffled epochs, GPU-placed decode, prefetch.
+  sim::SimGpu gpu({.sm_count = 80, .warps_per_sm = 8});
+  pipeline::PipelineConfig pcfg;
+  pcfg.batch_size = 4;
+  pcfg.seed = 7;
+  pcfg.decode_placement = codec::Placement::kGpu;
+  pipeline::DataPipeline pipe(dataset, codec, pcfg, &gpu);
+
+  // Miniature CosmoFlow model + optimizer.
+  Rng rng(11);
+  auto model = apps::build_cosmoflow_model(dim, rng);
+  dnn::Sgd optimizer(*model, {.learning_rate = 0.02F, .momentum = 0.9F,
+                              .weight_decay = 0.0F, .warmup_steps = 4,
+                              .decay_every = 0});
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    pipe.start_epoch(static_cast<std::uint64_t>(epoch));
+    double epoch_loss = 0;
+    std::size_t steps = 0;
+    pipeline::Batch batch;
+    while (pipe.next_batch(batch)) {
+      double batch_loss = 0;
+      for (const auto& tensor : batch.samples) {
+        const dnn::Tensor input = apps::cosmo_input_from_fp16(tensor);
+        const dnn::Tensor pred = model->forward(input);
+        const auto loss = dnn::mse_loss(pred, tensor.float_labels);
+        model->backward(loss.grad);
+        batch_loss += loss.loss;
+      }
+      optimizer.step(static_cast<float>(batch.size()));
+      epoch_loss += batch_loss / batch.size();
+      ++steps;
+    }
+    std::printf("epoch %d: mean loss %.5f (%zu steps, lr %.4f)\n", epoch,
+                epoch_loss / static_cast<double>(steps), steps,
+                optimizer.current_lr());
+  }
+
+  const auto& stats = pipe.stats();
+  std::printf(
+      "\npipeline: %llu samples decoded on the device engine "
+      "(%.1f ms total, %llu warps, %s moved)\n",
+      static_cast<unsigned long long>(stats.samples),
+      stats.decode_gpu_seconds * 1e3,
+      static_cast<unsigned long long>(stats.gpu.warps),
+      format_bytes(stats.gpu.bytes_total()).c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Host-side measurement harness: runs the real codecs / baseline paths on
+// synthesized samples and produces the WorkloadProfile numbers the step-time
+// model consumes (DESIGN.md §5). Every per-sample cost in Figures 8-12 comes
+// from timings of *this repository's code* on the build host; only transfer
+// bandwidths and compute ratios come from Table I.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sciprep/sim/stepmodel.hpp"
+
+namespace sciprep::apps {
+
+/// Which data-loading configuration a profile describes (the bars of
+/// Figs 8/10/11).
+enum class LoaderConfig {
+  kBaseline,   // raw samples, CPU preprocessing, FP32 to device
+  kGzip,       // gzip-compressed samples, CPU gunzip+preprocess (CosmoFlow)
+  kCpuPlugin,  // codec decode on the CPU, FP16 to device
+  kGpuPlugin,  // encoded bytes to device, codec decode on the GPU
+};
+
+const char* loader_config_name(LoaderConfig config);
+
+/// Measured per-sample characterization of one workload under one loader.
+struct MeasuredWorkload {
+  sim::WorkloadProfile profile;
+  // Extra reporting fields:
+  std::uint64_t raw_bytes = 0;       // uncompressed stored size
+  double compression_ratio = 1.0;    // raw / stored
+  double decode_fraction_gpu = 0;    // gpu decode / total device time proxy
+};
+
+/// Measure the CosmoFlow workload at full benchmark scale (dim = 128 by
+/// default; smaller dims measure proportionally and are scaled up by value
+/// count). `repeat` samples are generated and averaged.
+MeasuredWorkload measure_cosmo(LoaderConfig config, int dim = 128,
+                               int repeat = 2, std::uint64_t seed = 404);
+
+/// Measure the DeepCAM workload (full 1152x768x16 by default).
+MeasuredWorkload measure_cam(LoaderConfig config, int height = 768,
+                             int width = 1152, int channels = 16,
+                             int repeat = 2, std::uint64_t seed = 405);
+
+}  // namespace sciprep::apps

@@ -1,0 +1,116 @@
+#include "sciprep/apps/models.hpp"
+
+#include <cmath>
+
+#include "sciprep/common/error.hpp"
+#include "sciprep/io/samples.hpp"
+
+namespace sciprep::apps {
+
+std::unique_ptr<dnn::Sequential> build_cosmoflow_model(int dim, Rng& rng) {
+  if (dim % 8 != 0) {
+    throw ConfigError(fmt("cosmoflow model: dim {} must be divisible by 8", dim));
+  }
+  auto model = std::make_unique<dnn::Sequential>();
+  model->add(std::make_unique<dnn::Conv3d>(4, 8, rng));
+  model->add(std::make_unique<dnn::Relu>());
+  model->add(std::make_unique<dnn::MaxPool3d>());
+  model->add(std::make_unique<dnn::Conv3d>(8, 8, rng));
+  model->add(std::make_unique<dnn::Relu>());
+  model->add(std::make_unique<dnn::MaxPool3d>());
+  model->add(std::make_unique<dnn::Conv3d>(8, 8, rng));
+  model->add(std::make_unique<dnn::Relu>());
+  model->add(std::make_unique<dnn::MaxPool3d>());
+  model->add(std::make_unique<dnn::Flatten>());
+  const std::size_t flat =
+      8ull * static_cast<std::size_t>(dim / 8) * (dim / 8) * (dim / 8);
+  model->add(std::make_unique<dnn::Dense>(flat, 32, rng));
+  model->add(std::make_unique<dnn::Relu>());
+  model->add(std::make_unique<dnn::Dense>(32, 4, rng));
+  return model;
+}
+
+std::unique_ptr<dnn::Sequential> build_deepcam_model(int channels, Rng& rng) {
+  auto model = std::make_unique<dnn::Sequential>();
+  model->add(std::make_unique<dnn::Conv2d>(channels, 12, rng));
+  model->add(std::make_unique<dnn::Relu>());
+  model->add(std::make_unique<dnn::Conv2d>(12, 8, rng));
+  model->add(std::make_unique<dnn::Relu>());
+  model->add(std::make_unique<dnn::Conv2d>(8, io::CamSample::kClasses, rng));
+  return model;
+}
+
+dnn::Tensor input_from_fp16(const codec::TensorF16& tensor) {
+  dnn::Tensor out(tensor.shape);
+  for (std::size_t i = 0; i < tensor.values.size(); ++i) {
+    out[i] = tensor.values[i].to_float();
+  }
+  return out;
+}
+
+dnn::Tensor cosmo_input_from_fp16(const codec::TensorF16& tensor) {
+  SCIPREP_ASSERT(tensor.shape.size() == 4 &&
+                 tensor.shape[3] == io::CosmoSample::kRedshifts);
+  const std::uint64_t voxels =
+      tensor.shape[0] * tensor.shape[1] * tensor.shape[2];
+  dnn::Tensor out({io::CosmoSample::kRedshifts, tensor.shape[0],
+                   tensor.shape[1], tensor.shape[2]});
+  for (std::uint64_t v = 0; v < voxels; ++v) {
+    for (std::uint64_t r = 0; r < io::CosmoSample::kRedshifts; ++r) {
+      out[r * voxels + v] =
+          tensor.values[v * io::CosmoSample::kRedshifts + r].to_float();
+    }
+  }
+  return out;
+}
+
+dnn::Tensor cosmo_input_fp32(const io::CosmoSample& sample) {
+  const auto dim = static_cast<std::uint64_t>(sample.dim);
+  const std::uint64_t voxels = dim * dim * dim;
+  dnn::Tensor out({io::CosmoSample::kRedshifts, dim, dim, dim});
+  for (std::uint64_t v = 0; v < voxels; ++v) {
+    for (std::uint64_t r = 0; r < io::CosmoSample::kRedshifts; ++r) {
+      out[r * voxels + v] = std::log1p(static_cast<float>(
+          sample.counts[v * io::CosmoSample::kRedshifts + r]));
+    }
+  }
+  return out;
+}
+
+dnn::Tensor cam_input_fp32(const io::CamSample& sample) {
+  dnn::Tensor out({static_cast<std::uint64_t>(sample.channels),
+                   static_cast<std::uint64_t>(sample.height),
+                   static_cast<std::uint64_t>(sample.width)});
+  for (int c = 0; c < sample.channels; ++c) {
+    const float* plane =
+        sample.image.data() + static_cast<std::size_t>(c) * sample.pixel_count();
+    double sum = 0;
+    for (std::size_t i = 0; i < sample.pixel_count(); ++i) sum += plane[i];
+    const double mean = sum / static_cast<double>(sample.pixel_count());
+    double var = 0;
+    for (std::size_t i = 0; i < sample.pixel_count(); ++i) {
+      var += (plane[i] - mean) * (plane[i] - mean);
+    }
+    var /= static_cast<double>(sample.pixel_count());
+    const double inv = 1.0 / std::sqrt(std::max(var, 1e-12));
+    float* dst =
+        out.data.data() + static_cast<std::size_t>(c) * sample.pixel_count();
+    for (std::size_t i = 0; i < sample.pixel_count(); ++i) {
+      dst[i] = static_cast<float>((plane[i] - mean) * inv);
+    }
+  }
+  return out;
+}
+
+double cosmoflow_train_flops_per_sample() {
+  // Five 3D conv layers on a 128^3 x 4 volume (benchmark architecture):
+  // roughly 70 GFLOP forward, x3 for forward+backward.
+  return 70e9 * 3.0;
+}
+
+double deepcam_train_flops_per_sample() {
+  // DeepLabv3+ (Xception-65 backbone) on 1152x768 x 16: ~0.5 TFLOP forward.
+  return 0.5e12 * 3.0;
+}
+
+}  // namespace sciprep::apps

@@ -1,0 +1,49 @@
+// Miniature versions of the two benchmark models.
+//
+// The convergence experiments (Figs 6-7) compare loss trajectories between
+// FP32 baseline samples and FP16 decoded samples under a fixed learning
+// schedule — the model only needs the same *family* of architecture at a
+// size this host can train: a CosmoFlow-style 3D conv regressor (the real
+// network is five 3D conv layers + three dense) and a DeepCAM-style fully
+// convolutional segmentation head (standing in for DeepLabv3+).
+#pragma once
+
+#include <memory>
+
+#include "sciprep/codec/codec.hpp"
+#include "sciprep/dnn/layers.hpp"
+#include "sciprep/io/samples.hpp"
+
+namespace sciprep::apps {
+
+/// CosmoFlow-mini: [4, dim, dim, dim] -> 4 regression outputs.
+/// Conv3d(4->8) + pool + Conv3d(8->8) + pool + Conv3d(8->8) + pool + dense
+/// stack. `dim` must be divisible by 8.
+std::unique_ptr<dnn::Sequential> build_cosmoflow_model(int dim, Rng& rng);
+
+/// DeepCAM-mini: [channels, h, w] -> [3, h, w] per-pixel class logits.
+std::unique_ptr<dnn::Sequential> build_deepcam_model(int channels, Rng& rng);
+
+/// Convert a decoded FP16 tensor into a training input (values pass through
+/// the FP16 quantization — the decoded-sample arm of Figs 6-7). Shape is
+/// preserved; use cosmo_input_from_fp16 for CosmoFlow's layout change.
+dnn::Tensor input_from_fp16(const codec::TensorF16& tensor);
+
+/// CosmoFlow decoded arm: [d,h,w,4] redshift-innermost FP16 tensor ->
+/// channel-major [4,d,h,w] model input (the transpose the real pipeline
+/// fuses into data feeding).
+dnn::Tensor cosmo_input_from_fp16(const codec::TensorF16& tensor);
+
+/// CosmoFlow baseline arm: FP32 log1p preprocessing with no FP16 cast,
+/// already channel-major [4,d,h,w].
+dnn::Tensor cosmo_input_fp32(const io::CosmoSample& sample);
+
+/// DeepCAM baseline arm: FP32 per-channel normalization, no FP16 cast.
+dnn::Tensor cam_input_fp32(const io::CamSample& sample);
+
+/// Estimated fwd+bwd FLOPs per sample for the *full-size* benchmark models,
+/// used by the step-time model (not the miniatures above).
+double cosmoflow_train_flops_per_sample();
+double deepcam_train_flops_per_sample();
+
+}  // namespace sciprep::apps

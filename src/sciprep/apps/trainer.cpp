@@ -1,0 +1,61 @@
+#include "sciprep/apps/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sciprep/common/error.hpp"
+#include "sciprep/common/rng.hpp"
+
+namespace sciprep::apps {
+
+TrainResult train(dnn::Sequential& model, std::vector<Example>& examples,
+                  const TrainConfig& config) {
+  SCIPREP_ASSERT(!examples.empty());
+  SCIPREP_ASSERT(config.batch_size >= 1);
+  dnn::Sgd optimizer(model, config.sgd);
+  TrainResult result;
+
+  std::vector<std::size_t> order(examples.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng shuffle_rng(config.seed + 17);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle) {
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[shuffle_rng.next_below(i)]);
+      }
+    }
+    double epoch_loss = 0;
+    std::size_t epoch_steps = 0;
+    for (std::size_t at = 0; at < order.size();
+         at += static_cast<std::size_t>(config.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), at + static_cast<std::size_t>(config.batch_size));
+      double batch_loss = 0;
+      for (std::size_t i = at; i < end; ++i) {
+        Example& ex = examples[order[i]];
+        const dnn::Tensor pred = model.forward(ex.input);
+        dnn::LossResult loss;
+        if (config.class_weights.empty()) {
+          loss = dnn::mse_loss(pred, ex.regression_target);
+        } else {
+          loss = dnn::softmax_xent_loss(pred, ex.pixel_labels,
+                                        config.class_weights);
+        }
+        batch_loss += loss.loss;
+        model.backward(loss.grad);  // gradients accumulate across the batch
+      }
+      const auto count = static_cast<float>(end - at);
+      optimizer.step(count);
+      const double mean_loss = batch_loss / count;
+      result.step_losses.push_back(mean_loss);
+      epoch_loss += mean_loss;
+      ++epoch_steps;
+    }
+    result.epoch_losses.push_back(epoch_loss /
+                                  static_cast<double>(epoch_steps));
+  }
+  return result;
+}
+
+}  // namespace sciprep::apps

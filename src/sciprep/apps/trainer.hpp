@@ -1,0 +1,44 @@
+// Training loops for the convergence experiments (Figs 6-7): fixed learning
+// schedule, batched SGD, per-step loss recording. The input arm (FP32
+// baseline vs FP16 decoded) is selected by the caller via the input tensors
+// it supplies.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sciprep/dnn/layers.hpp"
+#include "sciprep/dnn/loss.hpp"
+#include "sciprep/dnn/optimizer.hpp"
+
+namespace sciprep::apps {
+
+/// One training example, already converted to the chosen input precision.
+struct Example {
+  dnn::Tensor input;
+  std::vector<float> regression_target;     // CosmoFlow arm
+  std::vector<std::uint8_t> pixel_labels;   // DeepCAM arm
+};
+
+struct TrainConfig {
+  int batch_size = 2;
+  int epochs = 1;
+  dnn::SgdConfig sgd;
+  bool shuffle = true;
+  std::uint64_t seed = 0;
+  /// DeepCAM class weights (background heavily down-weighted); empty = MSE
+  /// regression mode (CosmoFlow).
+  std::vector<float> class_weights;
+};
+
+struct TrainResult {
+  std::vector<double> step_losses;   // loss per optimizer step
+  std::vector<double> epoch_losses;  // mean loss per epoch
+};
+
+/// Train `model` on `examples` and record the loss trajectory. Regression
+/// (MSE) when class_weights is empty, per-pixel cross-entropy otherwise.
+TrainResult train(dnn::Sequential& model, std::vector<Example>& examples,
+                  const TrainConfig& config);
+
+}  // namespace sciprep::apps

@@ -1,0 +1,739 @@
+#include "sciprep/codec/cam_codec.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "sciprep/common/error.hpp"
+#include "sciprep/compress/deflate.hpp"
+
+namespace sciprep::codec {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31454143u;  // "CAE1"
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kFlagNormalize = 0x01;
+
+constexpr std::uint8_t kModeConstant = 0;
+constexpr std::uint8_t kModeRaw16 = 1;
+constexpr std::uint8_t kModeDelta = 2;
+
+/// One quantized difference: sign, intrinsic exponent, 4-bit mantissa.
+/// The encoded byte stores the exponent as an offset from the segment's
+/// minimum exponent (3 bits), so the intrinsic exponent is what segmentation
+/// reasons about.
+struct QDelta {
+  bool zero = true;
+  bool negative = false;
+  int exponent = 0;       // intrinsic: |d| = (1 + mant/16) * 2^exponent
+  std::uint8_t mant = 0;  // 0..15
+
+  [[nodiscard]] float value() const {
+    if (zero) return 0.0F;
+    const float magnitude =
+        (1.0F + static_cast<float>(mant) / 16.0F) *
+        std::ldexp(1.0F, exponent);
+    return negative ? -magnitude : magnitude;
+  }
+};
+
+/// Quantize a difference to the 8-bit delta representation.
+QDelta quantize(float d) {
+  QDelta q;
+  if (d == 0.0F || !std::isfinite(d)) {
+    return q;  // zero code; non-finite inputs fall back to raw lines upstream
+  }
+  q.zero = false;
+  q.negative = std::signbit(d);
+  const float a = std::abs(d);
+  int exp = 0;
+  const float frac = std::frexp(a, &exp);  // a = frac * 2^exp, frac in [0.5,1)
+  q.exponent = exp - 1;                     // a = (2*frac) * 2^(exp-1)
+  const float m = 2.0F * frac;              // in [1, 2)
+  int mant = static_cast<int>(std::lround((m - 1.0F) * 16.0F));
+  if (mant == 16) {  // rounded up to the next binade
+    mant = 0;
+    ++q.exponent;
+  }
+  q.mant = static_cast<std::uint8_t>(mant);
+  return q;
+}
+
+std::uint8_t pack_delta(const QDelta& q, int emin) {
+  if (q.zero) return 0x00;
+  const int off = q.exponent - emin;
+  SCIPREP_ASSERT(off >= 0 && off <= 7);
+  std::uint8_t byte = static_cast<std::uint8_t>(
+      (q.negative ? 0x80 : 0x00) | (off << 4) | q.mant);
+  if (byte == 0x00) {
+    // +1.0 * 2^emin collides with the zero code; nudge the mantissa one step
+    // (a bounded 1/16 relative overestimate on one delta).
+    byte = 0x01;
+  }
+  return byte;
+}
+
+float unpack_delta(std::uint8_t byte, int emin) {
+  if (byte == 0x00) return 0.0F;
+  const bool negative = (byte & 0x80) != 0;
+  const int off = (byte >> 4) & 0x07;
+  const int mant = byte & 0x0F;
+  const float magnitude = (1.0F + static_cast<float>(mant) / 16.0F) *
+                          std::ldexp(1.0F, emin + off);
+  return negative ? -magnitude : magnitude;
+}
+
+/// A segment under construction or decoded: pivot plus quantized deltas.
+struct Segment {
+  std::uint16_t count = 0;  // values covered, including the pivot
+  float pivot = 0;
+  int emin = 0;
+  std::size_t delta_offset = 0;  // into the line's delta byte array
+};
+
+struct LinePlan {
+  std::uint8_t mode = kModeDelta;
+  float constant = 0;
+  std::vector<Segment> segments;
+  std::vector<std::uint8_t> deltas;  // concatenated segment delta bytes
+};
+
+/// Build the delta plan for one line. Returns nullopt-like flag via
+/// plan.mode: stays kModeDelta on success.
+LinePlan plan_line(std::span<const float> line, const CamEncodeOptions& opt) {
+  LinePlan plan;
+
+  // Constant line?
+  bool constant = true;
+  for (const float v : line) {
+    if (v != line[0]) {
+      constant = false;
+      break;
+    }
+  }
+  if (constant && std::isfinite(line[0])) {
+    plan.mode = kModeConstant;
+    plan.constant = line[0];
+    return plan;
+  }
+
+  bool finite = true;
+  for (const float v : line) {
+    if (!std::isfinite(v)) {
+      finite = false;
+      break;
+    }
+  }
+  if (!finite) {
+    plan.mode = kModeRaw16;  // NaN/Inf lines cannot be differenced safely
+    return plan;
+  }
+
+  // Scale for judging reconstruction quality: errors far below the line's
+  // RMS are sensor noise the codec is allowed to remove.
+  double rms = 0;
+  for (const float v : line) {
+    rms += static_cast<double>(v) * v;
+  }
+  rms = std::sqrt(rms / static_cast<double>(line.size()));
+  const double abs_floor = 1e-3 * rms;
+
+  // Differential scan with exponent-window segmentation.
+  std::vector<QDelta> pending;  // deltas of the open segment
+  std::size_t seg_start = 0;
+  float recon = line[0];
+  int min_e = 0;
+  int max_e = 0;
+  bool have_e = false;
+  std::size_t significant_errors = 0;
+
+  auto close_segment = [&](std::size_t end) {
+    Segment seg;
+    seg.count = static_cast<std::uint16_t>(end - seg_start);
+    seg.pivot = line[seg_start];
+    seg.emin = have_e ? min_e : 0;
+    seg.delta_offset = plan.deltas.size();
+    for (const QDelta& q : pending) {
+      plan.deltas.push_back(pack_delta(q, seg.emin));
+    }
+    plan.segments.push_back(seg);
+    pending.clear();
+    have_e = false;
+  };
+
+  for (std::size_t i = 1; i < line.size(); ++i) {
+    const float d = line[i] - recon;
+    QDelta q = quantize(d);
+    bool open_new = false;
+    if (!q.zero) {
+      if (!have_e) {
+        min_e = max_e = q.exponent;
+        have_e = true;
+      } else if (q.exponent > max_e) {
+        if (q.exponent - min_e > 7) {
+          open_new = true;  // jump too large for this segment's window
+        } else {
+          max_e = q.exponent;
+        }
+      } else if (q.exponent < min_e) {
+        if (max_e - q.exponent > 7) {
+          // Below the segment's noise floor: the paper's lossy smoothing —
+          // encode as "no change" and let the residual re-enter the next
+          // delta (self-correcting drift).
+          q = QDelta{};
+        } else {
+          min_e = q.exponent;
+        }
+      }
+    }
+    if (!open_new &&
+        i - seg_start >= static_cast<std::size_t>(opt.max_segment_length)) {
+      open_new = true;
+    }
+    if (open_new) {
+      close_segment(i);
+      seg_start = i;
+      recon = line[i];  // new pivot: reconstruction resets exactly
+      continue;
+    }
+    pending.push_back(q);
+    recon += q.value();
+    // Quality gate bookkeeping: a value the reconstruction misses by more
+    // than 10% relative AND more than the noise floor is a real loss.
+    const double err = std::abs(static_cast<double>(recon) - line[i]);
+    if (err > 0.10 * std::abs(static_cast<double>(line[i])) &&
+        err > abs_floor) {
+      ++significant_errors;
+    }
+  }
+  close_segment(line.size());
+
+  // Abrupt-line fallback (paper §V.A: "lines with abrupt transitions or
+  // where the number of segments is large, we do not compress"): too many
+  // segments, meaningful reconstruction error, or no size win over raw FP16.
+  const std::size_t delta_bytes =
+      2 + plan.segments.size() * 8 + plan.deltas.size();
+  const std::size_t raw_bytes = line.size() * 2;
+  const bool too_fragmented =
+      plan.segments.size() >
+      line.size() / static_cast<std::size_t>(opt.max_segment_ratio);
+  const bool too_lossy = significant_errors > line.size() / 50;  // > 2%
+  if (too_fragmented || too_lossy || delta_bytes >= raw_bytes) {
+    plan.mode = kModeRaw16;
+    plan.segments.clear();
+    plan.deltas.clear();
+  }
+  return plan;
+}
+
+struct ChannelStats {
+  float mean = 0;
+  float inv_std = 1;
+};
+
+/// The fused preprocessing applied before every FP16 emit.
+inline Half emit(float raw, const ChannelStats& s, bool normalize) {
+  return Half(normalize ? (raw - s.mean) * s.inv_std : raw);
+}
+
+// ---------------------------------------------------------------------------
+// Parsed encoded form
+// ---------------------------------------------------------------------------
+
+struct ParsedLine {
+  std::uint8_t mode = 0;
+  ByteSpan body;  // mode-specific payload
+};
+
+struct ParsedCam {
+  int channels = 0;
+  int height = 0;
+  int width = 0;
+  bool normalize = false;
+  std::vector<ChannelStats> stats;
+  Bytes labels;                // decompressed
+  std::vector<ParsedLine> lines;
+};
+
+ParsedCam parse_cam(ByteSpan encoded) {
+  ByteReader in(encoded);
+  if (in.get<std::uint32_t>() != kMagic) {
+    throw_format("cam codec: bad magic");
+  }
+  const auto version = in.get<std::uint8_t>();
+  if (version != kVersion) {
+    throw_format("cam codec: unsupported version {}", version);
+  }
+  ParsedCam p;
+  p.normalize = (in.get<std::uint8_t>() & kFlagNormalize) != 0;
+  p.channels = in.get<std::uint16_t>();
+  p.height = static_cast<int>(in.get<std::uint32_t>());
+  p.width = static_cast<int>(in.get<std::uint32_t>());
+  if (p.channels <= 0 || p.height <= 0 || p.width <= 1) {
+    throw_format("cam codec: degenerate dims {}x{}x{}", p.channels, p.height,
+                 p.width);
+  }
+  p.stats.resize(static_cast<std::size_t>(p.channels));
+  for (auto& s : p.stats) {
+    s.mean = in.get<float>();
+    s.inv_std = in.get<float>();
+  }
+  const auto labels_raw = in.get<std::uint32_t>();
+  const auto labels_comp = in.get<std::uint32_t>();
+  const ByteSpan comp = in.get_bytes(labels_comp);
+  p.labels = compress::inflate(comp, labels_raw);
+  if (p.labels.size() != labels_raw) {
+    throw_format("cam codec: labels decompressed to {} bytes, expected {}",
+                 p.labels.size(), labels_raw);
+  }
+
+  const auto line_count = in.get<std::uint32_t>();
+  const std::uint64_t expect_lines =
+      static_cast<std::uint64_t>(p.channels) * static_cast<std::uint64_t>(p.height);
+  if (line_count != expect_lines) {
+    throw_format("cam codec: {} lines for {}x{} image", line_count, p.channels,
+                 p.height);
+  }
+  std::vector<std::uint32_t> offsets(line_count + 1);
+  for (auto& o : offsets) {
+    o = in.get<std::uint32_t>();
+  }
+  const ByteSpan payload = in.get_bytes(offsets.back());
+  if (!in.done()) {
+    throw_format("cam codec: {} trailing bytes", in.remaining());
+  }
+  p.lines.resize(line_count);
+  for (std::uint32_t i = 0; i < line_count; ++i) {
+    if (offsets[i + 1] < offsets[i] || offsets[i + 1] > payload.size()) {
+      throw_format("cam codec: line {} offsets out of order", i);
+    }
+    ByteSpan body = payload.subspan(offsets[i], offsets[i + 1] - offsets[i]);
+    if (body.empty()) {
+      throw_format("cam codec: empty line {}", i);
+    }
+    p.lines[i] = {body[0], body.subspan(1)};
+  }
+  return p;
+}
+
+/// Decode one line into `out[x] = emit(value(x))` through an index functor.
+template <class Emit>
+void decode_line(const ParsedLine& line, int width, const ChannelStats& stats,
+                 bool normalize, Emit&& out) {
+  switch (line.mode) {
+    case kModeConstant: {
+      ByteReader in(line.body);
+      const float v = in.get<float>();
+      const Half h = emit(v, stats, normalize);
+      for (int x = 0; x < width; ++x) {
+        out(x, h);
+      }
+      break;
+    }
+    case kModeRaw16: {
+      if (line.body.size() != static_cast<std::size_t>(width) * 2) {
+        throw_format("cam codec: raw line has {} bytes for width {}",
+                     line.body.size(), width);
+      }
+      for (int x = 0; x < width; ++x) {
+        std::uint16_t bits;
+        std::memcpy(&bits, line.body.data() + static_cast<std::size_t>(x) * 2,
+                    2);
+        out(x, Half::from_bits(bits));  // already normalized at encode time
+      }
+      break;
+    }
+    case kModeDelta: {
+      ByteReader in(line.body);
+      const auto seg_count = in.get<std::uint16_t>();
+      std::vector<Segment> segs(seg_count);
+      std::size_t covered = 0;
+      std::size_t delta_total = 0;
+      for (auto& s : segs) {
+        s.count = in.get<std::uint16_t>();
+        s.pivot = in.get<float>();
+        s.emin = in.get<std::int16_t>();
+        if (s.count == 0) {
+          throw_format("cam codec: empty segment");
+        }
+        s.delta_offset = delta_total;
+        covered += s.count;
+        delta_total += s.count - 1u;
+      }
+      if (covered != static_cast<std::size_t>(width)) {
+        throw_format("cam codec: segments cover {} of {} values", covered,
+                     width);
+      }
+      const ByteSpan deltas = in.get_bytes(delta_total);
+      if (!in.done()) {
+        throw_format("cam codec: trailing bytes in delta line");
+      }
+      int x = 0;
+      for (const Segment& s : segs) {
+        float recon = s.pivot;  // FP32 reconstruction, FP16 emit (paper §V.A)
+        out(x++, emit(recon, stats, normalize));
+        for (std::uint16_t i = 0; i + 1 < s.count; ++i) {
+          recon += unpack_delta(deltas[s.delta_offset + i], s.emin);
+          out(x++, emit(recon, stats, normalize));
+        }
+      }
+      break;
+    }
+    default:
+      throw_format("cam codec: bad line mode {}", line.mode);
+  }
+}
+
+}  // namespace
+
+CamCodec::CamCodec(CamEncodeOptions encode_options,
+                   CamDecodeOptions decode_options)
+    : encode_options_(encode_options), decode_options_(decode_options) {
+  if (encode_options_.max_segment_ratio < 2 ||
+      encode_options_.max_segment_length < 2 ||
+      encode_options_.max_segment_length > 65535) {
+    throw ConfigError("cam codec: invalid segmentation options");
+  }
+}
+
+Bytes CamCodec::encode_sample(const io::CamSample& sample) const {
+  SCIPREP_ASSERT(sample.image.size() == sample.value_count());
+  SCIPREP_ASSERT(sample.labels.size() == sample.pixel_count());
+  if (sample.width < 2) {
+    throw ConfigError("cam codec: width must be >= 2");
+  }
+
+  // Per-channel statistics for the fused normalization.
+  std::vector<ChannelStats> stats(static_cast<std::size_t>(sample.channels));
+  for (int c = 0; c < sample.channels; ++c) {
+    const float* plane =
+        sample.image.data() + static_cast<std::size_t>(c) * sample.pixel_count();
+    double sum = 0;
+    for (std::size_t i = 0; i < sample.pixel_count(); ++i) sum += plane[i];
+    const double mean = sum / static_cast<double>(sample.pixel_count());
+    double var = 0;
+    for (std::size_t i = 0; i < sample.pixel_count(); ++i) {
+      const double d = plane[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(sample.pixel_count());
+    const double stddev = std::sqrt(std::max(var, 1e-12));
+    stats[static_cast<std::size_t>(c)] = {
+        static_cast<float>(mean), static_cast<float>(1.0 / stddev)};
+  }
+
+  ByteWriter out;
+  out.put<std::uint32_t>(kMagic);
+  out.put<std::uint8_t>(kVersion);
+  out.put<std::uint8_t>(encode_options_.normalize ? kFlagNormalize : 0);
+  out.put<std::uint16_t>(static_cast<std::uint16_t>(sample.channels));
+  out.put<std::uint32_t>(static_cast<std::uint32_t>(sample.height));
+  out.put<std::uint32_t>(static_cast<std::uint32_t>(sample.width));
+  for (const ChannelStats& s : stats) {
+    out.put<float>(s.mean);
+    out.put<float>(s.inv_std);
+  }
+
+  // Labels: lossless DEFLATE.
+  const Bytes packed_labels =
+      compress::deflate(ByteSpan(sample.labels), compress::DeflateLevel::kFast);
+  out.put<std::uint32_t>(static_cast<std::uint32_t>(sample.labels.size()));
+  out.put<std::uint32_t>(static_cast<std::uint32_t>(packed_labels.size()));
+  out.put_bytes(packed_labels);
+
+  // Lines.
+  const std::size_t line_count =
+      static_cast<std::size_t>(sample.channels) *
+      static_cast<std::size_t>(sample.height);
+  out.put<std::uint32_t>(static_cast<std::uint32_t>(line_count));
+
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(line_count + 1);
+  ByteWriter payload;
+  for (int c = 0; c < sample.channels; ++c) {
+    const ChannelStats& cs = stats[static_cast<std::size_t>(c)];
+    for (int y = 0; y < sample.height; ++y) {
+      offsets.push_back(static_cast<std::uint32_t>(payload.size()));
+      const std::span<const float> line = sample.line(c, y);
+      const LinePlan plan = plan_line(line, encode_options_);
+      payload.put<std::uint8_t>(plan.mode);
+      switch (plan.mode) {
+        case kModeConstant:
+          payload.put<float>(plan.constant);
+          break;
+        case kModeRaw16:
+          for (const float v : line) {
+            payload.put<std::uint16_t>(
+                emit(v, cs, encode_options_.normalize).bits());
+          }
+          break;
+        case kModeDelta:
+          payload.put<std::uint16_t>(
+              static_cast<std::uint16_t>(plan.segments.size()));
+          for (const Segment& s : plan.segments) {
+            payload.put<std::uint16_t>(s.count);
+            payload.put<float>(s.pivot);
+            payload.put<std::int16_t>(static_cast<std::int16_t>(s.emin));
+          }
+          payload.put_bytes(plan.deltas);
+          break;
+        default:
+          SCIPREP_ASSERT(false);
+      }
+    }
+  }
+  offsets.push_back(static_cast<std::uint32_t>(payload.size()));
+  for (const auto o : offsets) {
+    out.put<std::uint32_t>(o);
+  }
+  out.put_bytes(payload.bytes());
+  return std::move(out).take();
+}
+
+TensorF16 CamCodec::decode_sample_cpu(ByteSpan encoded) const {
+  const ParsedCam p = parse_cam(encoded);
+  TensorF16 out;
+  const auto c64 = static_cast<std::uint64_t>(p.channels);
+  const auto h64 = static_cast<std::uint64_t>(p.height);
+  const auto w64 = static_cast<std::uint64_t>(p.width);
+  const bool chw = decode_options_.layout == CamLayout::kCHW;
+  out.shape = chw ? std::vector<std::uint64_t>{c64, h64, w64}
+                  : std::vector<std::uint64_t>{h64, w64, c64};
+  out.values.resize(c64 * h64 * w64);
+  out.byte_labels = p.labels;
+
+  for (int c = 0; c < p.channels; ++c) {
+    const ChannelStats& cs = p.stats[static_cast<std::size_t>(c)];
+    for (int y = 0; y < p.height; ++y) {
+      const ParsedLine& line =
+          p.lines[static_cast<std::size_t>(c) * p.height + y];
+      // Layout transpose fused into the write index.
+      if (chw) {
+        Half* dst = out.values.data() +
+                    (static_cast<std::size_t>(c) * p.height + y) * p.width;
+        decode_line(line, p.width, cs, p.normalize,
+                    [dst](int x, Half h) { dst[x] = h; });
+      } else {
+        Half* base = out.values.data() +
+                     static_cast<std::size_t>(y) * p.width * p.channels +
+                     static_cast<std::size_t>(c);
+        const int stride = p.channels;
+        decode_line(line, p.width, cs, p.normalize, [base, stride](int x, Half h) {
+          base[static_cast<std::size_t>(x) * stride] = h;
+        });
+      }
+    }
+  }
+  return out;
+}
+
+TensorF16 CamCodec::decode_sample_gpu(ByteSpan encoded,
+                                      sim::SimGpu& gpu) const {
+  const ParsedCam p = parse_cam(encoded);
+  TensorF16 out;
+  const auto c64 = static_cast<std::uint64_t>(p.channels);
+  const auto h64 = static_cast<std::uint64_t>(p.height);
+  const auto w64 = static_cast<std::uint64_t>(p.width);
+  const bool chw = decode_options_.layout == CamLayout::kCHW;
+  out.shape = chw ? std::vector<std::uint64_t>{c64, h64, w64}
+                  : std::vector<std::uint64_t>{h64, w64, c64};
+  out.values.resize(c64 * h64 * w64);
+  out.byte_labels = p.labels;
+
+  // Hierarchical warp assignment (paper §VI): each line decodes in its own
+  // warp — lines are fully independent thanks to the offset table. Within a
+  // warp, copy/broadcast tasks run lane-parallel (coalesced 32-value writes);
+  // the serial delta reconstruction walks in registers and flushes through
+  // lane-parallel stores, with each segment transition noted as divergence.
+  const std::size_t line_count = p.lines.size();
+  const int width = p.width;
+  const int height = p.height;
+  const int channels = p.channels;
+  Half* values = out.values.data();
+  const bool normalize = p.normalize;
+
+  gpu.launch(line_count, [&, width, height, channels, chw,
+                          normalize](sim::Warp& warp) {
+    const std::size_t line_id = warp.id();
+    const int c = static_cast<int>(line_id) / height;
+    const int y = static_cast<int>(line_id) % height;
+    const ChannelStats& cs = p.stats[static_cast<std::size_t>(c)];
+    const ParsedLine& line = p.lines[line_id];
+
+    // Stage the line into a "shared memory" buffer, then flush with
+    // lane-parallel batches of 32 (the coalesced store pattern).
+    std::vector<Half> staged(static_cast<std::size_t>(width));
+    switch (line.mode) {
+      case kModeConstant: {
+        ByteReader in(line.body);
+        const Half h = emit(in.get<float>(), cs, normalize);
+        // Pure broadcast: every lane writes the same register value.
+        for (int x0 = 0; x0 < width; x0 += sim::Warp::kLanes) {
+          warp.lanes([&](int lane) {
+            const int x = x0 + lane;
+            if (x < width) staged[static_cast<std::size_t>(x)] = h;
+          });
+        }
+        warp.count_read(sizeof(float));
+        break;
+      }
+      case kModeRaw16: {
+        if (line.body.size() != static_cast<std::size_t>(width) * 2) {
+          throw_format("cam codec: raw line has {} bytes for width {}",
+                       line.body.size(), width);
+        }
+        for (int x0 = 0; x0 < width; x0 += sim::Warp::kLanes) {
+          warp.lanes([&](int lane) {
+            const int x = x0 + lane;
+            if (x >= width) return;
+            std::uint16_t bits;
+            std::memcpy(&bits,
+                        line.body.data() + static_cast<std::size_t>(x) * 2, 2);
+            staged[static_cast<std::size_t>(x)] = Half::from_bits(bits);
+          });
+        }
+        warp.count_read(static_cast<std::uint64_t>(width) * 2);
+        break;
+      }
+      case kModeDelta: {
+        // Serial reconstruction: one lane effectively works while the warp
+        // waits — the divergence cost the paper's hierarchical scheme
+        // mitigates by keeping other warps (other lines) resident.
+        decode_line(line, width, cs, normalize, [&staged](int x, Half h) {
+          staged[static_cast<std::size_t>(x)] = h;
+        });
+        ByteReader in(line.body);
+        const auto seg_count = in.get<std::uint16_t>();
+        for (int s = 0; s < seg_count; ++s) {
+          warp.note_divergence();
+        }
+        warp.count_read(line.body.size());
+        break;
+      }
+      default:
+        throw_format("cam codec: bad line mode {}", line.mode);
+    }
+
+    // Flush: lane-parallel stores; CHW is coalesced, HWC strides by channel
+    // count (counted as divergence pressure for the ablation bench).
+    if (chw) {
+      Half* dst =
+          values + (static_cast<std::size_t>(c) * height + y) * width;
+      for (int x0 = 0; x0 < width; x0 += sim::Warp::kLanes) {
+        warp.lanes([&](int lane) {
+          const int x = x0 + lane;
+          if (x < width) dst[x] = staged[static_cast<std::size_t>(x)];
+        });
+      }
+    } else {
+      Half* base = values + static_cast<std::size_t>(y) * width * channels +
+                   static_cast<std::size_t>(c);
+      for (int x0 = 0; x0 < width; x0 += sim::Warp::kLanes) {
+        warp.note_divergence();  // strided (uncoalesced) store pattern
+        warp.lanes([&](int lane) {
+          const int x = x0 + lane;
+          if (x < width) {
+            base[static_cast<std::size_t>(x) * channels] =
+                staged[static_cast<std::size_t>(x)];
+          }
+        });
+      }
+    }
+    warp.count_write(static_cast<std::uint64_t>(width) * sizeof(Half));
+  });
+  return out;
+}
+
+CamEncodedInfo CamCodec::inspect(ByteSpan encoded) {
+  const ParsedCam p = parse_cam(encoded);
+  CamEncodedInfo info;
+  info.label_bytes = p.labels.size();
+  for (const ParsedLine& line : p.lines) {
+    info.payload_bytes += line.body.size() + 1;
+    switch (line.mode) {
+      case kModeConstant:
+        ++info.constant_lines;
+        break;
+      case kModeRaw16:
+        ++info.raw_lines;
+        break;
+      case kModeDelta: {
+        ++info.delta_lines;
+        ByteReader in(line.body);
+        info.segments += in.get<std::uint16_t>();
+        break;
+      }
+      default:
+        throw_format("cam codec: bad line mode {}", line.mode);
+    }
+  }
+  return info;
+}
+
+TensorF16 CamCodec::reference_preprocess_sample(const io::CamSample& sample,
+                                                bool normalize,
+                                                CamLayout layout) {
+  TensorF16 out;
+  const auto c64 = static_cast<std::uint64_t>(sample.channels);
+  const auto h64 = static_cast<std::uint64_t>(sample.height);
+  const auto w64 = static_cast<std::uint64_t>(sample.width);
+  const bool chw = layout == CamLayout::kCHW;
+  out.shape = chw ? std::vector<std::uint64_t>{c64, h64, w64}
+                  : std::vector<std::uint64_t>{h64, w64, c64};
+  out.values.resize(sample.value_count());
+  out.byte_labels = sample.labels;
+
+  for (int c = 0; c < sample.channels; ++c) {
+    const float* plane =
+        sample.image.data() + static_cast<std::size_t>(c) * sample.pixel_count();
+    ChannelStats cs;
+    if (normalize) {
+      double sum = 0;
+      for (std::size_t i = 0; i < sample.pixel_count(); ++i) sum += plane[i];
+      const double mean = sum / static_cast<double>(sample.pixel_count());
+      double var = 0;
+      for (std::size_t i = 0; i < sample.pixel_count(); ++i) {
+        const double d = plane[i] - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(sample.pixel_count());
+      cs = {static_cast<float>(mean),
+            static_cast<float>(1.0 / std::sqrt(std::max(var, 1e-12)))};
+    }
+    for (int y = 0; y < sample.height; ++y) {
+      for (int x = 0; x < sample.width; ++x) {
+        const float v = plane[static_cast<std::size_t>(y) * sample.width + x];
+        const Half h = emit(v, cs, normalize);
+        const std::size_t idx =
+            chw ? (static_cast<std::size_t>(c) * sample.height + y) *
+                          sample.width +
+                      x
+                : (static_cast<std::size_t>(y) * sample.width + x) *
+                          sample.channels +
+                      c;
+        out.values[idx] = h;
+      }
+    }
+  }
+  return out;
+}
+
+Bytes CamCodec::encode(ByteSpan raw_sample) const {
+  return encode_sample(io::CamSample::parse(raw_sample));
+}
+
+TensorF16 CamCodec::decode_cpu(ByteSpan encoded) const {
+  return decode_sample_cpu(encoded);
+}
+
+TensorF16 CamCodec::decode_gpu(ByteSpan encoded, sim::SimGpu& gpu) const {
+  return decode_sample_gpu(encoded, gpu);
+}
+
+TensorF16 CamCodec::reference_preprocess(ByteSpan raw_sample) const {
+  return reference_preprocess_sample(io::CamSample::parse(raw_sample),
+                                     encode_options_.normalize,
+                                     decode_options_.layout);
+}
+
+}  // namespace sciprep::codec

@@ -1,0 +1,61 @@
+#include <algorithm>
+#include <cmath>
+
+#include "sciprep/codec/codec.hpp"
+#include "sciprep/common/error.hpp"
+
+namespace sciprep::codec {
+
+CodecRegistry& CodecRegistry::instance() {
+  static CodecRegistry registry;
+  return registry;
+}
+
+void CodecRegistry::register_codec(std::unique_ptr<SampleCodec> codec) {
+  SCIPREP_ASSERT(codec != nullptr);
+  for (const auto& existing : codecs_) {
+    if (existing->name() == codec->name()) {
+      throw ConfigError(fmt("codec '{}' already registered", codec->name()));
+    }
+  }
+  codecs_.push_back(std::move(codec));
+}
+
+const SampleCodec& CodecRegistry::get(const std::string& name) const {
+  for (const auto& codec : codecs_) {
+    if (codec->name() == name) return *codec;
+  }
+  throw ConfigError(fmt("no codec named '{}' registered", name));
+}
+
+std::vector<std::string> CodecRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(codecs_.size());
+  for (const auto& codec : codecs_) {
+    out.push_back(codec->name());
+  }
+  return out;
+}
+
+double fraction_above_rel_error(std::span<const float> reference,
+                                std::span<const Half> decoded,
+                                double rel_threshold) {
+  SCIPREP_ASSERT(reference.size() == decoded.size());
+  if (reference.empty()) return 0.0;
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double ref = reference[i];
+    const double got = decoded[i].to_float();
+    const double err = std::abs(got - ref);
+    const double scale = std::abs(ref);
+    if (scale == 0.0) {
+      // Against an exact zero, any nonzero half counts as exceeding.
+      if (err > 0.0) ++bad;
+    } else if (err / scale > rel_threshold) {
+      ++bad;
+    }
+  }
+  return static_cast<double>(bad) / static_cast<double>(reference.size());
+}
+
+}  // namespace sciprep::codec

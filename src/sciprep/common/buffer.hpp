@@ -1,0 +1,126 @@
+// Byte-buffer serialization helpers.
+//
+// All on-disk formats in sciprep (h5lite, TFRecord, codec containers) are
+// little-endian; these helpers centralize the scalar marshalling so format
+// code reads as field lists rather than shift soup.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sciprep/common/error.hpp"
+
+namespace sciprep {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Appends little-endian scalars and raw ranges to a growing byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(Bytes initial) : out_(std::move(initial)) {}
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void put(T value) {
+    static_assert(std::endian::native == std::endian::little,
+                  "sciprep serialization assumes a little-endian host");
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    out_.insert(out_.end(), p, p + sizeof(T));
+  }
+
+  void put_bytes(ByteSpan bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+  void put_string(std::string_view s) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  /// Reserve `n` bytes now and return their offset, for later patching.
+  std::size_t reserve(std::size_t n) {
+    const std::size_t at = out_.size();
+    out_.resize(out_.size() + n);
+    return at;
+  }
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void patch(std::size_t offset, T value) {
+    SCIPREP_ASSERT(offset + sizeof(T) <= out_.size());
+    std::memcpy(out_.data() + offset, &value, sizeof(T));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+  [[nodiscard]] const Bytes& bytes() const noexcept { return out_; }
+  Bytes take() && { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Sequential little-endian reader over a byte span. Throws FormatError on
+/// truncation, so format parsers never read past the input.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    if (pos_ + sizeof(T) > data_.size()) {
+      throw_format("truncated input: need {} bytes at offset {}, have {}",
+                   sizeof(T), pos_, data_.size() - pos_);
+    }
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  ByteSpan get_bytes(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw_format("truncated input: need {} bytes at offset {}, have {}", n,
+                   pos_, data_.size() - pos_);
+    }
+    ByteSpan s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::string get_string() {
+    const auto n = get<std::uint32_t>();
+    ByteSpan s = get_bytes(n);
+    return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+  }
+
+  void skip(std::size_t n) { (void)get_bytes(n); }
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+/// View a trivially-copyable vector as raw bytes (for hashing / writing).
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+ByteSpan as_bytes(const std::vector<T>& v) {
+  return {reinterpret_cast<const std::uint8_t*>(v.data()), v.size() * sizeof(T)};
+}
+
+inline ByteSpan as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace sciprep

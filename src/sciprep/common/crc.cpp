@@ -1,0 +1,43 @@
+#include "sciprep/common/crc.hpp"
+
+#include <array>
+
+namespace sciprep {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table(std::uint32_t poly) {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (poly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTableIso = make_table(0xEDB8'8320u);
+constexpr auto kTableCastagnoli = make_table(0x82F6'3B78u);
+
+std::uint32_t crc_generic(const std::array<std::uint32_t, 256>& table,
+                          ByteSpan data, std::uint32_t seed) noexcept {
+  std::uint32_t c = seed ^ 0xFFFF'FFFFu;
+  for (const std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFF'FFFFu;
+}
+
+}  // namespace
+
+std::uint32_t crc32(ByteSpan data, std::uint32_t seed) noexcept {
+  return crc_generic(kTableIso, data, seed);
+}
+
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed) noexcept {
+  return crc_generic(kTableCastagnoli, data, seed);
+}
+
+}  // namespace sciprep

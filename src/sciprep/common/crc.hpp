@@ -1,0 +1,31 @@
+// CRC-32 (ISO-HDLC / zlib polynomial, for gzip framing) and CRC-32C
+// (Castagnoli, for TFRecord), plus TFRecord's masked CRC transform.
+#pragma once
+
+#include <cstdint>
+
+#include "sciprep/common/buffer.hpp"
+
+namespace sciprep {
+
+/// CRC-32 with polynomial 0xEDB88320 (reflected), as used by gzip/zlib.
+/// `seed` is the running CRC for incremental computation (start at 0).
+std::uint32_t crc32(ByteSpan data, std::uint32_t seed = 0) noexcept;
+
+/// CRC-32C with polynomial 0x82F63B78 (reflected Castagnoli), as used by
+/// TFRecord.
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed = 0) noexcept;
+
+/// TFRecord masks CRCs so that a CRC stored alongside data cannot be mistaken
+/// for a CRC of that data. See tensorflow/core/lib/hash/crc32c.h.
+constexpr std::uint32_t mask_crc(std::uint32_t crc) noexcept {
+  constexpr std::uint32_t kMaskDelta = 0xA282EAD8u;
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+constexpr std::uint32_t unmask_crc(std::uint32_t masked) noexcept {
+  constexpr std::uint32_t kMaskDelta = 0xA282EAD8u;
+  const std::uint32_t rot = masked - kMaskDelta;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace sciprep

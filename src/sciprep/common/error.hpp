@@ -1,0 +1,62 @@
+// Error types shared across the sciprep library.
+//
+// The library reports recoverable failures (corrupt input, format violations,
+// capacity overruns) via exceptions derived from `Error`, following the
+// C++ Core Guidelines (E.2). Programming errors are guarded with SCIPREP_ASSERT
+// which is active in all build types: a data-loading pipeline that silently
+// decodes garbage is worse than one that stops.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "sciprep/common/format.hpp"
+
+namespace sciprep {
+
+/// Base class for all sciprep exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+/// Input data violates a format contract (truncated stream, bad CRC,
+/// out-of-range key, ...).
+class FormatError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A configuration value is out of its documented domain.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An I/O operation on the host filesystem failed.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  throw Error(fmt("assertion failed: {} at {}:{}", expr, file, line));
+}
+}  // namespace detail
+
+#define SCIPREP_ASSERT(expr)                                       \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::sciprep::detail::assert_fail(#expr, __FILE__, __LINE__);   \
+    }                                                              \
+  } while (false)
+
+/// Throw FormatError with a formatted message.
+template <class... Args>
+[[noreturn]] void throw_format(std::string_view format_string, Args&&... args) {
+  throw FormatError(fmt(format_string, std::forward<Args>(args)...));
+}
+
+}  // namespace sciprep

@@ -1,0 +1,40 @@
+#include "sciprep/common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace sciprep {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_io_mutex;
+
+constexpr const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_message(LogLevel level, std::string_view message) {
+  if (level < g_level.load()) return;
+  std::lock_guard lock(g_io_mutex);
+  std::fprintf(stderr, "[sciprep:%s] %.*s\n", level_name(level),
+               static_cast<int>(message.size()), message.data());
+  std::fflush(stderr);
+}
+
+}  // namespace sciprep

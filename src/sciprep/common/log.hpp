@@ -1,0 +1,49 @@
+// Minimal leveled logger. Pipeline workers log through this so diagnostic
+// output from concurrent decode threads is line-atomic.
+#pragma once
+
+#include <string_view>
+
+#include "sciprep/common/format.hpp"
+
+namespace sciprep {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level() noexcept;
+
+/// Emit one line (thread-safe, flushed) if `level` passes the threshold.
+void log_message(LogLevel level, std::string_view message);
+
+template <class... Args>
+void log_debug(std::string_view format_string, Args&&... args) {
+  if (log_level() <= LogLevel::kDebug) {
+    log_message(LogLevel::kDebug,
+                fmt(format_string, std::forward<Args>(args)...));
+  }
+}
+template <class... Args>
+void log_info(std::string_view format_string, Args&&... args) {
+  if (log_level() <= LogLevel::kInfo) {
+    log_message(LogLevel::kInfo,
+                fmt(format_string, std::forward<Args>(args)...));
+  }
+}
+template <class... Args>
+void log_warn(std::string_view format_string, Args&&... args) {
+  if (log_level() <= LogLevel::kWarn) {
+    log_message(LogLevel::kWarn,
+                fmt(format_string, std::forward<Args>(args)...));
+  }
+}
+template <class... Args>
+void log_error(std::string_view format_string, Args&&... args) {
+  if (log_level() <= LogLevel::kError) {
+    log_message(LogLevel::kError,
+                fmt(format_string, std::forward<Args>(args)...));
+  }
+}
+
+}  // namespace sciprep

@@ -1,0 +1,103 @@
+#include "sciprep/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sciprep/common/error.hpp"
+#include "sciprep/common/format.hpp"
+
+namespace sciprep {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void FrequencyTable::add(std::int64_t value, std::uint64_t weight) {
+  counts_[value] += weight;
+  total_ += weight;
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>>
+FrequencyTable::by_frequency() const {
+  std::vector<std::pair<std::int64_t, std::uint64_t>> out(counts_.begin(),
+                                                          counts_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+double FrequencyTable::power_law_slope(std::size_t ranks) const {
+  const auto ordered = by_frequency();
+  const std::size_t n = std::min(ranks, ordered.size());
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = std::log(static_cast<double>(i + 1));
+    const double y = std::log(static_cast<double>(ordered[i].second));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const auto dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  return denom == 0.0 ? 0.0 : (dn * sxy - sx * sy) / denom;
+}
+
+double percentile(std::span<const double> sorted_values, double q) {
+  SCIPREP_ASSERT(!sorted_values.empty());
+  SCIPREP_ASSERT(q >= 0.0 && q <= 1.0);
+  if (sorted_values.size() == 1) return sorted_values[0];
+  const double pos = q * static_cast<double>(sorted_values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  return unit == 0 ? fmt("{} B", bytes) : fmt("{:.2f} {}", v, kUnits[unit]);
+}
+
+}  // namespace sciprep

@@ -1,0 +1,70 @@
+// Lightweight descriptive statistics used by the data-analysis benches
+// (Fig 5 value-frequency analysis) and the timing harness (percentiles of
+// per-step times).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sciprep {
+
+/// Streaming mean / variance / min / max (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact frequency table over discrete values (CosmoFlow particle counts are
+/// small integers, so an ordered map is adequate and keeps output sorted).
+class FrequencyTable {
+ public:
+  void add(std::int64_t value, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::size_t unique_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& counts() const {
+    return counts_;
+  }
+
+  /// (value, frequency) pairs ordered by descending frequency — the rank
+  /// ordering used for the Fig 5(a) power-law plot.
+  [[nodiscard]] std::vector<std::pair<std::int64_t, std::uint64_t>>
+  by_frequency() const;
+
+  /// Least-squares slope of log(frequency) vs log(rank) over the top `ranks`
+  /// entries: the power-law exponent estimate for Fig 5(a).
+  [[nodiscard]] double power_law_slope(std::size_t ranks = 64) const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Percentile of a sample set (linear interpolation, q in [0,1]).
+double percentile(std::span<const double> sorted_values, double q);
+
+/// Format a byte count as a human-readable string ("3.2 GiB").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace sciprep

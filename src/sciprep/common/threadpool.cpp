@@ -1,0 +1,102 @@
+#include "sciprep/common/threadpool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sciprep {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  // Run inline when the pool would add nothing but overhead.
+  if (n <= grain || workers_.size() == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    const std::size_t end = std::min(n, begin + grain);
+    submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        cv_idle_.notify_all();
+      }
+    }
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace sciprep

@@ -1,0 +1,60 @@
+// Fixed-size worker pool with a blocking parallel_for.
+//
+// Used by the pipeline executor for CPU-side per-sample decode (the paper
+// assigns "different samples to different threads" on the CPU) and by SimGpu
+// to back its warp engine. Exceptions thrown by work items are captured and
+// rethrown on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sciprep {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueue one task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished. Rethrows the first
+  /// captured exception, if any.
+  void wait_idle();
+
+  /// Run fn(i) for i in [0, n), partitioned into contiguous grains, and wait.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Process-wide shared pool for callers that do not manage their own.
+ThreadPool& global_pool();
+
+}  // namespace sciprep

@@ -1,0 +1,26 @@
+// DEFLATE (RFC 1951) compressor and decompressor, implemented from scratch.
+//
+// This is the general-purpose compression baseline the paper compares its
+// domain codecs against (TFRecord's GZIP option). Supports stored, fixed-
+// Huffman, and dynamic-Huffman blocks; the compressor picks per block
+// whichever of {stored, fixed, dynamic} is smallest.
+#pragma once
+
+#include <cstdint>
+
+#include "sciprep/common/buffer.hpp"
+#include "sciprep/compress/lz77.hpp"
+
+namespace sciprep::compress {
+
+/// Compression effort knobs (roughly zlib levels 1/6/9).
+enum class DeflateLevel { kFast, kDefault, kBest };
+
+/// Compress `input` into a raw DEFLATE stream.
+Bytes deflate(ByteSpan input, DeflateLevel level = DeflateLevel::kDefault);
+
+/// Decompress a raw DEFLATE stream. `size_hint` preallocates the output.
+/// Throws FormatError on any stream corruption.
+Bytes inflate(ByteSpan input, std::size_t size_hint = 0);
+
+}  // namespace sciprep::compress

@@ -1,0 +1,74 @@
+#include "sciprep/compress/gzip.hpp"
+
+#include "sciprep/common/crc.hpp"
+#include "sciprep/common/error.hpp"
+
+namespace sciprep::compress {
+
+namespace {
+constexpr std::uint8_t kId1 = 0x1F;
+constexpr std::uint8_t kId2 = 0x8B;
+constexpr std::uint8_t kCmDeflate = 8;
+
+constexpr std::uint8_t kFlagExtra = 0x04;
+constexpr std::uint8_t kFlagName = 0x08;
+constexpr std::uint8_t kFlagComment = 0x10;
+constexpr std::uint8_t kFlagHcrc = 0x02;
+}  // namespace
+
+Bytes gzip_compress(ByteSpan input, DeflateLevel level) {
+  ByteWriter out;
+  out.put<std::uint8_t>(kId1);
+  out.put<std::uint8_t>(kId2);
+  out.put<std::uint8_t>(kCmDeflate);
+  out.put<std::uint8_t>(0);             // FLG: no name/extra/comment
+  out.put<std::uint32_t>(0);            // MTIME: unset (deterministic output)
+  out.put<std::uint8_t>(0);             // XFL
+  out.put<std::uint8_t>(255);           // OS: unknown
+  out.put_bytes(deflate(input, level));
+  out.put<std::uint32_t>(crc32(input));
+  out.put<std::uint32_t>(static_cast<std::uint32_t>(input.size()));
+  return std::move(out).take();
+}
+
+Bytes gzip_decompress(ByteSpan input) {
+  ByteReader in(input);
+  if (in.get<std::uint8_t>() != kId1 || in.get<std::uint8_t>() != kId2) {
+    throw_format("gzip: bad magic");
+  }
+  if (in.get<std::uint8_t>() != kCmDeflate) {
+    throw_format("gzip: unsupported compression method");
+  }
+  const auto flags = in.get<std::uint8_t>();
+  in.skip(6);  // MTIME, XFL, OS
+  if (flags & kFlagExtra) {
+    const auto xlen = in.get<std::uint16_t>();
+    in.skip(xlen);
+  }
+  auto skip_cstring = [&in] {
+    while (in.get<std::uint8_t>() != 0) {
+    }
+  };
+  if (flags & kFlagName) skip_cstring();
+  if (flags & kFlagComment) skip_cstring();
+  if (flags & kFlagHcrc) in.skip(2);
+
+  if (in.remaining() < 8) {
+    throw_format("gzip: truncated member");
+  }
+  const ByteSpan body = in.get_bytes(in.remaining() - 8);
+  const auto expect_crc = in.get<std::uint32_t>();
+  const auto expect_size = in.get<std::uint32_t>();
+
+  Bytes out = inflate(body, expect_size);
+  if (static_cast<std::uint32_t>(out.size()) != expect_size) {
+    throw_format("gzip: ISIZE mismatch (got {}, want {})", out.size(),
+                 expect_size);
+  }
+  if (crc32(out) != expect_crc) {
+    throw_format("gzip: CRC32 mismatch");
+  }
+  return out;
+}
+
+}  // namespace sciprep::compress

@@ -1,0 +1,19 @@
+// gzip (RFC 1952) framing around the DEFLATE substrate.
+//
+// This is the exact baseline the paper's CosmoFlow comparison uses: TFRecord
+// files compressed with GZIP, decompressed on the host CPU (there is no GPU
+// gunzip — which is precisely the limitation the domain codecs remove).
+#pragma once
+
+#include "sciprep/common/buffer.hpp"
+#include "sciprep/compress/deflate.hpp"
+
+namespace sciprep::compress {
+
+/// Compress `input` into a gzip member (header + deflate body + CRC32 + ISIZE).
+Bytes gzip_compress(ByteSpan input, DeflateLevel level = DeflateLevel::kDefault);
+
+/// Decompress a single-member gzip stream; validates CRC32 and ISIZE.
+Bytes gzip_decompress(ByteSpan input);
+
+}  // namespace sciprep::compress

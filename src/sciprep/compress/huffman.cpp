@@ -1,0 +1,201 @@
+#include "sciprep/compress/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "sciprep/common/error.hpp"
+
+namespace sciprep::compress {
+
+std::vector<std::uint8_t> build_code_lengths(
+    std::span<const std::uint64_t> freqs, int limit) {
+  SCIPREP_ASSERT(limit >= 1 && limit <= kMaxCodeLength);
+  const std::size_t n = freqs.size();
+  std::vector<std::uint8_t> lengths(n, 0);
+
+  // Collect live symbols.
+  std::vector<std::size_t> live;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (freqs[s] > 0) live.push_back(s);
+  }
+  if (live.empty()) return lengths;
+  if (live.size() == 1) {
+    // DEFLATE requires at least a 1-bit code for a lone symbol.
+    lengths[live[0]] = 1;
+    return lengths;
+  }
+
+  // Standard Huffman tree via a min-heap of (freq, node). Internal nodes are
+  // appended past the symbol ids.
+  struct Node {
+    std::uint64_t freq;
+    int left = -1;
+    int right = -1;
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(live.size() * 2);
+  std::vector<std::size_t> node_symbol;  // leaf node index -> symbol
+  using HeapItem = std::pair<std::uint64_t, int>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (const std::size_t s : live) {
+    heap.emplace(freqs[s], static_cast<int>(nodes.size()));
+    nodes.push_back({freqs[s]});
+    node_symbol.push_back(s);
+  }
+  while (heap.size() > 1) {
+    const auto [fa, a] = heap.top();
+    heap.pop();
+    const auto [fb, b] = heap.top();
+    heap.pop();
+    heap.emplace(fa + fb, static_cast<int>(nodes.size()));
+    nodes.push_back({fa + fb, a, b});
+  }
+
+  // Depth-first traversal assigning depths to leaves.
+  std::vector<std::pair<int, int>> stack{{heap.top().second, 0}};
+  std::vector<int> depth_of_leaf(live.size(), 0);
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<std::size_t>(idx)];
+    if (node.left < 0) {
+      depth_of_leaf[static_cast<std::size_t>(idx)] = std::max(1, depth);
+    } else {
+      stack.emplace_back(node.left, depth + 1);
+      stack.emplace_back(node.right, depth + 1);
+    }
+  }
+
+  // Histogram of code lengths, clamped at `limit`.
+  std::vector<std::uint32_t> bl_count(static_cast<std::size_t>(limit) + 1, 0);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const int d = std::min(depth_of_leaf[i], limit);
+    ++bl_count[static_cast<std::size_t>(d)];
+  }
+
+  // Rebalance so the Kraft sum equals 1 (zlib's fix-up): while oversubscribed,
+  // move one code from the deepest non-empty shorter level down a level.
+  auto kraft = [&]() {
+    std::uint64_t sum = 0;
+    for (int l = 1; l <= limit; ++l) {
+      sum += static_cast<std::uint64_t>(bl_count[static_cast<std::size_t>(l)])
+             << (limit - l);
+    }
+    return sum;
+  };
+  const std::uint64_t full = 1ULL << limit;
+  while (kraft() > full) {
+    // Find a code at some length < limit to push deeper; prefer the deepest.
+    int from = limit - 1;
+    while (from >= 1 && bl_count[static_cast<std::size_t>(from)] == 0) --from;
+    SCIPREP_ASSERT(from >= 1);
+    --bl_count[static_cast<std::size_t>(from)];
+    ++bl_count[static_cast<std::size_t>(from) + 1];
+  }
+  // If undersubscribed (possible after clamping), promote codes upward to use
+  // the spare space — shorter codes only help compression.
+  while (kraft() < full) {
+    int deepest = limit;
+    while (deepest >= 2 && bl_count[static_cast<std::size_t>(deepest)] == 0) {
+      --deepest;
+    }
+    if (deepest < 2) break;
+    --bl_count[static_cast<std::size_t>(deepest)];
+    ++bl_count[static_cast<std::size_t>(deepest) - 1];
+  }
+
+  // Hand lengths back to symbols: sort live symbols by (original depth,
+  // symbol id) and deal lengths shortest-first to the shallowest leaves.
+  std::vector<std::size_t> order(live.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (depth_of_leaf[a] != depth_of_leaf[b]) {
+      return depth_of_leaf[a] < depth_of_leaf[b];
+    }
+    return node_symbol[a] < node_symbol[b];
+  });
+  std::size_t cursor = 0;
+  for (int l = 1; l <= limit; ++l) {
+    for (std::uint32_t k = 0; k < bl_count[static_cast<std::size_t>(l)]; ++k) {
+      lengths[node_symbol[order[cursor++]]] = static_cast<std::uint8_t>(l);
+    }
+  }
+  SCIPREP_ASSERT(cursor == live.size());
+  return lengths;
+}
+
+std::vector<std::uint16_t> assign_canonical_codes(
+    std::span<const std::uint8_t> lengths) {
+  std::vector<std::uint32_t> bl_count(kMaxCodeLength + 1, 0);
+  for (const auto l : lengths) {
+    SCIPREP_ASSERT(l <= kMaxCodeLength);
+    ++bl_count[l];
+  }
+  bl_count[0] = 0;
+  std::vector<std::uint16_t> next_code(kMaxCodeLength + 1, 0);
+  std::uint32_t code = 0;
+  for (int bits = 1; bits <= kMaxCodeLength; ++bits) {
+    code = (code + bl_count[static_cast<std::size_t>(bits) - 1]) << 1;
+    next_code[static_cast<std::size_t>(bits)] = static_cast<std::uint16_t>(code);
+  }
+  std::vector<std::uint16_t> codes(lengths.size(), 0);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] != 0) {
+      codes[s] = next_code[lengths[s]]++;
+    }
+  }
+  return codes;
+}
+
+HuffmanEncoder::HuffmanEncoder(std::span<const std::uint8_t> lengths)
+    : lengths_(lengths.begin(), lengths.end()) {
+  const auto canonical = assign_canonical_codes(lengths);
+  codes_.resize(lengths.size());
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    codes_[s] = reverse_bits(canonical[s], lengths_[s]);
+  }
+}
+
+HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
+  for (const auto l : lengths) {
+    max_len_ = std::max(max_len_, static_cast<int>(l));
+  }
+  if (max_len_ == 0) {
+    throw_format("huffman: empty code set");
+  }
+  // Validate the Kraft inequality — over-subscribed code sets are corrupt.
+  std::uint64_t kraft = 0;
+  for (const auto l : lengths) {
+    if (l > 0) kraft += 1ULL << (max_len_ - l);
+  }
+  if (kraft > (1ULL << max_len_)) {
+    throw_format("huffman: over-subscribed code lengths");
+  }
+
+  const auto canonical = assign_canonical_codes(lengths);
+  table_.assign(std::size_t{1} << max_len_, Entry{});
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const int len = lengths[s];
+    if (len == 0) continue;
+    // The decoder peeks max_len_ LSB-first bits; fill every table slot whose
+    // low `len` bits equal the reversed code.
+    const std::uint16_t rev = reverse_bits(canonical[s], len);
+    const std::size_t step = std::size_t{1} << len;
+    for (std::size_t idx = rev; idx < table_.size(); idx += step) {
+      table_[idx] = {static_cast<std::uint16_t>(s),
+                     static_cast<std::uint8_t>(len)};
+    }
+  }
+}
+
+std::uint16_t HuffmanDecoder::decode(BitReader& in) const {
+  const std::uint32_t window = in.peek_bits(max_len_);
+  const Entry entry = table_[window];
+  if (entry.length == 0) {
+    throw_format("huffman: invalid code in stream");
+  }
+  in.drop_bits(entry.length);
+  return entry.symbol;
+}
+
+}  // namespace sciprep::compress

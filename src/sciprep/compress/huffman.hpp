@@ -1,0 +1,82 @@
+// Canonical Huffman coding for the DEFLATE substrate (RFC 1951).
+//
+// DEFLATE transmits only code lengths; both encoder and decoder derive the
+// canonical codes from them. The encoder builds length-limited (<= 15 bit)
+// codes from symbol frequencies; the decoder builds a single-level lookup
+// table indexed by the next `max_length` input bits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sciprep/common/bitstream.hpp"
+
+namespace sciprep::compress {
+
+/// Maximum code length permitted by DEFLATE for literal/length and distance
+/// alphabets.
+inline constexpr int kMaxCodeLength = 15;
+
+/// Compute length-limited Huffman code lengths for `freqs`. Symbols with zero
+/// frequency get length 0 (absent). At most `limit` bits per code; lengths are
+/// adjusted with the standard overflow-rebalancing step when the unlimited
+/// Huffman tree exceeds the limit.
+std::vector<std::uint8_t> build_code_lengths(std::span<const std::uint64_t> freqs,
+                                             int limit = kMaxCodeLength);
+
+/// Assign canonical codes (RFC 1951 §3.2.2) to the given lengths. Returned
+/// codes are MSB-first as the RFC defines them; use `reverse_bits` before
+/// writing with the LSB-first BitWriter.
+std::vector<std::uint16_t> assign_canonical_codes(
+    std::span<const std::uint8_t> lengths);
+
+/// Reverse the low `width` bits of `code` (DEFLATE stores Huffman codes
+/// most-significant-bit first inside its LSB-first bitstream).
+constexpr std::uint16_t reverse_bits(std::uint16_t code, int width) {
+  std::uint16_t r = 0;
+  for (int i = 0; i < width; ++i) {
+    r = static_cast<std::uint16_t>((r << 1) | ((code >> i) & 1u));
+  }
+  return r;
+}
+
+/// Encoder-side table: per-symbol bit-reversed code + length, ready to emit.
+class HuffmanEncoder {
+ public:
+  explicit HuffmanEncoder(std::span<const std::uint8_t> lengths);
+
+  void emit(BitWriter& out, std::size_t symbol) const {
+    out.put_bits(codes_[symbol], lengths_[symbol]);
+  }
+  [[nodiscard]] int length_of(std::size_t symbol) const {
+    return lengths_[symbol];
+  }
+  [[nodiscard]] std::size_t alphabet_size() const { return lengths_.size(); }
+
+ private:
+  std::vector<std::uint16_t> codes_;  // bit-reversed, LSB-first ready
+  std::vector<std::uint8_t> lengths_;
+};
+
+/// Decoder-side table: one flat lookup of 2^max_len entries mapping the next
+/// bits to (symbol, length). Throws FormatError for invalid code sets.
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(std::span<const std::uint8_t> lengths);
+
+  /// Decode one symbol from `in`.
+  std::uint16_t decode(BitReader& in) const;
+
+  [[nodiscard]] int max_length() const noexcept { return max_len_; }
+
+ private:
+  struct Entry {
+    std::uint16_t symbol = 0;
+    std::uint8_t length = 0;  // 0 marks an invalid bit pattern
+  };
+  std::vector<Entry> table_;
+  int max_len_ = 0;
+};
+
+}  // namespace sciprep::compress

@@ -1,0 +1,125 @@
+#include "sciprep/compress/lz77.hpp"
+
+#include <algorithm>
+
+namespace sciprep::compress {
+
+namespace {
+
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+
+/// Hash of the 3 bytes starting at p (Fibonacci multiplicative hash).
+inline std::uint32_t hash3(const std::uint8_t* p) noexcept {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Longest common prefix of a and b, up to `limit` bytes.
+inline int match_length(const std::uint8_t* a, const std::uint8_t* b,
+                        int limit) noexcept {
+  int n = 0;
+  while (n < limit && a[n] == b[n]) ++n;
+  return n;
+}
+
+struct Chains {
+  // head[h]: most recent position with hash h; prev[pos % window]: previous
+  // position in that chain. Positions stored +1 so 0 means "none".
+  std::vector<std::uint32_t> head = std::vector<std::uint32_t>(kHashSize, 0);
+  std::vector<std::uint32_t> prev = std::vector<std::uint32_t>(kWindowSize, 0);
+
+  void insert(std::size_t pos, const std::uint8_t* data) {
+    const std::uint32_t h = hash3(data + pos);
+    prev[pos % kWindowSize] = head[h];
+    head[h] = static_cast<std::uint32_t>(pos + 1);
+  }
+};
+
+struct Match {
+  int length = 0;
+  int distance = 0;
+};
+
+Match find_best(const Chains& chains, const std::uint8_t* data, std::size_t pos,
+                std::size_t size, const MatcherConfig& config) {
+  Match best;
+  const int limit =
+      static_cast<int>(std::min<std::size_t>(kMaxMatch, size - pos));
+  if (limit < kMinMatch) return best;
+  std::uint32_t cand = chains.head[hash3(data + pos)];
+  int probes = config.max_chain;
+  while (cand != 0 && probes-- > 0) {
+    const std::size_t cpos = cand - 1;
+    if (cpos >= pos || pos - cpos > kWindowSize) break;
+    // Quick reject: check the byte just past the current best first (only
+    // safe while best.length < limit keeps the probe in bounds).
+    if (best.length == 0 || best.length >= limit ||
+        data[cpos + static_cast<std::size_t>(best.length)] ==
+            data[pos + static_cast<std::size_t>(best.length)]) {
+      const int len = match_length(data + cpos, data + pos, limit);
+      if (len > best.length) {
+        best = {len, static_cast<int>(pos - cpos)};
+        if (len >= config.nice_length || len == limit) break;
+      }
+    }
+    cand = chains.prev[cpos % kWindowSize];
+  }
+  return best.length >= kMinMatch ? best : Match{};
+}
+
+}  // namespace
+
+std::vector<Token> lz77_tokenize(ByteSpan input, const MatcherConfig& config) {
+  std::vector<Token> tokens;
+  tokens.reserve(input.size() / 3);
+  const std::uint8_t* data = input.data();
+  const std::size_t size = input.size();
+  Chains chains;
+
+  std::size_t pos = 0;
+  while (pos < size) {
+    if (size - pos < kMinMatch) {
+      tokens.push_back(Token::make_literal(data[pos]));
+      ++pos;
+      continue;
+    }
+    Match here = find_best(chains, data, pos, size, config);
+    if (here.length == 0) {
+      tokens.push_back(Token::make_literal(data[pos]));
+      chains.insert(pos, data);
+      ++pos;
+      continue;
+    }
+    if (config.lazy && pos + 1 + kMinMatch <= size) {
+      // Lazy matching: if the next position offers a strictly longer match,
+      // emit a literal here and take the longer match next iteration.
+      chains.insert(pos, data);
+      const Match next = find_best(chains, data, pos + 1, size, config);
+      if (next.length > here.length) {
+        tokens.push_back(Token::make_literal(data[pos]));
+        ++pos;
+        continue;
+      }
+      // Committed to `here`: insert the remaining covered positions.
+      const std::size_t end = std::min(pos + static_cast<std::size_t>(here.length),
+                                       size - kMinMatch + 1);
+      for (std::size_t p = pos + 1; p < end; ++p) {
+        chains.insert(p, data);
+      }
+    } else {
+      const std::size_t end = std::min(pos + static_cast<std::size_t>(here.length),
+                                       size >= kMinMatch ? size - kMinMatch + 1 : 0);
+      for (std::size_t p = pos; p < end; ++p) {
+        chains.insert(p, data);
+      }
+    }
+    tokens.push_back(Token::make_match(here.length, here.distance));
+    pos += static_cast<std::size_t>(here.length);
+  }
+  return tokens;
+}
+
+}  // namespace sciprep::compress

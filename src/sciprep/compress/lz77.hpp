@@ -1,0 +1,45 @@
+// LZ77 string matching for the DEFLATE substrate.
+//
+// Hash-chain matcher over the 32 KiB DEFLATE window producing a token stream
+// of literals and (length, distance) matches with greedy + lazy evaluation
+// (one-step lookahead, as in zlib's default strategy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sciprep/common/buffer.hpp"
+
+namespace sciprep::compress {
+
+inline constexpr std::size_t kWindowSize = 32 * 1024;
+inline constexpr int kMinMatch = 3;
+inline constexpr int kMaxMatch = 258;
+
+/// One LZ77 token: either a literal byte or a back-reference.
+struct Token {
+  std::uint16_t length = 0;    // 0 => literal
+  std::uint16_t distance = 0;  // 1..32768 when length > 0
+  std::uint8_t literal = 0;
+
+  [[nodiscard]] bool is_literal() const noexcept { return length == 0; }
+
+  static Token make_literal(std::uint8_t byte) { return {0, 0, byte}; }
+  static Token make_match(int length, int distance) {
+    return {static_cast<std::uint16_t>(length),
+            static_cast<std::uint16_t>(distance), 0};
+  }
+};
+
+/// Tunables mirroring zlib compression levels: longer chains find better
+/// matches at more CPU cost.
+struct MatcherConfig {
+  int max_chain = 128;      // hash-chain probes per position
+  int nice_length = 128;    // stop searching once a match this long is found
+  bool lazy = true;         // one-token lookahead
+};
+
+/// Tokenize `input` with hash-chain LZ77.
+std::vector<Token> lz77_tokenize(ByteSpan input, const MatcherConfig& config = {});
+
+}  // namespace sciprep::compress

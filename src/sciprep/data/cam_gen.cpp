@@ -1,0 +1,229 @@
+#include "sciprep/data/cam_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "sciprep/common/error.hpp"
+#include "sciprep/common/rng.hpp"
+
+namespace sciprep::data {
+
+namespace {
+
+// 16 CAM5-like variables with plausible magnitudes. Wildly different offsets
+// and scales are deliberate: they exercise the codec's per-segment exponent
+// handling.
+constexpr ChannelSpec kChannelSpecs[16] = {
+    {"TMQ", 35.0F, 18.0F, 2.2F},      // total precipitable water
+    {"U850", 2.0F, 12.0F, 1.8F},      // zonal wind, 850 hPa
+    {"V850", 0.5F, 10.0F, 1.8F},      // meridional wind, 850 hPa
+    {"UBOT", 1.5F, 9.0F, 1.5F},       // lowest-level zonal wind
+    {"VBOT", 0.3F, 8.0F, 1.5F},       // lowest-level meridional wind
+    {"QREFHT", 0.012F, 0.006F, 1.2F}, // reference humidity (kg/kg)
+    {"PS", 98000.0F, 2500.0F, 2.5F},  // surface pressure
+    {"PSL", 101000.0F, 2200.0F, 2.8F},// sea-level pressure
+    {"T200", 220.0F, 9.0F, 0.8F},     // temperature, 200 hPa
+    {"T500", 258.0F, 11.0F, 1.0F},    // temperature, 500 hPa
+    {"PRECT", 3.0e-8F, 2.5e-8F, 3.0F},// precipitation rate
+    {"TS", 289.0F, 16.0F, 1.0F},      // surface temperature
+    {"TREFHT", 288.0F, 15.0F, 1.0F},  // reference temperature
+    {"Z1000", 120.0F, 90.0F, 1.4F},   // geopotential height, 1000 hPa
+    {"Z200", 11800.0F, 240.0F, 1.1F}, // geopotential height, 200 hPa
+    {"ZBOT", 62.0F, 8.0F, 0.8F},      // lowest model level height
+};
+
+/// Bilinearly upsample a coarse grid to (height, width). The coarse grid is
+/// much coarser along x than y, producing the longitude smoothness the paper
+/// observes in CAM5 data.
+void add_upsampled_noise(std::vector<float>& plane, int height, int width,
+                         int cy, int cx, float amplitude, Rng& rng) {
+  std::vector<float> coarse(static_cast<std::size_t>(cy + 1) * (cx + 1));
+  for (auto& v : coarse) {
+    v = amplitude * static_cast<float>(rng.normal());
+  }
+  for (int y = 0; y < height; ++y) {
+    const double gy = static_cast<double>(y) * cy / height;
+    const int y0 = static_cast<int>(gy);
+    const double fy = gy - y0;
+    for (int x = 0; x < width; ++x) {
+      const double gx = static_cast<double>(x) * cx / width;
+      const int x0 = static_cast<int>(gx);
+      const double fx = gx - x0;
+      const std::size_t base =
+          static_cast<std::size_t>(y0) * (cx + 1) + static_cast<std::size_t>(x0);
+      const double v00 = coarse[base];
+      const double v01 = coarse[base + 1];
+      const double v10 = coarse[base + cx + 1];
+      const double v11 = coarse[base + cx + 2];
+      const double v = v00 * (1 - fy) * (1 - fx) + v01 * (1 - fy) * fx +
+                       v10 * fy * (1 - fx) + v11 * fy * fx;
+      plane[static_cast<std::size_t>(y) * width + x] += static_cast<float>(v);
+    }
+  }
+}
+
+struct Cyclone {
+  double cx, cy;      // center (pixels)
+  double radius;      // core radius (pixels)
+  double strength;    // 0.6 .. 1.6
+};
+
+struct River {
+  double x0, y0;      // start
+  double dx, dy;      // unit direction
+  double length;
+  double halfwidth;
+  double strength;
+};
+
+}  // namespace
+
+const ChannelSpec& channel_spec(int channel) {
+  return kChannelSpecs[static_cast<std::size_t>(channel % 16)];
+}
+
+CamGenerator::CamGenerator(CamGenConfig config) : config_(config) {
+  if (config_.height < 8 || config_.width < 8 || config_.channels < 1) {
+    throw ConfigError(fmt("cam generator: degenerate dims {}x{}x{}",
+                          config_.channels, config_.height, config_.width));
+  }
+}
+
+io::CamSample CamGenerator::generate(std::uint64_t index) const {
+  Rng rng = Rng(config_.seed).fork(index);
+  const int h = config_.height;
+  const int w = config_.width;
+  const int nc = config_.channels;
+
+  io::CamSample sample;
+  sample.height = h;
+  sample.width = w;
+  sample.channels = nc;
+  sample.image.resize(sample.value_count());
+  sample.labels.assign(sample.pixel_count(), 0);
+
+  // --- Draw the extreme-weather events for this sample -------------------
+  std::vector<Cyclone> cyclones;
+  const std::uint32_t n_cyc = rng.poisson(config_.cyclone_rate);
+  for (std::uint32_t i = 0; i < n_cyc; ++i) {
+    cyclones.push_back({rng.uniform(0.08, 0.92) * w,
+                        rng.uniform(0.15, 0.85) * h,
+                        rng.uniform(0.015, 0.045) * w,
+                        rng.uniform(0.6, 1.6)});
+  }
+  std::vector<River> rivers;
+  const std::uint32_t n_riv = rng.poisson(config_.river_rate);
+  for (std::uint32_t i = 0; i < n_riv; ++i) {
+    const double angle = rng.uniform(-0.5, 0.5);  // mostly zonal bands
+    rivers.push_back({rng.uniform(0.0, 0.6) * w, rng.uniform(0.1, 0.9) * h,
+                      std::cos(angle), std::sin(angle),
+                      rng.uniform(0.3, 0.6) * w, rng.uniform(0.008, 0.02) * w,
+                      rng.uniform(0.5, 1.4)});
+  }
+
+  // --- Labels: union of event supports -----------------------------------
+  for (const Cyclone& c : cyclones) {
+    const int y_lo = std::max(0, static_cast<int>(c.cy - 2 * c.radius));
+    const int y_hi = std::min(h - 1, static_cast<int>(c.cy + 2 * c.radius));
+    const int x_lo = std::max(0, static_cast<int>(c.cx - 2 * c.radius));
+    const int x_hi = std::min(w - 1, static_cast<int>(c.cx + 2 * c.radius));
+    for (int y = y_lo; y <= y_hi; ++y) {
+      for (int x = x_lo; x <= x_hi; ++x) {
+        const double d = std::hypot(x - c.cx, y - c.cy);
+        if (d < 1.4 * c.radius) {
+          sample.labels[static_cast<std::size_t>(y) * w + x] = 1;
+        }
+      }
+    }
+  }
+  for (const River& r : rivers) {
+    for (double t = 0; t < r.length; t += 1.0) {
+      const double px = r.x0 + r.dx * t;
+      const double py = r.y0 + r.dy * t;
+      const int y_lo = std::max(0, static_cast<int>(py - r.halfwidth));
+      const int y_hi = std::min(h - 1, static_cast<int>(py + r.halfwidth));
+      for (int y = y_lo; y <= y_hi; ++y) {
+        const int x = static_cast<int>(px);
+        if (x >= 0 && x < w) {
+          auto& lbl = sample.labels[static_cast<std::size_t>(y) * w + x];
+          if (lbl == 0) lbl = 2;  // cyclone labels take precedence
+        }
+      }
+    }
+  }
+
+  // --- Per-channel field synthesis ----------------------------------------
+  std::vector<float> plane(sample.pixel_count());
+  for (int c = 0; c < nc; ++c) {
+    const ChannelSpec& spec = channel_spec(c);
+    std::fill(plane.begin(), plane.end(), 0.0F);
+
+    // Large-scale structure: coarse in x (longitude smooth), finer in y.
+    add_upsampled_noise(plane, h, w, /*cy=*/12, /*cx=*/5, 0.9F, rng);
+    add_upsampled_noise(plane, h, w, /*cy=*/48, /*cx=*/20, 0.28F, rng);
+
+    // Latitudinal climatology: smooth meridional gradient (e.g. temperature
+    // falls toward the poles), plus a gentle zonal wave.
+    const double wave_phase = rng.uniform(0.0, 2 * std::numbers::pi);
+    const double wave_k = 1 + rng.next_below(3);
+    for (int y = 0; y < h; ++y) {
+      const double lat = (static_cast<double>(y) / h - 0.5) * 2;  // -1..1
+      const double merid = -0.8 * lat * lat + 0.15 * lat;
+      for (int x = 0; x < w; ++x) {
+        const double zonal =
+            0.18 * std::sin(wave_k * 2 * std::numbers::pi * x / w + wave_phase);
+        plane[static_cast<std::size_t>(y) * w + x] +=
+            static_cast<float>(merid + zonal);
+      }
+    }
+
+    // Extreme events: radially symmetric perturbations with steep flanks.
+    for (const Cyclone& cyc : cyclones) {
+      const double gain = cyc.strength * spec.anomaly_gain;
+      const int y_lo = std::max(0, static_cast<int>(cyc.cy - 3 * cyc.radius));
+      const int y_hi = std::min(h - 1, static_cast<int>(cyc.cy + 3 * cyc.radius));
+      const int x_lo = std::max(0, static_cast<int>(cyc.cx - 3 * cyc.radius));
+      const int x_hi = std::min(w - 1, static_cast<int>(cyc.cx + 3 * cyc.radius));
+      for (int y = y_lo; y <= y_hi; ++y) {
+        for (int x = x_lo; x <= x_hi; ++x) {
+          const double d = std::hypot(x - cyc.cx, y - cyc.cy) / cyc.radius;
+          // Deep pressure-like well with a sharp eyewall at d ~ 0.35.
+          const double well = -std::exp(-d * d);
+          const double eyewall = 0.8 * std::exp(-16 * (d - 0.35) * (d - 0.35));
+          plane[static_cast<std::size_t>(y) * w + x] +=
+              static_cast<float>(gain * (well + eyewall));
+        }
+      }
+    }
+    for (const River& r : rivers) {
+      const double gain = 0.7 * r.strength * spec.anomaly_gain;
+      for (double t = 0; t < r.length; t += 1.0) {
+        const double px = r.x0 + r.dx * t;
+        const double py = r.y0 + r.dy * t;
+        const int x = static_cast<int>(px);
+        if (x < 0 || x >= w) continue;
+        const int y_lo = std::max(0, static_cast<int>(py - 3 * r.halfwidth));
+        const int y_hi = std::min(h - 1, static_cast<int>(py + 3 * r.halfwidth));
+        for (int y = y_lo; y <= y_hi; ++y) {
+          const double d = (y - py) / r.halfwidth;
+          plane[static_cast<std::size_t>(y) * w + x] +=
+              static_cast<float>(gain * std::exp(-d * d));
+        }
+      }
+    }
+
+    // Scale to physical units and add sensor noise (the part the lossy
+    // encoder is allowed to discard).
+    float* out = sample.image.data() + static_cast<std::size_t>(c) * h * w;
+    for (std::size_t i = 0; i < plane.size(); ++i) {
+      const float physical = spec.offset + spec.scale * plane[i];
+      const float noise = static_cast<float>(
+          config_.noise_level * spec.scale * rng.normal());
+      out[i] = physical + noise;
+    }
+  }
+  return sample;
+}
+
+}  // namespace sciprep::data

@@ -1,0 +1,59 @@
+// Synthetic DeepCAM (CAM5-like) climate sample generator.
+//
+// Stands in for the CAM5 climate dataset: 16-channel FP32 weather images with
+// per-pixel extreme-weather segmentation labels. Reproduces the properties
+// §V.A of the paper exploits:
+//   * large areas of smooth variation, smoothest along the x (longitude)
+//     direction,
+//   * per-channel physical value ranges spanning very different magnitudes
+//     (pressure ~1e5 Pa, temperature ~250-310 K, humidity ~0-70 kg/m²,
+//     winds ~±40 m/s),
+//   * small-amplitude sensor noise on the smooth background (what the lossy
+//     differential encoder removes),
+//   * rare localized extreme phenomena (tropical cyclones, atmospheric
+//     rivers) with abrupt gradients — the regions the encoder leaves raw and
+//     the network must find.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sciprep/io/samples.hpp"
+
+namespace sciprep::data {
+
+struct CamGenConfig {
+  int height = 768;
+  int width = 1152;
+  int channels = 16;
+  std::uint64_t seed = 1;
+  double cyclone_rate = 2.5;   // mean cyclones per sample (Poisson)
+  double river_rate = 1.5;     // mean atmospheric rivers per sample
+  double noise_level = 3e-4;   // relative sensor noise amplitude
+};
+
+/// Physical interpretation of each generated channel (used for realistic
+/// value ranges; index into kChannelSpecs by channel id % 16).
+struct ChannelSpec {
+  const char* name;   // CAM5 variable name
+  float offset;       // mean value
+  float scale;        // variation amplitude
+  float anomaly_gain; // how strongly extreme phenomena perturb this channel
+};
+const ChannelSpec& channel_spec(int channel);
+
+/// Deterministic per-index generator, same contract as CosmoGenerator.
+class CamGenerator {
+ public:
+  explicit CamGenerator(CamGenConfig config);
+
+  [[nodiscard]] io::CamSample generate(std::uint64_t index) const;
+
+  [[nodiscard]] const CamGenConfig& config() const noexcept { return config_; }
+
+ private:
+  CamGenConfig config_;
+};
+
+}  // namespace sciprep::data

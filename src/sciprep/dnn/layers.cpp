@@ -1,0 +1,441 @@
+#include "sciprep/dnn/layers.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sciprep::dnn {
+
+// ---------------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------------
+
+Dense::Dense(std::size_t in, std::size_t out, Rng& rng)
+    : in_(in),
+      out_(out),
+      w_({out, in}),
+      b_({out}),
+      dw_({out, in}),
+      db_({out}) {
+  w_.init_he(rng, in);
+}
+
+Tensor Dense::forward(const Tensor& input) {
+  SCIPREP_ASSERT(input.size() == in_);
+  cache_input_ = input;
+  Tensor y({out_});
+  for (std::size_t o = 0; o < out_; ++o) {
+    float acc = b_[o];
+    const float* row = w_.data.data() + o * in_;
+    for (std::size_t i = 0; i < in_; ++i) {
+      acc += row[i] * input[i];
+    }
+    y[o] = acc;
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& output_grad) {
+  SCIPREP_ASSERT(output_grad.size() == out_);
+  Tensor dx({in_});
+  for (std::size_t o = 0; o < out_; ++o) {
+    const float g = output_grad[o];
+    db_[o] += g;
+    float* dw_row = dw_.data.data() + o * in_;
+    const float* w_row = w_.data.data() + o * in_;
+    for (std::size_t i = 0; i < in_; ++i) {
+      dw_row[i] += g * cache_input_[i];
+      dx[i] += g * w_row[i];
+    }
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// Conv3d (3x3x3, same padding)
+// ---------------------------------------------------------------------------
+
+Conv3d::Conv3d(int in_channels, int out_channels, Rng& rng)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      w_({static_cast<std::uint64_t>(out_channels),
+          static_cast<std::uint64_t>(in_channels), 3, 3, 3}),
+      b_({static_cast<std::uint64_t>(out_channels)}),
+      dw_(w_.shape),
+      db_(b_.shape) {
+  w_.init_he(rng, static_cast<std::size_t>(in_channels) * 27);
+}
+
+Tensor Conv3d::forward(const Tensor& input) {
+  SCIPREP_ASSERT(input.shape.size() == 4 &&
+                 input.shape[0] == static_cast<std::uint64_t>(in_c_));
+  cache_input_ = input;
+  const auto d = static_cast<int>(input.shape[1]);
+  const auto h = static_cast<int>(input.shape[2]);
+  const auto w = static_cast<int>(input.shape[3]);
+  Tensor y({static_cast<std::uint64_t>(out_c_), input.shape[1], input.shape[2],
+            input.shape[3]});
+  const std::size_t plane = static_cast<std::size_t>(d) * h * w;
+  for (int oc = 0; oc < out_c_; ++oc) {
+    float* out = y.data.data() + static_cast<std::size_t>(oc) * plane;
+    for (std::size_t i = 0; i < plane; ++i) out[i] = b_[static_cast<std::size_t>(oc)];
+    for (int ic = 0; ic < in_c_; ++ic) {
+      const float* in = input.data.data() + static_cast<std::size_t>(ic) * plane;
+      const float* ker =
+          w_.data.data() +
+          (static_cast<std::size_t>(oc) * in_c_ + static_cast<std::size_t>(ic)) * 27;
+      for (int z = 0; z < d; ++z) {
+        for (int yy = 0; yy < h; ++yy) {
+          for (int xx = 0; xx < w; ++xx) {
+            float acc = 0;
+            for (int kz = -1; kz <= 1; ++kz) {
+              const int sz = z + kz;
+              if (sz < 0 || sz >= d) continue;
+              for (int ky = -1; ky <= 1; ++ky) {
+                const int sy = yy + ky;
+                if (sy < 0 || sy >= h) continue;
+                for (int kx = -1; kx <= 1; ++kx) {
+                  const int sx = xx + kx;
+                  if (sx < 0 || sx >= w) continue;
+                  acc += ker[((kz + 1) * 3 + (ky + 1)) * 3 + (kx + 1)] *
+                         in[(static_cast<std::size_t>(sz) * h + sy) * w + sx];
+                }
+              }
+            }
+            out[(static_cast<std::size_t>(z) * h + yy) * w + xx] += acc;
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv3d::backward(const Tensor& output_grad) {
+  const auto d = static_cast<int>(cache_input_.shape[1]);
+  const auto h = static_cast<int>(cache_input_.shape[2]);
+  const auto w = static_cast<int>(cache_input_.shape[3]);
+  const std::size_t plane = static_cast<std::size_t>(d) * h * w;
+  Tensor dx(cache_input_.shape);
+  for (int oc = 0; oc < out_c_; ++oc) {
+    const float* gout =
+        output_grad.data.data() + static_cast<std::size_t>(oc) * plane;
+    for (std::size_t i = 0; i < plane; ++i) {
+      db_[static_cast<std::size_t>(oc)] += gout[i];
+    }
+    for (int ic = 0; ic < in_c_; ++ic) {
+      const float* in =
+          cache_input_.data.data() + static_cast<std::size_t>(ic) * plane;
+      float* gin = dx.data.data() + static_cast<std::size_t>(ic) * plane;
+      const std::size_t kbase =
+          (static_cast<std::size_t>(oc) * in_c_ + static_cast<std::size_t>(ic)) * 27;
+      const float* ker = w_.data.data() + kbase;
+      float* gker = dw_.data.data() + kbase;
+      for (int z = 0; z < d; ++z) {
+        for (int yy = 0; yy < h; ++yy) {
+          for (int xx = 0; xx < w; ++xx) {
+            const float g =
+                gout[(static_cast<std::size_t>(z) * h + yy) * w + xx];
+            if (g == 0.0F) continue;
+            for (int kz = -1; kz <= 1; ++kz) {
+              const int sz = z + kz;
+              if (sz < 0 || sz >= d) continue;
+              for (int ky = -1; ky <= 1; ++ky) {
+                const int sy = yy + ky;
+                if (sy < 0 || sy >= h) continue;
+                for (int kx = -1; kx <= 1; ++kx) {
+                  const int sx = xx + kx;
+                  if (sx < 0 || sx >= w) continue;
+                  const std::size_t k =
+                      ((static_cast<std::size_t>(kz + 1)) * 3 +
+                       static_cast<std::size_t>(ky + 1)) * 3 +
+                      static_cast<std::size_t>(kx + 1);
+                  const std::size_t s =
+                      (static_cast<std::size_t>(sz) * h + sy) * w + sx;
+                  gker[k] += g * in[s];
+                  gin[s] += g * ker[k];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d (3x3, same padding)
+// ---------------------------------------------------------------------------
+
+Conv2d::Conv2d(int in_channels, int out_channels, Rng& rng)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      w_({static_cast<std::uint64_t>(out_channels),
+          static_cast<std::uint64_t>(in_channels), 3, 3}),
+      b_({static_cast<std::uint64_t>(out_channels)}),
+      dw_(w_.shape),
+      db_(b_.shape) {
+  w_.init_he(rng, static_cast<std::size_t>(in_channels) * 9);
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  SCIPREP_ASSERT(input.shape.size() == 3 &&
+                 input.shape[0] == static_cast<std::uint64_t>(in_c_));
+  cache_input_ = input;
+  const auto h = static_cast<int>(input.shape[1]);
+  const auto w = static_cast<int>(input.shape[2]);
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  Tensor y({static_cast<std::uint64_t>(out_c_), input.shape[1], input.shape[2]});
+  for (int oc = 0; oc < out_c_; ++oc) {
+    float* out = y.data.data() + static_cast<std::size_t>(oc) * plane;
+    for (std::size_t i = 0; i < plane; ++i) out[i] = b_[static_cast<std::size_t>(oc)];
+    for (int ic = 0; ic < in_c_; ++ic) {
+      const float* in = input.data.data() + static_cast<std::size_t>(ic) * plane;
+      const float* ker =
+          w_.data.data() +
+          (static_cast<std::size_t>(oc) * in_c_ + static_cast<std::size_t>(ic)) * 9;
+      for (int yy = 0; yy < h; ++yy) {
+        for (int xx = 0; xx < w; ++xx) {
+          float acc = 0;
+          for (int ky = -1; ky <= 1; ++ky) {
+            const int sy = yy + ky;
+            if (sy < 0 || sy >= h) continue;
+            for (int kx = -1; kx <= 1; ++kx) {
+              const int sx = xx + kx;
+              if (sx < 0 || sx >= w) continue;
+              acc += ker[(ky + 1) * 3 + (kx + 1)] *
+                     in[static_cast<std::size_t>(sy) * w + sx];
+            }
+          }
+          out[static_cast<std::size_t>(yy) * w + xx] += acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& output_grad) {
+  const auto h = static_cast<int>(cache_input_.shape[1]);
+  const auto w = static_cast<int>(cache_input_.shape[2]);
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  Tensor dx(cache_input_.shape);
+  for (int oc = 0; oc < out_c_; ++oc) {
+    const float* gout =
+        output_grad.data.data() + static_cast<std::size_t>(oc) * plane;
+    for (std::size_t i = 0; i < plane; ++i) {
+      db_[static_cast<std::size_t>(oc)] += gout[i];
+    }
+    for (int ic = 0; ic < in_c_; ++ic) {
+      const float* in =
+          cache_input_.data.data() + static_cast<std::size_t>(ic) * plane;
+      float* gin = dx.data.data() + static_cast<std::size_t>(ic) * plane;
+      const std::size_t kbase =
+          (static_cast<std::size_t>(oc) * in_c_ + static_cast<std::size_t>(ic)) * 9;
+      const float* ker = w_.data.data() + kbase;
+      float* gker = dw_.data.data() + kbase;
+      for (int yy = 0; yy < h; ++yy) {
+        for (int xx = 0; xx < w; ++xx) {
+          const float g = gout[static_cast<std::size_t>(yy) * w + xx];
+          if (g == 0.0F) continue;
+          for (int ky = -1; ky <= 1; ++ky) {
+            const int sy = yy + ky;
+            if (sy < 0 || sy >= h) continue;
+            for (int kx = -1; kx <= 1; ++kx) {
+              const int sx = xx + kx;
+              if (sx < 0 || sx >= w) continue;
+              const std::size_t k = static_cast<std::size_t>(ky + 1) * 3 +
+                                    static_cast<std::size_t>(kx + 1);
+              const std::size_t s = static_cast<std::size_t>(sy) * w + sx;
+              gker[k] += g * in[s];
+              gin[s] += g * ker[k];
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// Pooling
+// ---------------------------------------------------------------------------
+
+Tensor MaxPool3d::forward(const Tensor& input) {
+  SCIPREP_ASSERT(input.shape.size() == 4);
+  SCIPREP_ASSERT(input.shape[1] % 2 == 0 && input.shape[2] % 2 == 0 &&
+                 input.shape[3] % 2 == 0);
+  in_shape_ = input.shape;
+  const auto c = input.shape[0];
+  const auto d = input.shape[1];
+  const auto h = input.shape[2];
+  const auto w = input.shape[3];
+  Tensor y({c, d / 2, h / 2, w / 2});
+  argmax_.assign(y.size(), 0);
+  std::size_t out = 0;
+  for (std::uint64_t ci = 0; ci < c; ++ci) {
+    const float* plane = input.data.data() + ci * d * h * w;
+    for (std::uint64_t z = 0; z < d; z += 2) {
+      for (std::uint64_t yy = 0; yy < h; yy += 2) {
+        for (std::uint64_t xx = 0; xx < w; xx += 2) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::uint32_t best_at = 0;
+          for (int dz = 0; dz < 2; ++dz) {
+            for (int dy = 0; dy < 2; ++dy) {
+              for (int dx2 = 0; dx2 < 2; ++dx2) {
+                const std::size_t at =
+                    ((z + static_cast<std::uint64_t>(dz)) * h + yy +
+                     static_cast<std::uint64_t>(dy)) * w +
+                    xx + static_cast<std::uint64_t>(dx2);
+                if (plane[at] > best) {
+                  best = plane[at];
+                  best_at = static_cast<std::uint32_t>(at);
+                }
+              }
+            }
+          }
+          y[out] = best;
+          argmax_[out] = best_at;
+          ++out;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool3d::backward(const Tensor& output_grad) {
+  Tensor dx(in_shape_);
+  const auto c = in_shape_[0];
+  const auto plane = in_shape_[1] * in_shape_[2] * in_shape_[3];
+  const std::size_t out_plane = output_grad.size() / c;
+  for (std::uint64_t ci = 0; ci < c; ++ci) {
+    float* gin = dx.data.data() + ci * plane;
+    for (std::size_t i = 0; i < out_plane; ++i) {
+      const std::size_t o = ci * out_plane + i;
+      gin[argmax_[o]] += output_grad[o];
+    }
+  }
+  return dx;
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  SCIPREP_ASSERT(input.shape.size() == 3);
+  SCIPREP_ASSERT(input.shape[1] % 2 == 0 && input.shape[2] % 2 == 0);
+  in_shape_ = input.shape;
+  const auto c = input.shape[0];
+  const auto h = input.shape[1];
+  const auto w = input.shape[2];
+  Tensor y({c, h / 2, w / 2});
+  argmax_.assign(y.size(), 0);
+  std::size_t out = 0;
+  for (std::uint64_t ci = 0; ci < c; ++ci) {
+    const float* plane = input.data.data() + ci * h * w;
+    for (std::uint64_t yy = 0; yy < h; yy += 2) {
+      for (std::uint64_t xx = 0; xx < w; xx += 2) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::uint32_t best_at = 0;
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx2 = 0; dx2 < 2; ++dx2) {
+            const std::size_t at =
+                (yy + static_cast<std::uint64_t>(dy)) * w + xx +
+                static_cast<std::uint64_t>(dx2);
+            if (plane[at] > best) {
+              best = plane[at];
+              best_at = static_cast<std::uint32_t>(at);
+            }
+          }
+        }
+        y[out] = best;
+        argmax_[out] = best_at;
+        ++out;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& output_grad) {
+  Tensor dx(in_shape_);
+  const auto c = in_shape_[0];
+  const auto plane = in_shape_[1] * in_shape_[2];
+  const std::size_t out_plane = output_grad.size() / c;
+  for (std::uint64_t ci = 0; ci < c; ++ci) {
+    float* gin = dx.data.data() + ci * plane;
+    for (std::size_t i = 0; i < out_plane; ++i) {
+      const std::size_t o = ci * out_plane + i;
+      gin[argmax_[o]] += output_grad[o];
+    }
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// Relu / Flatten / Sequential
+// ---------------------------------------------------------------------------
+
+Tensor Relu::forward(const Tensor& input) {
+  in_shape_ = input.shape;
+  mask_.assign(input.size(), 0);
+  Tensor y(input.shape);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (input[i] > 0) {
+      y[i] = input[i];
+      mask_[i] = 1;
+    }
+  }
+  return y;
+}
+
+Tensor Relu::backward(const Tensor& output_grad) {
+  Tensor dx(in_shape_);
+  for (std::size_t i = 0; i < output_grad.size(); ++i) {
+    dx[i] = mask_[i] ? output_grad[i] : 0.0F;
+  }
+  return dx;
+}
+
+Tensor Flatten::forward(const Tensor& input) {
+  in_shape_ = input.shape;
+  return Tensor({input.size()}, input.data);
+}
+
+Tensor Flatten::backward(const Tensor& output_grad) {
+  return Tensor(in_shape_, output_grad.data);
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) {
+    x = layer->forward(x);
+  }
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& output_grad) {
+  Tensor g = output_grad;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Tensor*> Sequential::params() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::grads() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->grads()) out.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace sciprep::dnn

@@ -1,0 +1,84 @@
+#include "sciprep/dnn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sciprep::dnn {
+
+LossResult mse_loss(const Tensor& prediction, std::span<const float> target) {
+  SCIPREP_ASSERT(prediction.size() == target.size());
+  LossResult r;
+  r.grad = Tensor(prediction.shape);
+  const auto n = static_cast<double>(prediction.size());
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    const double d = static_cast<double>(prediction[i]) - target[i];
+    r.loss += d * d;
+    r.grad[i] = static_cast<float>(2.0 * d / n);
+  }
+  r.loss /= n;
+  return r;
+}
+
+LossResult softmax_xent_loss(const Tensor& logits,
+                             std::span<const std::uint8_t> labels,
+                             std::span<const float> class_weights) {
+  SCIPREP_ASSERT(logits.shape.size() == 3);
+  const auto classes = static_cast<std::size_t>(logits.shape[0]);
+  const std::size_t pixels =
+      static_cast<std::size_t>(logits.shape[1]) *
+      static_cast<std::size_t>(logits.shape[2]);
+  SCIPREP_ASSERT(labels.size() == pixels);
+  SCIPREP_ASSERT(class_weights.empty() || class_weights.size() == classes);
+
+  LossResult r;
+  r.grad = Tensor(logits.shape);
+  double weight_total = 0;
+  std::vector<double> p(classes);
+  for (std::size_t px = 0; px < pixels; ++px) {
+    // Stable softmax over the class (outer) dimension.
+    double maxv = -1e30;
+    for (std::size_t c = 0; c < classes; ++c) {
+      maxv = std::max(maxv, static_cast<double>(logits[c * pixels + px]));
+    }
+    double z = 0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      p[c] = std::exp(static_cast<double>(logits[c * pixels + px]) - maxv);
+      z += p[c];
+    }
+    const std::size_t label = labels[px];
+    SCIPREP_ASSERT(label < classes);
+    const double weight = class_weights.empty()
+                              ? 1.0
+                              : static_cast<double>(class_weights[label]);
+    weight_total += weight;
+    for (std::size_t c = 0; c < classes; ++c) {
+      p[c] /= z;
+      r.grad[c * pixels + px] =
+          static_cast<float>(weight * (p[c] - (c == label ? 1.0 : 0.0)));
+    }
+    r.loss -= weight * std::log(std::max(p[label], 1e-12));
+  }
+  const double norm = std::max(weight_total, 1e-12);
+  r.loss /= norm;
+  for (auto& g : r.grad.data) {
+    g = static_cast<float>(g / norm);
+  }
+  return r;
+}
+
+double pixel_accuracy(const Tensor& logits,
+                      std::span<const std::uint8_t> labels) {
+  const auto classes = static_cast<std::size_t>(logits.shape[0]);
+  const std::size_t pixels = labels.size();
+  std::size_t correct = 0;
+  for (std::size_t px = 0; px < pixels; ++px) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (logits[c * pixels + px] > logits[best * pixels + px]) best = c;
+    }
+    correct += (best == labels[px]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(std::max<std::size_t>(1, pixels));
+}
+
+}  // namespace sciprep::dnn

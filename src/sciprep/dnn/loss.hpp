@@ -1,0 +1,32 @@
+// Loss functions for the two workload models: mean-squared error for the
+// CosmoFlow parameter regression, per-pixel softmax cross-entropy for the
+// DeepCAM segmentation. Each returns the scalar loss and the gradient with
+// respect to the prediction.
+#pragma once
+
+#include <span>
+
+#include "sciprep/dnn/tensor.hpp"
+
+namespace sciprep::dnn {
+
+struct LossResult {
+  double loss = 0;
+  Tensor grad;  // dLoss/dPrediction, same shape as the prediction
+};
+
+/// Mean squared error over all elements.
+LossResult mse_loss(const Tensor& prediction, std::span<const float> target);
+
+/// Per-pixel softmax cross entropy. `logits` is [classes, h, w]; `labels` is
+/// h*w class indices. `class_weights` (size = classes) counteracts the heavy
+/// background imbalance of extreme-weather masks; pass empty for uniform.
+LossResult softmax_xent_loss(const Tensor& logits,
+                             std::span<const std::uint8_t> labels,
+                             std::span<const float> class_weights = {});
+
+/// Pixel accuracy of argmax(logits) vs labels, for validation reporting.
+double pixel_accuracy(const Tensor& logits,
+                      std::span<const std::uint8_t> labels);
+
+}  // namespace sciprep::dnn

@@ -1,0 +1,45 @@
+#include "sciprep/dnn/optimizer.hpp"
+
+#include <cmath>
+
+namespace sciprep::dnn {
+
+Sgd::Sgd(Layer& model, SgdConfig config)
+    : params_(model.params()), grads_(model.grads()), config_(config) {
+  SCIPREP_ASSERT(params_.size() == grads_.size());
+  velocity_.reserve(params_.size());
+  for (const Tensor* p : params_) {
+    velocity_.emplace_back(p->shape);
+  }
+}
+
+float Sgd::current_lr() const {
+  float lr = config_.learning_rate;
+  if (config_.warmup_steps > 0 && steps_ < config_.warmup_steps) {
+    lr *= static_cast<float>(steps_ + 1) /
+          static_cast<float>(config_.warmup_steps);
+  }
+  if (config_.decay_every > 0) {
+    lr *= std::pow(0.5F, static_cast<float>(steps_ / config_.decay_every));
+  }
+  return lr;
+}
+
+void Sgd::step(float grad_scale) {
+  SCIPREP_ASSERT(grad_scale > 0);
+  const float lr = current_lr();
+  for (std::size_t t = 0; t < params_.size(); ++t) {
+    Tensor& p = *params_[t];
+    Tensor& g = *grads_[t];
+    Tensor& v = velocity_[t];
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      float grad = g[i] / grad_scale + config_.weight_decay * p[i];
+      v[i] = config_.momentum * v[i] - lr * grad;
+      p[i] += v[i];
+      g[i] = 0;  // ready for the next accumulation
+    }
+  }
+  ++steps_;
+}
+
+}  // namespace sciprep::dnn

@@ -1,0 +1,54 @@
+// Dense FP32 tensor for the training substrate.
+//
+// The convergence experiments (Figs 6-7) only need a small trainable model;
+// all math runs in FP32 (both the paper's pipelines use automatic mixed
+// precision with FP32 master weights). The *input* precision — FP32 baseline
+// samples vs FP16 decoded samples — is the experimental variable, applied
+// when the pipeline output is converted into these tensors.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sciprep/common/error.hpp"
+#include "sciprep/common/rng.hpp"
+
+namespace sciprep::dnn {
+
+struct Tensor {
+  std::vector<std::uint64_t> shape;
+  std::vector<float> data;
+
+  Tensor() = default;
+  explicit Tensor(std::vector<std::uint64_t> s) : shape(std::move(s)) {
+    data.assign(element_count(shape), 0.0F);
+  }
+  Tensor(std::vector<std::uint64_t> s, std::vector<float> d)
+      : shape(std::move(s)), data(std::move(d)) {
+    SCIPREP_ASSERT(data.size() == element_count(shape));
+  }
+
+  static std::size_t element_count(const std::vector<std::uint64_t>& shape) {
+    std::size_t n = 1;
+    for (const auto d : shape) n *= static_cast<std::size_t>(d);
+    return shape.empty() ? 0 : n;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data.size(); }
+  float& operator[](std::size_t i) { return data[i]; }
+  float operator[](std::size_t i) const { return data[i]; }
+
+  void fill(float v) { std::fill(data.begin(), data.end(), v); }
+
+  /// He-normal initialization for a parameter tensor with `fan_in` inputs.
+  void init_he(Rng& rng, std::size_t fan_in) {
+    const float scale =
+        std::sqrt(2.0F / static_cast<float>(std::max<std::size_t>(1, fan_in)));
+    for (auto& v : data) {
+      v = scale * static_cast<float>(rng.normal());
+    }
+  }
+};
+
+}  // namespace sciprep::dnn

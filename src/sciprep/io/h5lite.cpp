@@ -1,0 +1,155 @@
+#include "sciprep/io/h5lite.hpp"
+
+#include <algorithm>
+
+#include "sciprep/common/crc.hpp"
+
+namespace sciprep::io {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x544C3548u;  // "H5LT" little-endian
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+std::size_t dtype_size(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+    case DType::kI32:
+      return 4;
+    case DType::kF16:
+    case DType::kU16:
+      return 2;
+    case DType::kU8:
+      return 1;
+    case DType::kI64:
+      return 8;
+  }
+  throw_format("h5lite: bad dtype {}", static_cast<int>(dtype));
+}
+
+const char* dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return "f32";
+    case DType::kF16:
+      return "f16";
+    case DType::kI32:
+      return "i32";
+    case DType::kU16:
+      return "u16";
+    case DType::kU8:
+      return "u8";
+    case DType::kI64:
+      return "i64";
+  }
+  return "?";
+}
+
+std::uint64_t Dataset::element_count() const noexcept {
+  std::uint64_t n = 1;
+  for (const auto d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+void H5File::add(Dataset dataset) {
+  if (index_.contains(dataset.name)) {
+    throw_format("h5lite: duplicate dataset '{}'", dataset.name);
+  }
+  if (dataset.element_count() * dtype_size(dataset.dtype) != dataset.data.size()) {
+    throw_format("h5lite: dataset '{}' shape/data mismatch ({} elems, {} bytes)",
+                 dataset.name, dataset.element_count(), dataset.data.size());
+  }
+  index_.emplace(dataset.name, datasets_.size());
+  datasets_.push_back(std::move(dataset));
+}
+
+bool H5File::contains(const std::string& name) const {
+  return index_.contains(name);
+}
+
+const Dataset& H5File::dataset(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw_format("h5lite: no dataset '{}'", name);
+  }
+  return datasets_[it->second];
+}
+
+Bytes H5File::serialize(std::size_t chunk_size) const {
+  SCIPREP_ASSERT(chunk_size > 0);
+  ByteWriter out;
+  out.put<std::uint32_t>(kMagic);
+  out.put<std::uint32_t>(kVersion);
+  out.put<std::uint32_t>(static_cast<std::uint32_t>(datasets_.size()));
+  for (const Dataset& d : datasets_) {
+    out.put_string(d.name);
+    out.put<std::uint8_t>(static_cast<std::uint8_t>(d.dtype));
+    out.put<std::uint32_t>(static_cast<std::uint32_t>(d.shape.size()));
+    for (const auto dim : d.shape) {
+      out.put<std::uint64_t>(dim);
+    }
+    out.put<std::uint32_t>(static_cast<std::uint32_t>(d.attrs.size()));
+    for (const auto& [k, v] : d.attrs) {
+      out.put_string(k);
+      out.put_string(v);
+    }
+    const std::size_t nchunks = d.data.empty()
+                                    ? 0
+                                    : (d.data.size() + chunk_size - 1) / chunk_size;
+    out.put<std::uint32_t>(static_cast<std::uint32_t>(nchunks));
+    const ByteSpan all(d.data);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const std::size_t offset = c * chunk_size;
+      const std::size_t take = std::min(chunk_size, d.data.size() - offset);
+      const ByteSpan chunk = all.subspan(offset, take);
+      out.put<std::uint64_t>(take);
+      out.put<std::uint32_t>(crc32c(chunk));
+      out.put_bytes(chunk);
+    }
+  }
+  return std::move(out).take();
+}
+
+H5File H5File::parse(ByteSpan data) {
+  ByteReader in(data);
+  if (in.get<std::uint32_t>() != kMagic) {
+    throw_format("h5lite: bad magic");
+  }
+  const auto version = in.get<std::uint32_t>();
+  if (version != kVersion) {
+    throw_format("h5lite: unsupported version {}", version);
+  }
+  const auto count = in.get<std::uint32_t>();
+  H5File file;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Dataset d;
+    d.name = in.get_string();
+    d.dtype = static_cast<DType>(in.get<std::uint8_t>());
+    (void)dtype_size(d.dtype);  // validates the enum value
+    const auto ndim = in.get<std::uint32_t>();
+    d.shape.resize(ndim);
+    for (auto& dim : d.shape) {
+      dim = in.get<std::uint64_t>();
+    }
+    const auto nattrs = in.get<std::uint32_t>();
+    for (std::uint32_t a = 0; a < nattrs; ++a) {
+      std::string k = in.get_string();
+      d.attrs.emplace(std::move(k), in.get_string());
+    }
+    const auto nchunks = in.get<std::uint32_t>();
+    d.data.reserve(d.element_count() * dtype_size(d.dtype));
+    for (std::uint32_t c = 0; c < nchunks; ++c) {
+      const auto size = in.get<std::uint64_t>();
+      const auto crc = in.get<std::uint32_t>();
+      const ByteSpan chunk = in.get_bytes(static_cast<std::size_t>(size));
+      if (crc32c(chunk) != crc) {
+        throw_format("h5lite: chunk {} of dataset '{}' fails CRC", c, d.name);
+      }
+      d.data.insert(d.data.end(), chunk.begin(), chunk.end());
+    }
+    file.add(std::move(d));
+  }
+  return file;
+}
+
+}  // namespace sciprep::io

@@ -1,0 +1,99 @@
+// h5lite — a small chunked scientific-data container.
+//
+// Stands in for HDF5 (the DeepCAM/CAM5 sample format): named n-dimensional
+// datasets with typed elements, per-dataset string attributes, and chunked
+// payload storage with per-chunk CRC32C so corruption is detected at read
+// time. Only the container semantics the pipeline needs are implemented.
+//
+// Layout (little-endian):
+//   "H5LT" | u32 version | u32 dataset_count
+//   per dataset:
+//     name | u8 dtype | u32 ndim | u64 dims[ndim]
+//     u32 attr_count | (name, value) strings
+//     u32 chunk_count | per chunk: u64 payload_size | u32 crc32c | payload
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sciprep/common/buffer.hpp"
+#include "sciprep/common/error.hpp"
+
+namespace sciprep::io {
+
+enum class DType : std::uint8_t {
+  kF32 = 0,
+  kF16 = 1,
+  kI32 = 2,
+  kU16 = 3,
+  kU8 = 4,
+  kI64 = 5,
+};
+
+/// Size of one element of `dtype` in bytes.
+std::size_t dtype_size(DType dtype);
+const char* dtype_name(DType dtype);
+
+/// One named n-dimensional array plus attributes.
+struct Dataset {
+  std::string name;
+  DType dtype = DType::kF32;
+  std::vector<std::uint64_t> shape;
+  Bytes data;  // element_count() * dtype_size bytes
+  std::map<std::string, std::string> attrs;
+
+  [[nodiscard]] std::uint64_t element_count() const noexcept;
+
+  /// Typed view over `data`; throws FormatError if T mismatches dtype size.
+  template <class T>
+  [[nodiscard]] std::span<const T> as_span() const {
+    if (sizeof(T) != dtype_size(dtype) || data.size() % sizeof(T) != 0) {
+      throw_format("h5lite: dataset '{}' is {} ({}B/elem), asked for {}B view",
+                   name, dtype_name(dtype), dtype_size(dtype), sizeof(T));
+    }
+    return {reinterpret_cast<const T*>(data.data()), data.size() / sizeof(T)};
+  }
+};
+
+/// An in-memory h5lite file: an ordered set of datasets.
+class H5File {
+ public:
+  /// Add a dataset; name must be unique.
+  void add(Dataset dataset);
+
+  /// Typed convenience: copies `values` into a new dataset.
+  template <class T>
+  void add_array(std::string name, DType dtype, std::vector<std::uint64_t> shape,
+                 std::span<const T> values) {
+    SCIPREP_ASSERT(sizeof(T) == dtype_size(dtype));
+    Dataset d;
+    d.name = std::move(name);
+    d.dtype = dtype;
+    d.shape = std::move(shape);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(values.data());
+    d.data.assign(p, p + values.size_bytes());
+    add(std::move(d));
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Throws FormatError when the dataset is absent.
+  [[nodiscard]] const Dataset& dataset(const std::string& name) const;
+  [[nodiscard]] const std::vector<Dataset>& datasets() const {
+    return datasets_;
+  }
+
+  /// Serialize with the given chunk size (payload bytes per chunk).
+  [[nodiscard]] Bytes serialize(std::size_t chunk_size = 4 * 1024 * 1024) const;
+
+  /// Parse and validate every chunk CRC.
+  static H5File parse(ByteSpan data);
+
+ private:
+  std::vector<Dataset> datasets_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace sciprep::io

@@ -1,0 +1,94 @@
+#include "sciprep/io/samples.hpp"
+
+#include <cstring>
+
+#include "sciprep/common/error.hpp"
+
+namespace sciprep::io {
+
+TfExample CosmoSample::to_example() const {
+  SCIPREP_ASSERT(counts.size() == value_count());
+  TfExample ex;
+  // The benchmark dataset stores counts as uint16 histograms; values are
+  // small integers by construction, so this is lossless for valid samples.
+  Bytes raw(counts.size() * sizeof(std::uint16_t));
+  auto* out = reinterpret_cast<std::uint16_t*>(raw.data());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::int32_t c = counts[i];
+    if (c < 0 || c > 0xFFFF) {
+      throw_format("cosmo sample: count {} at index {} exceeds uint16", c, i);
+    }
+    out[i] = static_cast<std::uint16_t>(c);
+  }
+  ex.features.emplace("x", Feature::of_bytes(std::move(raw)));
+  ex.features.emplace(
+      "y", Feature::of_floats({params[0], params[1], params[2], params[3]}));
+  ex.features.emplace("size", Feature::of_int64s({dim}));
+  return ex;
+}
+
+CosmoSample CosmoSample::from_example(const TfExample& example) {
+  CosmoSample s;
+  const auto& size = example.int64_feature("size");
+  if (size.size() != 1 || size[0] <= 0 || size[0] > 4096) {
+    throw_format("cosmo sample: bad size feature");
+  }
+  s.dim = static_cast<int>(size[0]);
+  const Bytes& raw = example.bytes_feature("x");
+  if (raw.size() != s.value_count() * sizeof(std::uint16_t)) {
+    throw_format("cosmo sample: payload is {} bytes, expected {}", raw.size(),
+                 s.value_count() * sizeof(std::uint16_t));
+  }
+  s.counts.resize(s.value_count());
+  const auto* in = reinterpret_cast<const std::uint16_t*>(raw.data());
+  for (std::size_t i = 0; i < s.counts.size(); ++i) {
+    s.counts[i] = in[i];
+  }
+  const auto& y = example.float_feature("y");
+  if (y.size() != kParams) {
+    throw_format("cosmo sample: label has {} values, expected {}", y.size(),
+                 kParams);
+  }
+  std::copy(y.begin(), y.end(), s.params.begin());
+  return s;
+}
+
+H5File CamSample::to_h5() const {
+  SCIPREP_ASSERT(image.size() == value_count());
+  SCIPREP_ASSERT(labels.size() == pixel_count());
+  H5File file;
+  file.add_array<float>("climate", DType::kF32,
+                        {static_cast<std::uint64_t>(channels),
+                         static_cast<std::uint64_t>(height),
+                         static_cast<std::uint64_t>(width)},
+                        std::span<const float>(image));
+  file.add_array<std::uint8_t>("labels", DType::kU8,
+                               {static_cast<std::uint64_t>(height),
+                                static_cast<std::uint64_t>(width)},
+                               std::span<const std::uint8_t>(labels));
+  return file;
+}
+
+CamSample CamSample::from_h5(const H5File& file) {
+  const Dataset& climate = file.dataset("climate");
+  if (climate.dtype != DType::kF32 || climate.shape.size() != 3) {
+    throw_format("cam sample: 'climate' must be f32 [c,h,w]");
+  }
+  CamSample s;
+  s.channels = static_cast<int>(climate.shape[0]);
+  s.height = static_cast<int>(climate.shape[1]);
+  s.width = static_cast<int>(climate.shape[2]);
+  const auto values = climate.as_span<float>();
+  s.image.assign(values.begin(), values.end());
+
+  const Dataset& labels = file.dataset("labels");
+  if (labels.dtype != DType::kU8 || labels.shape.size() != 2 ||
+      labels.shape[0] != climate.shape[1] || labels.shape[1] != climate.shape[2]) {
+    throw_format("cam sample: 'labels' must be u8 [h,w] matching 'climate'");
+  }
+  const auto mask = labels.as_span<std::uint8_t>();
+  s.labels.assign(mask.begin(), mask.end());
+  return s;
+}
+
+}  // namespace sciprep::io

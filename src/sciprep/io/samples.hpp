@@ -1,0 +1,105 @@
+// In-memory sample types for the two workloads, plus their on-disk encodings
+// (TFRecord/tf.Example for CosmoFlow, h5lite for DeepCAM) matching how the
+// MLPerf HPC benchmarks store them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sciprep/common/buffer.hpp"
+#include "sciprep/io/h5lite.hpp"
+#include "sciprep/io/tfexample.hpp"
+
+namespace sciprep::io {
+
+/// A CosmoFlow training sample: a dim³ voxel grid of dark-matter particle
+/// counts at 4 redshifts, labelled with the 4 cosmological parameters that
+/// generated the universe.
+///
+/// Layout is redshift-innermost ([z][y][x][r]), so the "group of 4 redshift
+/// values per voxel" the encoder exploits is contiguous.
+struct CosmoSample {
+  static constexpr int kRedshifts = 4;
+  static constexpr int kParams = 4;
+
+  int dim = 0;  // voxels per side (the benchmark uses 128)
+  std::vector<std::int32_t> counts;  // dim^3 * kRedshifts
+  std::array<float, kParams> params{};
+
+  [[nodiscard]] std::size_t voxel_count() const {
+    return static_cast<std::size_t>(dim) * static_cast<std::size_t>(dim) *
+           static_cast<std::size_t>(dim);
+  }
+  [[nodiscard]] std::size_t value_count() const {
+    return voxel_count() * kRedshifts;
+  }
+  /// Raw (uncompressed) sample payload size on disk: the benchmark stores
+  /// counts as uint16 histograms.
+  [[nodiscard]] std::size_t byte_size() const {
+    return value_count() * sizeof(std::uint16_t);
+  }
+
+  /// Count at voxel (x, y, z), redshift r.
+  [[nodiscard]] std::int32_t at(int x, int y, int z, int r) const {
+    const std::size_t idx =
+        ((static_cast<std::size_t>(z) * dim + y) * dim + x) * kRedshifts +
+        static_cast<std::size_t>(r);
+    return counts[idx];
+  }
+
+  /// tf.train.Example with features "x" (raw int32 bytes), "y" (4 floats),
+  /// and "size" (dim), mirroring the benchmark's TFRecord schema.
+  [[nodiscard]] TfExample to_example() const;
+  static CosmoSample from_example(const TfExample& example);
+
+  /// Convenience: full TFRecord payload round trip.
+  [[nodiscard]] Bytes serialize() const { return to_example().serialize(); }
+  static CosmoSample parse(ByteSpan payload) {
+    return from_example(TfExample::parse(payload));
+  }
+};
+
+/// A DeepCAM training sample: a 16-channel FP32 climate image plus a per-pixel
+/// segmentation mask (0 = background, 1 = tropical cyclone, 2 = atmospheric
+/// river).
+///
+/// Layout is channel-major ([c][h][w]) — each channel is a contiguous image
+/// whose rows are the smooth x-direction lines the encoder compresses.
+struct CamSample {
+  static constexpr int kClasses = 3;
+
+  int height = 0;   // benchmark: 768
+  int width = 0;    // benchmark: 1152
+  int channels = 0; // benchmark: 16
+  std::vector<float> image;          // channels * height * width
+  std::vector<std::uint8_t> labels;  // height * width
+
+  [[nodiscard]] std::size_t pixel_count() const {
+    return static_cast<std::size_t>(height) * static_cast<std::size_t>(width);
+  }
+  [[nodiscard]] std::size_t value_count() const {
+    return pixel_count() * static_cast<std::size_t>(channels);
+  }
+  [[nodiscard]] std::size_t byte_size() const {
+    return value_count() * sizeof(float) + pixel_count();
+  }
+
+  [[nodiscard]] float at(int c, int y, int x) const {
+    return image[(static_cast<std::size_t>(c) * height + y) * width + x];
+  }
+  /// Span over one row of one channel — the unit the codec operates on.
+  [[nodiscard]] std::span<const float> line(int c, int y) const {
+    return {image.data() + (static_cast<std::size_t>(c) * height + y) * width,
+            static_cast<std::size_t>(width)};
+  }
+
+  /// h5lite file with datasets "climate" (f32 [c,h,w]) and "labels" (u8 [h,w]).
+  [[nodiscard]] H5File to_h5() const;
+  static CamSample from_h5(const H5File& file);
+
+  [[nodiscard]] Bytes serialize() const { return to_h5().serialize(); }
+  static CamSample parse(ByteSpan data) { return from_h5(H5File::parse(data)); }
+};
+
+}  // namespace sciprep::io

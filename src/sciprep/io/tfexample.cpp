@@ -1,0 +1,241 @@
+#include "sciprep/io/tfexample.hpp"
+
+#include <cstring>
+
+#include "sciprep/common/error.hpp"
+
+namespace sciprep::io {
+
+namespace {
+
+constexpr std::uint32_t kWireVarint = 0;
+constexpr std::uint32_t kWireLen = 2;
+constexpr std::uint32_t kWire32 = 5;
+
+std::uint64_t make_tag(std::uint32_t field, std::uint32_t wire) {
+  return (static_cast<std::uint64_t>(field) << 3) | wire;
+}
+
+void put_len_delimited(ByteWriter& out, std::uint32_t field, ByteSpan body) {
+  put_varint(out, make_tag(field, kWireLen));
+  put_varint(out, body.size());
+  out.put_bytes(body);
+}
+
+Bytes serialize_feature(const Feature& f) {
+  ByteWriter inner;
+  switch (f.kind) {
+    case Feature::Kind::kBytes: {
+      ByteWriter list;
+      for (const Bytes& b : f.bytes_list) {
+        put_len_delimited(list, 1, b);
+      }
+      put_len_delimited(inner, 1, list.bytes());
+      break;
+    }
+    case Feature::Kind::kFloat: {
+      // Packed floats: field 1, one length-delimited run of IEEE bits.
+      ByteWriter packed;
+      for (const float v : f.float_list) {
+        packed.put<float>(v);
+      }
+      ByteWriter list;
+      put_len_delimited(list, 1, packed.bytes());
+      put_len_delimited(inner, 2, list.bytes());
+      break;
+    }
+    case Feature::Kind::kInt64: {
+      ByteWriter packed;
+      for (const std::int64_t v : f.int64_list) {
+        put_varint(packed, static_cast<std::uint64_t>(v));
+      }
+      ByteWriter list;
+      put_len_delimited(list, 1, packed.bytes());
+      put_len_delimited(inner, 3, list.bytes());
+      break;
+    }
+  }
+  return std::move(inner).take();
+}
+
+Feature parse_feature(ByteSpan data) {
+  ByteReader in(data);
+  Feature f;
+  if (in.done()) {
+    return f;  // empty feature: defaults to empty bytes list
+  }
+  const std::uint64_t tag = get_varint(in);
+  const auto field = static_cast<std::uint32_t>(tag >> 3);
+  const auto wire = static_cast<std::uint32_t>(tag & 7);
+  if (wire != kWireLen) {
+    throw_format("tfexample: Feature field {} has wire type {}", field, wire);
+  }
+  const std::uint64_t len = get_varint(in);
+  ByteReader list(in.get_bytes(static_cast<std::size_t>(len)));
+  switch (field) {
+    case 1: {  // BytesList
+      f.kind = Feature::Kind::kBytes;
+      while (!list.done()) {
+        const std::uint64_t t = get_varint(list);
+        if (t != make_tag(1, kWireLen)) {
+          throw_format("tfexample: BytesList has unexpected tag {}", t);
+        }
+        const std::uint64_t n = get_varint(list);
+        const ByteSpan b = list.get_bytes(static_cast<std::size_t>(n));
+        f.bytes_list.emplace_back(b.begin(), b.end());
+      }
+      break;
+    }
+    case 2: {  // FloatList
+      f.kind = Feature::Kind::kFloat;
+      while (!list.done()) {
+        const std::uint64_t t = get_varint(list);
+        if (t == make_tag(1, kWireLen)) {  // packed
+          const std::uint64_t n = get_varint(list);
+          if (n % 4 != 0) {
+            throw_format("tfexample: packed FloatList length {} not *4", n);
+          }
+          ByteReader run(list.get_bytes(static_cast<std::size_t>(n)));
+          while (!run.done()) {
+            f.float_list.push_back(run.get<float>());
+          }
+        } else if (t == make_tag(1, kWire32)) {  // unpacked
+          f.float_list.push_back(list.get<float>());
+        } else {
+          throw_format("tfexample: FloatList has unexpected tag {}", t);
+        }
+      }
+      break;
+    }
+    case 3: {  // Int64List
+      f.kind = Feature::Kind::kInt64;
+      while (!list.done()) {
+        const std::uint64_t t = get_varint(list);
+        if (t == make_tag(1, kWireLen)) {  // packed
+          const std::uint64_t n = get_varint(list);
+          ByteReader run(list.get_bytes(static_cast<std::size_t>(n)));
+          while (!run.done()) {
+            f.int64_list.push_back(static_cast<std::int64_t>(get_varint(run)));
+          }
+        } else if (t == make_tag(1, kWireVarint)) {  // unpacked
+          f.int64_list.push_back(static_cast<std::int64_t>(get_varint(list)));
+        } else {
+          throw_format("tfexample: Int64List has unexpected tag {}", t);
+        }
+      }
+      break;
+    }
+    default:
+      throw_format("tfexample: unknown Feature field {}", field);
+  }
+  if (!in.done()) {
+    throw_format("tfexample: trailing bytes after Feature oneof");
+  }
+  return f;
+}
+
+}  // namespace
+
+void put_varint(ByteWriter& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.put<std::uint8_t>(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.put<std::uint8_t>(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t get_varint(ByteReader& in) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    const auto byte = in.get<std::uint8_t>();
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    if (shift >= 64) {
+      throw_format("varint longer than 10 bytes");
+    }
+  }
+}
+
+Bytes TfExample::serialize() const {
+  // Features message: repeated MapEntry { 1: key, 2: Feature }.
+  ByteWriter features_msg;
+  for (const auto& [name, feature] : features) {
+    ByteWriter entry;
+    put_len_delimited(entry, 1, as_bytes(std::string_view(name)));
+    put_len_delimited(entry, 2, serialize_feature(feature));
+    put_len_delimited(features_msg, 1, entry.bytes());
+  }
+  ByteWriter example;
+  put_len_delimited(example, 1, features_msg.bytes());
+  return std::move(example).take();
+}
+
+TfExample TfExample::parse(ByteSpan data) {
+  ByteReader in(data);
+  TfExample example;
+  const std::uint64_t tag = get_varint(in);
+  if (tag != make_tag(1, kWireLen)) {
+    throw_format("tfexample: expected Example.features, got tag {}", tag);
+  }
+  const std::uint64_t flen = get_varint(in);
+  ByteReader features(in.get_bytes(static_cast<std::size_t>(flen)));
+  if (!in.done()) {
+    throw_format("tfexample: trailing bytes after Example.features");
+  }
+  while (!features.done()) {
+    const std::uint64_t etag = get_varint(features);
+    if (etag != make_tag(1, kWireLen)) {
+      throw_format("tfexample: expected map entry, got tag {}", etag);
+    }
+    const std::uint64_t elen = get_varint(features);
+    ByteReader entry(features.get_bytes(static_cast<std::size_t>(elen)));
+
+    std::string key;
+    Feature value;
+    while (!entry.done()) {
+      const std::uint64_t ftag = get_varint(entry);
+      const std::uint64_t flen2 = get_varint(entry);
+      const ByteSpan body = entry.get_bytes(static_cast<std::size_t>(flen2));
+      if (ftag == make_tag(1, kWireLen)) {
+        key.assign(reinterpret_cast<const char*>(body.data()), body.size());
+      } else if (ftag == make_tag(2, kWireLen)) {
+        value = parse_feature(body);
+      } else {
+        throw_format("tfexample: unknown map-entry tag {}", ftag);
+      }
+    }
+    example.features.emplace(std::move(key), std::move(value));
+  }
+  return example;
+}
+
+const Bytes& TfExample::bytes_feature(const std::string& name) const {
+  const auto it = features.find(name);
+  if (it == features.end() || it->second.kind != Feature::Kind::kBytes ||
+      it->second.bytes_list.empty()) {
+    throw_format("tfexample: missing bytes feature '{}'", name);
+  }
+  return it->second.bytes_list.front();
+}
+
+const std::vector<float>& TfExample::float_feature(
+    const std::string& name) const {
+  const auto it = features.find(name);
+  if (it == features.end() || it->second.kind != Feature::Kind::kFloat) {
+    throw_format("tfexample: missing float feature '{}'", name);
+  }
+  return it->second.float_list;
+}
+
+const std::vector<std::int64_t>& TfExample::int64_feature(
+    const std::string& name) const {
+  const auto it = features.find(name);
+  if (it == features.end() || it->second.kind != Feature::Kind::kInt64) {
+    throw_format("tfexample: missing int64 feature '{}'", name);
+  }
+  return it->second.int64_list;
+}
+
+}  // namespace sciprep::io

@@ -1,0 +1,76 @@
+// Minimal protobuf wire-format codec for tf.train.Example.
+//
+// The CosmoFlow TFRecord payloads are serialized tf.train.Example messages:
+//   Example        { 1: Features }
+//   Features       { 1: map<string, Feature> }  (map = repeated MapEntry{1:key 2:value})
+//   Feature        { 1: BytesList | 2: FloatList | 3: Int64List }
+//   BytesList      { 1: repeated bytes }
+//   FloatList      { 1: repeated float  (packed) }
+//   Int64List      { 1: repeated int64  (packed) }
+// Only the schema above is implemented — enough to interoperate with the
+// benchmark's data layout without pulling in protobuf.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sciprep/common/buffer.hpp"
+
+namespace sciprep::io {
+
+struct Feature {
+  // exactly one of these is meaningful; `kind` selects it
+  enum class Kind { kBytes, kFloat, kInt64 } kind = Kind::kBytes;
+  std::vector<Bytes> bytes_list;
+  std::vector<float> float_list;
+  std::vector<std::int64_t> int64_list;
+
+  static Feature of_bytes(Bytes b) {
+    Feature f;
+    f.kind = Kind::kBytes;
+    f.bytes_list.push_back(std::move(b));
+    return f;
+  }
+  static Feature of_floats(std::vector<float> v) {
+    Feature f;
+    f.kind = Kind::kFloat;
+    f.float_list = std::move(v);
+    return f;
+  }
+  static Feature of_int64s(std::vector<std::int64_t> v) {
+    Feature f;
+    f.kind = Kind::kInt64;
+    f.int64_list = std::move(v);
+    return f;
+  }
+};
+
+/// A tf.train.Example: named features.
+struct TfExample {
+  std::map<std::string, Feature> features;
+
+  /// Serialize to protobuf wire format.
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Parse from protobuf wire format; throws FormatError on malformed input
+  /// or unknown fields (strict by design: our own writers are the only
+  /// producers).
+  static TfExample parse(ByteSpan data);
+
+  /// Access helpers that throw FormatError when the feature is missing or of
+  /// the wrong kind, so call sites read as schema assertions.
+  [[nodiscard]] const Bytes& bytes_feature(const std::string& name) const;
+  [[nodiscard]] const std::vector<float>& float_feature(
+      const std::string& name) const;
+  [[nodiscard]] const std::vector<std::int64_t>& int64_feature(
+      const std::string& name) const;
+};
+
+/// Low-level varint helpers, exposed for tests.
+void put_varint(ByteWriter& out, std::uint64_t value);
+std::uint64_t get_varint(ByteReader& in);
+
+}  // namespace sciprep::io

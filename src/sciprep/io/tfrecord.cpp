@@ -1,0 +1,103 @@
+#include "sciprep/io/tfrecord.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "sciprep/common/crc.hpp"
+#include "sciprep/common/error.hpp"
+
+namespace sciprep::io {
+
+namespace {
+
+std::uint32_t crc_of_length(std::uint64_t length) {
+  ByteWriter w;
+  w.put<std::uint64_t>(length);
+  return mask_crc(crc32c(w.bytes()));
+}
+
+}  // namespace
+
+void TfRecordWriter::append(ByteSpan payload) {
+  const auto length = static_cast<std::uint64_t>(payload.size());
+  out_.put<std::uint64_t>(length);
+  out_.put<std::uint32_t>(crc_of_length(length));
+  out_.put_bytes(payload);
+  out_.put<std::uint32_t>(mask_crc(crc32c(payload)));
+  ++count_;
+}
+
+bool TfRecordReader::next(Bytes& payload) {
+  if (in_.done()) return false;
+  const auto length = in_.get<std::uint64_t>();
+  const auto length_crc = in_.get<std::uint32_t>();
+  if (length_crc != crc_of_length(length)) {
+    throw_format("tfrecord: length CRC mismatch at offset {}",
+                 in_.position() - 12);
+  }
+  if (length > in_.remaining()) {
+    throw_format("tfrecord: record length {} exceeds remaining {} bytes",
+                 length, in_.remaining());
+  }
+  const ByteSpan body = in_.get_bytes(static_cast<std::size_t>(length));
+  const auto body_crc = in_.get<std::uint32_t>();
+  if (body_crc != mask_crc(crc32c(body))) {
+    throw_format("tfrecord: payload CRC mismatch for {}-byte record", length);
+  }
+  payload.assign(body.begin(), body.end());
+  return true;
+}
+
+std::vector<Bytes> TfRecordReader::read_all(ByteSpan stream) {
+  TfRecordReader reader(stream);
+  std::vector<Bytes> records;
+  Bytes payload;
+  while (reader.next(payload)) {
+    records.push_back(std::move(payload));
+    payload.clear();
+  }
+  return records;
+}
+
+Bytes gzip_tfrecord_stream(ByteSpan stream, compress::DeflateLevel level) {
+  return compress::gzip_compress(stream, level);
+}
+
+Bytes gunzip_tfrecord_stream(ByteSpan stream) {
+  return compress::gzip_decompress(stream);
+}
+
+void write_file(const std::string& path, ByteSpan data) {
+  struct Closer {
+    void operator()(std::FILE* f) const { std::fclose(f); }
+  };
+  const std::unique_ptr<std::FILE, Closer> f(std::fopen(path.c_str(), "wb"));
+  if (!f) {
+    throw IoError(fmt("cannot open '{}' for writing", path));
+  }
+  if (!data.empty() &&
+      std::fwrite(data.data(), 1, data.size(), f.get()) != data.size()) {
+    throw IoError(fmt("short write to '{}'", path));
+  }
+}
+
+Bytes read_file(const std::string& path) {
+  struct Closer {
+    void operator()(std::FILE* f) const { std::fclose(f); }
+  };
+  const std::unique_ptr<std::FILE, Closer> f(std::fopen(path.c_str(), "rb"));
+  if (!f) {
+    throw IoError(fmt("cannot open '{}' for reading", path));
+  }
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  Bytes data(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      std::fread(data.data(), 1, data.size(), f.get()) != data.size()) {
+    throw IoError(fmt("short read from '{}'", path));
+  }
+  return data;
+}
+
+}  // namespace sciprep::io

@@ -1,0 +1,109 @@
+#include "sciprep/pipeline/dataset.hpp"
+
+#include "sciprep/common/error.hpp"
+#include "sciprep/io/tfrecord.hpp"
+
+namespace sciprep::pipeline {
+
+const char* storage_format_name(StorageFormat format) {
+  switch (format) {
+    case StorageFormat::kRawTfRecord:
+      return "tfrecord";
+    case StorageFormat::kGzipTfRecord:
+      return "tfrecord+gzip";
+    case StorageFormat::kRawH5:
+      return "h5";
+    case StorageFormat::kEncoded:
+      return "encoded";
+  }
+  return "?";
+}
+
+void InMemoryDataset::add_sample(Bytes bytes) {
+  total_bytes_ += bytes.size();
+  samples_.push_back(std::make_shared<const Bytes>(std::move(bytes)));
+}
+
+void InMemoryDataset::add_shared_sample(std::size_t source_index) {
+  auto shared = samples_.at(source_index);
+  total_bytes_ += shared->size();
+  samples_.push_back(std::move(shared));
+}
+
+namespace {
+
+Bytes cosmo_stored_bytes(const io::CosmoSample& sample, StorageFormat format,
+                         const codec::SampleCodec* codec) {
+  switch (format) {
+    case StorageFormat::kRawTfRecord: {
+      io::TfRecordWriter w;
+      w.append(sample.serialize());
+      return std::move(w).take();
+    }
+    case StorageFormat::kGzipTfRecord: {
+      io::TfRecordWriter w;
+      w.append(sample.serialize());
+      return io::gzip_tfrecord_stream(w.stream());
+    }
+    case StorageFormat::kEncoded: {
+      SCIPREP_ASSERT(codec != nullptr);
+      return codec->encode(sample.serialize());
+    }
+    case StorageFormat::kRawH5:
+      break;
+  }
+  throw ConfigError("cosmo dataset: unsupported storage format");
+}
+
+Bytes cam_stored_bytes(const io::CamSample& sample, StorageFormat format,
+                       const codec::SampleCodec* codec) {
+  switch (format) {
+    case StorageFormat::kRawH5:
+      return sample.serialize();
+    case StorageFormat::kEncoded:
+      SCIPREP_ASSERT(codec != nullptr);
+      return codec->encode(sample.serialize());
+    case StorageFormat::kRawTfRecord:
+    case StorageFormat::kGzipTfRecord:
+      break;
+  }
+  throw ConfigError("cam dataset: unsupported storage format");
+}
+
+}  // namespace
+
+InMemoryDataset InMemoryDataset::make_cosmo(const data::CosmoGenerator& gen,
+                                            std::size_t count,
+                                            StorageFormat format,
+                                            const codec::SampleCodec* codec,
+                                            std::size_t generate_count) {
+  if (generate_count == 0) generate_count = count;
+  generate_count = std::min(generate_count, count);
+  InMemoryDataset ds(format, "cosmoflow");
+  for (std::size_t i = 0; i < generate_count; ++i) {
+    ds.add_sample(cosmo_stored_bytes(gen.generate(i), format, codec));
+  }
+  for (std::size_t i = generate_count; i < count; ++i) {
+    ds.add_shared_sample(i % generate_count);
+  }
+  return ds;
+}
+
+InMemoryDataset InMemoryDataset::make_cam(const data::CamGenerator& gen,
+                                          std::size_t count,
+                                          StorageFormat format,
+                                          const codec::SampleCodec* codec,
+                                          std::size_t generate_count) {
+  if (generate_count == 0) generate_count = count;
+  generate_count = std::min(generate_count, count);
+  InMemoryDataset ds(format, "deepcam");
+  for (std::size_t i = 0; i < generate_count; ++i) {
+    ds.add_sample(cam_stored_bytes(gen.generate(i), format, codec));
+  }
+  for (std::size_t i = generate_count; i < count; ++i) {
+    ds.add_shared_sample(i % generate_count);
+  }
+  return ds;
+}
+
+}  // namespace sciprep::pipeline

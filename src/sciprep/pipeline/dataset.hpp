@@ -1,0 +1,83 @@
+// In-memory dataset store — the "storage system" of Figure 1.
+//
+// Holds every sample of a per-node dataset in one of the storage variants the
+// paper evaluates: raw TFRecord (CosmoFlow baseline), GZIP TFRecord (the
+// conventional-compression baseline), raw h5lite (DeepCAM baseline), or the
+// codec-encoded format. Bytes-at-rest per sample drive the data-movement
+// model; the pipeline decodes the bytes with the path appropriate to the
+// format.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sciprep/codec/codec.hpp"
+#include "sciprep/data/cam_gen.hpp"
+#include "sciprep/data/cosmo_gen.hpp"
+
+namespace sciprep::pipeline {
+
+enum class StorageFormat {
+  kRawTfRecord,   // CosmoFlow baseline: one uncompressed TFRecord per sample
+  kGzipTfRecord,  // CosmoFlow gzip baseline: per-file GZIP TFRecord
+  kRawH5,         // DeepCAM baseline: h5lite container per sample
+  kEncoded,       // codec plugin format
+};
+
+const char* storage_format_name(StorageFormat format);
+
+class InMemoryDataset {
+ public:
+  InMemoryDataset(StorageFormat format, std::string workload)
+      : format_(format), workload_(std::move(workload)) {}
+
+  void add_sample(Bytes bytes);
+  /// Add a sample sharing storage with an earlier one (repeated shards do not
+  /// multiply host memory; bytes-at-rest accounting still counts the copy).
+  void add_shared_sample(std::size_t source_index);
+
+  [[nodiscard]] StorageFormat format() const noexcept { return format_; }
+  [[nodiscard]] const std::string& workload() const noexcept {
+    return workload_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] ByteSpan sample(std::size_t index) const {
+    return *samples_.at(index);
+  }
+  [[nodiscard]] std::uint64_t sample_bytes(std::size_t index) const {
+    return samples_.at(index)->size();
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return total_bytes_;
+  }
+  [[nodiscard]] std::uint64_t mean_sample_bytes() const {
+    return samples_.empty() ? 0 : total_bytes_ / samples_.size();
+  }
+
+  // Factory helpers -----------------------------------------------------
+
+  /// CosmoFlow dataset in the requested storage variant. `generate_count`
+  /// distinct universes are synthesized and reused cyclically to reach
+  /// `count` samples (full-size volumes are expensive to synthesize; reuse
+  /// models a node's shard of a larger set without changing byte counts).
+  static InMemoryDataset make_cosmo(const data::CosmoGenerator& gen,
+                                    std::size_t count, StorageFormat format,
+                                    const codec::SampleCodec* codec = nullptr,
+                                    std::size_t generate_count = 0);
+
+  /// DeepCAM dataset (raw h5lite or encoded).
+  static InMemoryDataset make_cam(const data::CamGenerator& gen,
+                                  std::size_t count, StorageFormat format,
+                                  const codec::SampleCodec* codec = nullptr,
+                                  std::size_t generate_count = 0);
+
+ private:
+  StorageFormat format_;
+  std::string workload_;
+  std::vector<std::shared_ptr<const Bytes>> samples_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace sciprep::pipeline

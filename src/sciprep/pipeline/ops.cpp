@@ -1,0 +1,85 @@
+#include "sciprep/pipeline/ops.hpp"
+
+#include <algorithm>
+
+#include "sciprep/common/error.hpp"
+
+namespace sciprep::pipeline {
+
+namespace {
+
+/// Shape check shared by the flips: [c,h,w] image tensor.
+void require_chw(const codec::TensorF16& tensor, const char* op) {
+  if (tensor.shape.size() != 3) {
+    throw ConfigError(
+        fmt("{}: requires a [c,h,w] tensor, got rank {}", op,
+            tensor.shape.size()));
+  }
+}
+
+}  // namespace
+
+RandomFlipX::RandomFlipX(double probability) : probability_(probability) {
+  if (probability < 0.0 || probability > 1.0) {
+    throw ConfigError("random-flip-x: probability must be in [0,1]");
+  }
+}
+
+void RandomFlipX::apply(codec::TensorF16& tensor, Rng& rng) const {
+  require_chw(tensor, "random-flip-x");
+  if (rng.next_double() >= probability_) return;
+  const auto c = tensor.shape[0];
+  const auto h = tensor.shape[1];
+  const auto w = tensor.shape[2];
+  for (std::uint64_t ci = 0; ci < c; ++ci) {
+    for (std::uint64_t y = 0; y < h; ++y) {
+      Half* row = tensor.values.data() + (ci * h + y) * w;
+      std::reverse(row, row + w);
+    }
+  }
+  if (tensor.byte_labels.size() == h * w) {
+    for (std::uint64_t y = 0; y < h; ++y) {
+      auto* row = tensor.byte_labels.data() + y * w;
+      std::reverse(row, row + w);
+    }
+  }
+}
+
+RandomFlipY::RandomFlipY(double probability) : probability_(probability) {
+  if (probability < 0.0 || probability > 1.0) {
+    throw ConfigError("random-flip-y: probability must be in [0,1]");
+  }
+}
+
+void RandomFlipY::apply(codec::TensorF16& tensor, Rng& rng) const {
+  require_chw(tensor, "random-flip-y");
+  if (rng.next_double() >= probability_) return;
+  const auto c = tensor.shape[0];
+  const auto h = tensor.shape[1];
+  const auto w = tensor.shape[2];
+  std::vector<Half> row(w);
+  for (std::uint64_t ci = 0; ci < c; ++ci) {
+    Half* plane = tensor.values.data() + ci * h * w;
+    for (std::uint64_t y = 0; y < h / 2; ++y) {
+      Half* top = plane + y * w;
+      Half* bottom = plane + (h - 1 - y) * w;
+      std::swap_ranges(top, top + w, bottom);
+    }
+  }
+  if (tensor.byte_labels.size() == h * w) {
+    std::vector<std::uint8_t> tmp(w);
+    for (std::uint64_t y = 0; y < h / 2; ++y) {
+      auto* top = tensor.byte_labels.data() + y * w;
+      auto* bottom = tensor.byte_labels.data() + (h - 1 - y) * w;
+      std::swap_ranges(top, top + w, bottom);
+    }
+  }
+}
+
+void ScaleOp::apply(codec::TensorF16& tensor, Rng& /*rng*/) const {
+  for (Half& value : tensor.values) {
+    value = Half(value.to_float() * factor_);
+  }
+}
+
+}  // namespace sciprep::pipeline

@@ -1,0 +1,59 @@
+// Post-decode tensor operators (the "simple operators provided by the
+// framework" of §VI): data augmentation applied to decoded FP16 tensors
+// before batching. Each op is deterministic given the per-sample RNG the
+// pipeline hands it, so epochs are reproducible under a fixed seed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sciprep/codec/codec.hpp"
+#include "sciprep/common/rng.hpp"
+
+namespace sciprep::pipeline {
+
+class TensorOp {
+ public:
+  virtual ~TensorOp() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void apply(codec::TensorF16& tensor, Rng& rng) const = 0;
+};
+
+/// Random horizontal flip for CHW image tensors ([c,h,w]) — the classic
+/// DeepCAM augmentation. Flips byte labels consistently.
+class RandomFlipX final : public TensorOp {
+ public:
+  explicit RandomFlipX(double probability = 0.5);
+  [[nodiscard]] std::string name() const override { return "random-flip-x"; }
+  void apply(codec::TensorF16& tensor, Rng& rng) const override;
+
+ private:
+  double probability_;
+};
+
+/// Random vertical flip for CHW image tensors.
+class RandomFlipY final : public TensorOp {
+ public:
+  explicit RandomFlipY(double probability = 0.5);
+  [[nodiscard]] std::string name() const override { return "random-flip-y"; }
+  void apply(codec::TensorF16& tensor, Rng& rng) const override;
+
+ private:
+  double probability_;
+};
+
+/// Multiply every value by a scalar (e.g. rescaling ablations).
+class ScaleOp final : public TensorOp {
+ public:
+  explicit ScaleOp(float factor) : factor_(factor) {}
+  [[nodiscard]] std::string name() const override { return "scale"; }
+  void apply(codec::TensorF16& tensor, Rng& rng) const override;
+
+ private:
+  float factor_;
+};
+
+using OpList = std::vector<std::shared_ptr<const TensorOp>>;
+
+}  // namespace sciprep::pipeline

@@ -1,0 +1,214 @@
+#include "sciprep/pipeline/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <numeric>
+
+#include "sciprep/common/error.hpp"
+#include "sciprep/io/tfrecord.hpp"
+
+namespace sciprep::pipeline {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+DataPipeline::DataPipeline(const InMemoryDataset& dataset,
+                           const codec::SampleCodec& codec,
+                           PipelineConfig config, sim::SimGpu* gpu)
+    : dataset_(dataset),
+      codec_(codec),
+      config_(std::move(config)),
+      gpu_(gpu),
+      workers_(std::max<std::size_t>(1, config_.worker_threads)) {
+  if (config_.batch_size < 1) {
+    throw ConfigError("pipeline: batch_size must be >= 1");
+  }
+  if (config_.decode_placement == codec::Placement::kGpu) {
+    if (gpu_ == nullptr) {
+      throw ConfigError("pipeline: GPU placement requires a SimGpu");
+    }
+    if (dataset_.format() != StorageFormat::kEncoded) {
+      throw ConfigError(
+          "pipeline: GPU placement requires the encoded storage format "
+          "(raw formats decode on the CPU, as in the unmodified benchmarks)");
+    }
+  }
+  order_.resize(dataset_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  start_epoch(0);
+}
+
+DataPipeline::~DataPipeline() {
+  if (pending_) {
+    pending_->wait();  // never abandon an in-flight prefetch
+  }
+}
+
+void DataPipeline::start_epoch(std::uint64_t epoch) {
+  if (pending_) {
+    std::future<Batch> ready = std::move(*pending_);
+    pending_.reset();
+    try {
+      ready.get();
+    } catch (...) {
+      // The abandoned prefetch's failure belongs to the previous epoch.
+    }
+  }
+  epoch_ = epoch;
+  cursor_ = 0;
+  batch_index_ = 0;
+  std::iota(order_.begin(), order_.end(), 0);
+  if (config_.shuffle) {
+    Rng rng(config_.seed * 0x9E3779B9u + epoch + 1);
+    for (std::size_t i = order_.size(); i > 1; --i) {
+      std::swap(order_[i - 1], order_[rng.next_below(i)]);
+    }
+  }
+}
+
+std::size_t DataPipeline::batches_per_epoch() const {
+  const std::size_t n = dataset_.size();
+  const auto b = static_cast<std::size_t>(config_.batch_size);
+  return config_.drop_last ? n / b : (n + b - 1) / b;
+}
+
+codec::TensorF16 DataPipeline::decode_sample(std::size_t index) const {
+  const ByteSpan stored = dataset_.sample(index);
+  switch (dataset_.format()) {
+    case StorageFormat::kRawTfRecord: {
+      const auto records = io::TfRecordReader::read_all(stored);
+      if (records.size() != 1) {
+        throw_format("pipeline: expected 1 record per sample file, got {}",
+                     records.size());
+      }
+      return codec_.reference_preprocess(records.front());
+    }
+    case StorageFormat::kGzipTfRecord: {
+      const Bytes plain = io::gunzip_tfrecord_stream(stored);
+      const auto records = io::TfRecordReader::read_all(plain);
+      if (records.size() != 1) {
+        throw_format("pipeline: expected 1 record per sample file, got {}",
+                     records.size());
+      }
+      return codec_.reference_preprocess(records.front());
+    }
+    case StorageFormat::kRawH5:
+      return codec_.reference_preprocess(stored);
+    case StorageFormat::kEncoded:
+      if (config_.decode_placement == codec::Placement::kGpu) {
+        return codec_.decode_gpu(stored, *gpu_);
+      }
+      return codec_.decode_cpu(stored);
+  }
+  throw ConfigError("pipeline: unhandled storage format");
+}
+
+Batch DataPipeline::assemble_batch(std::uint64_t first, std::uint64_t count) {
+  Batch batch;
+  batch.samples.resize(count);
+  batch.epoch = epoch_;
+
+  std::mutex stats_mutex;
+  double cpu_seconds = 0;
+
+  auto decode_one = [&](std::size_t i) {
+    const std::size_t index = order_[first + i];
+    const double t0 = now_seconds();
+    codec::TensorF16 tensor = decode_sample(index);
+    // Augmentations run on the decode worker, seeded per (epoch, position)
+    // so reruns of an epoch are bit-identical.
+    if (!config_.ops.empty()) {
+      Rng rng = Rng(config_.seed).fork((epoch_ << 24) ^ (first + i));
+      for (const auto& op : config_.ops) {
+        op->apply(tensor, rng);
+      }
+    }
+    const double dt = now_seconds() - t0;
+    batch.samples[i] = std::move(tensor);
+    std::lock_guard lock(stats_mutex);
+    cpu_seconds += dt;
+  };
+
+  if (config_.decode_placement == codec::Placement::kGpu) {
+    // The (one) simulated device processes decode kernels serially.
+    const std::uint64_t gpu_wall0 = 0;
+    (void)gpu_wall0;
+    const sim::KernelStats before = gpu_->lifetime_stats();
+    for (std::size_t i = 0; i < count; ++i) {
+      decode_one(i);
+    }
+    const sim::KernelStats after = gpu_->lifetime_stats();
+    std::lock_guard lock(stats_mutex);
+    stats_.gpu.bytes_read += after.bytes_read - before.bytes_read;
+    stats_.gpu.bytes_written += after.bytes_written - before.bytes_written;
+    stats_.gpu.lockstep_ops += after.lockstep_ops - before.lockstep_ops;
+    stats_.gpu.divergent_branches +=
+        after.divergent_branches - before.divergent_branches;
+    stats_.gpu.warps += after.warps - before.warps;
+    stats_.gpu.wall_seconds += after.wall_seconds - before.wall_seconds;
+    stats_.decode_gpu_seconds += after.wall_seconds - before.wall_seconds;
+  } else {
+    workers_.parallel_for(count, decode_one);
+    stats_.decode_cpu_seconds += cpu_seconds;
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.bytes_at_rest += dataset_.sample_bytes(order_[first + i]);
+  }
+  stats_.samples += count;
+  stats_.bytes_at_rest += batch.bytes_at_rest;
+  ++stats_.batches;
+  return batch;
+}
+
+bool DataPipeline::next_batch(Batch& batch) {
+  const std::uint64_t n = dataset_.size();
+  const auto b = static_cast<std::uint64_t>(config_.batch_size);
+
+  auto take_count = [&](std::uint64_t at) -> std::uint64_t {
+    if (at >= n) return 0;
+    const std::uint64_t remaining = n - at;
+    if (remaining < b && config_.drop_last) return 0;
+    return std::min(b, remaining);
+  };
+
+  Batch result;
+  if (pending_) {
+    // Clear the slot before get(): if the worker threw, the exception
+    // rethrows here and the pipeline must not hold a consumed future.
+    std::future<Batch> ready = std::move(*pending_);
+    pending_.reset();
+    result = ready.get();
+  } else {
+    const std::uint64_t count = take_count(cursor_);
+    if (count == 0) return false;
+    result = assemble_batch(cursor_, count);
+    cursor_ += count;
+  }
+  result.index_in_epoch = batch_index_++;
+
+  // Kick off the next batch's decode while the caller trains on this one.
+  if (config_.prefetch) {
+    const std::uint64_t count = take_count(cursor_);
+    if (count > 0) {
+      const std::uint64_t at = cursor_;
+      cursor_ += count;
+      pending_ = std::async(std::launch::async, [this, at, count] {
+        return assemble_batch(at, count);
+      });
+    }
+  }
+
+  batch = std::move(result);
+  return true;
+}
+
+}  // namespace sciprep::pipeline

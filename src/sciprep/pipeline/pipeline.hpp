@@ -1,0 +1,100 @@
+// The data-loading pipeline (the DALI role in §VI).
+//
+// Wires a stored dataset to the training loop: shuffles the epoch order,
+// decodes samples with the path matching the storage format — baseline parse
+// + CPU preprocessing for raw formats, gunzip + parse for GZIP TFRecords,
+// codec plugin decode on CPU or (simulated) GPU for the encoded format —
+// applies augmentation ops, and assembles batches. CPU decode fans samples
+// out across worker threads ("on the CPU we assign different samples to
+// different threads"); one batch of lookahead is prefetched in the
+// background so decode overlaps the consumer's training step.
+//
+// Per-stage wall time is accumulated in PipelineStats; the bench harness
+// combines those host-measured costs with the sim transfer model to produce
+// the per-platform step times of Figures 8-12.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "sciprep/codec/codec.hpp"
+#include "sciprep/pipeline/dataset.hpp"
+#include "sciprep/pipeline/ops.hpp"
+#include "sciprep/sim/simgpu.hpp"
+
+namespace sciprep::pipeline {
+
+struct PipelineConfig {
+  int batch_size = 4;
+  std::size_t worker_threads = 2;   // CPU decode fan-out
+  bool shuffle = true;
+  std::uint64_t seed = 0;
+  bool drop_last = false;           // drop a trailing partial batch
+  bool prefetch = true;             // overlap next-batch decode
+  codec::Placement decode_placement = codec::Placement::kCpu;
+  OpList ops;                       // applied post-decode, pre-batch
+};
+
+struct Batch {
+  std::vector<codec::TensorF16> samples;
+  std::uint64_t bytes_at_rest = 0;  // stored size of the batch's samples
+  std::uint64_t epoch = 0;
+  std::uint64_t index_in_epoch = 0;
+
+  [[nodiscard]] int size() const { return static_cast<int>(samples.size()); }
+};
+
+struct PipelineStats {
+  std::uint64_t samples = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t bytes_at_rest = 0;
+  double decode_cpu_seconds = 0;   // baseline preprocess / gunzip / cpu decode
+  double decode_gpu_seconds = 0;   // SimGpu wall time
+  sim::KernelStats gpu;            // accumulated kernel counters
+};
+
+class DataPipeline {
+ public:
+  /// `codec` must outlive the pipeline and match the dataset's workload; it
+  /// is also used for the baseline path (reference_preprocess). `gpu` is
+  /// required when decode_placement is kGpu.
+  DataPipeline(const InMemoryDataset& dataset, const codec::SampleCodec& codec,
+               PipelineConfig config, sim::SimGpu* gpu = nullptr);
+  ~DataPipeline();
+
+  DataPipeline(const DataPipeline&) = delete;
+  DataPipeline& operator=(const DataPipeline&) = delete;
+
+  /// Reset to the start of `epoch` (reshuffles under the epoch-derived seed).
+  void start_epoch(std::uint64_t epoch);
+
+  /// Produce the next batch; false at epoch end.
+  bool next_batch(Batch& batch);
+
+  /// Decode one sample through the configured path (exposed for benches that
+  /// time single-sample decode).
+  [[nodiscard]] codec::TensorF16 decode_sample(std::size_t index) const;
+
+  [[nodiscard]] const PipelineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t batches_per_epoch() const;
+
+ private:
+  Batch assemble_batch(std::uint64_t first, std::uint64_t count);
+
+  const InMemoryDataset& dataset_;
+  const codec::SampleCodec& codec_;
+  PipelineConfig config_;
+  sim::SimGpu* gpu_;
+  ThreadPool workers_;
+
+  std::vector<std::size_t> order_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t cursor_ = 0;       // next sample position in order_
+  std::uint64_t batch_index_ = 0;
+  std::optional<std::future<Batch>> pending_;
+  PipelineStats stats_;
+};
+
+}  // namespace sciprep::pipeline

@@ -1,0 +1,71 @@
+#include "sciprep/sim/memhier.hpp"
+
+#include <algorithm>
+
+#include "sciprep/common/error.hpp"
+
+namespace sciprep::sim {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kHostCacheShare = 0.70;
+constexpr double kNvmeUsableShare = 0.90;
+}  // namespace
+
+const char* residency_name(Residency residency) {
+  switch (residency) {
+    case Residency::kPfs:
+      return "pfs";
+    case Residency::kNvme:
+      return "nvme";
+    case Residency::kHostMem:
+      return "dram";
+  }
+  return "?";
+}
+
+Residency steady_residency(const PlatformModel& platform,
+                           const DatasetSpec& dataset) {
+  const double bytes = static_cast<double>(dataset.total_bytes());
+  const double host_budget =
+      platform.host_memory_gb * 1e9 * kHostCacheShare;
+  if (bytes <= host_budget) {
+    return Residency::kHostMem;
+  }
+  if (dataset.staged &&
+      bytes <= platform.nvme_capacity_tb * 1e12 * kNvmeUsableShare) {
+    return Residency::kNvme;
+  }
+  return Residency::kPfs;
+}
+
+double sample_read_seconds(const PlatformModel& platform, Residency residency,
+                           std::uint64_t bytes, int concurrent_readers) {
+  SCIPREP_ASSERT(concurrent_readers >= 1);
+  double gibps = 0;
+  switch (residency) {
+    case Residency::kHostMem:
+      // DRAM hit: page-cache copy at memory speed; effectively free relative
+      // to the other stages but not zero.
+      gibps = 40.0;
+      break;
+    case Residency::kNvme:
+      gibps = platform.nvme_read_gibps / concurrent_readers;
+      break;
+    case Residency::kPfs:
+      gibps = platform.pfs_read_gibps / concurrent_readers;
+      break;
+  }
+  constexpr double kLatency = 50e-6;  // file-open / request latency
+  return kLatency + static_cast<double>(bytes) / (gibps * kGiB);
+}
+
+double staging_seconds(const PlatformModel& platform,
+                       const DatasetSpec& dataset) {
+  if (!dataset.staged) return 0.0;
+  const double bytes = static_cast<double>(dataset.total_bytes());
+  // Staging streams from PFS and writes to NVMe; PFS read dominates.
+  return bytes / (platform.pfs_read_gibps * kGiB);
+}
+
+}  // namespace sciprep::sim

@@ -1,0 +1,124 @@
+// SimGpu — a warp-lockstep execution engine for GPU-style decode kernels.
+//
+// The build host has no CUDA device, but the paper's GPU decoder design is
+// about *structure*: warps of 32 lanes execute in lockstep, control
+// divergence serializes, and memory efficiency comes from coalesced
+// per-lane accesses. SimGpu lets kernels be written against exactly those
+// constraints — a kernel is a function over a Warp, lanes are iterated in
+// lockstep order, and the engine accounts bytes moved, lane operations and
+// divergent branches — while actually executing on host threads.
+//
+// Timing: the engine measures wall time and the per-kernel traffic counters;
+// PlatformModel::scale_gpu_seconds() converts the measurement to a target
+// GPU. Counters also let benches report whether a kernel was bandwidth- or
+// divergence-bound, mirroring the paper's §VI discussion of hierarchical
+// warp assignment for the differential decoder.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sciprep/common/threadpool.hpp"
+
+namespace sciprep::sim {
+
+/// Execution context handed to a kernel, one per scheduled warp.
+class Warp {
+ public:
+  static constexpr int kLanes = 32;
+
+  explicit Warp(std::size_t id) : id_(id) {}
+
+  [[nodiscard]] std::size_t id() const noexcept { return id_; }
+
+  /// Run `f(lane)` for each of the 32 lanes in lockstep order. This is the
+  /// shape of a non-divergent warp-wide operation (copy, table lookup,
+  /// broadcast).
+  template <class F>
+  void lanes(F&& f) {
+    for (int lane = 0; lane < kLanes; ++lane) {
+      f(lane);
+    }
+    ++lockstep_ops_;
+  }
+
+  /// Mark a data-dependent branch that splits the warp: on real hardware the
+  /// two paths serialize. Kernels call this when they take per-segment or
+  /// per-line special cases so the stats expose divergence pressure.
+  void note_divergence() noexcept { ++divergent_branches_; }
+
+  /// Account device-memory traffic attributed to this warp.
+  void count_read(std::uint64_t bytes) noexcept { bytes_read_ += bytes; }
+  void count_write(std::uint64_t bytes) noexcept { bytes_written_ += bytes; }
+
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept {
+    return bytes_read_;
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+  [[nodiscard]] std::uint64_t lockstep_ops() const noexcept {
+    return lockstep_ops_;
+  }
+  [[nodiscard]] std::uint64_t divergent_branches() const noexcept {
+    return divergent_branches_;
+  }
+
+ private:
+  std::size_t id_;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t lockstep_ops_ = 0;
+  std::uint64_t divergent_branches_ = 0;
+};
+
+/// Aggregate accounting for one kernel launch.
+struct KernelStats {
+  double wall_seconds = 0;
+  std::uint64_t warps = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t lockstep_ops = 0;
+  std::uint64_t divergent_branches = 0;
+
+  [[nodiscard]] std::uint64_t bytes_total() const noexcept {
+    return bytes_read + bytes_written;
+  }
+  /// Heuristic: > 4 bytes moved per lockstep lane-op means the kernel is
+  /// limited by memory traffic, not ALU work.
+  [[nodiscard]] bool bandwidth_bound() const noexcept {
+    return lockstep_ops == 0 ||
+           bytes_total() > 4 * lockstep_ops * Warp::kLanes;
+  }
+  void merge(const KernelStats& other) noexcept;
+};
+
+/// The engine. SM count bounds the number of concurrently resident warps
+/// (occupancy); the actual host parallelism comes from the thread pool.
+class SimGpu {
+ public:
+  struct Config {
+    int sm_count = 80;
+    int warps_per_sm = 8;  // scheduling granularity, not a hardware limit
+  };
+
+  explicit SimGpu(Config config, ThreadPool* pool = nullptr);
+
+  /// Launch `warp_count` warps of `kernel` and block until completion.
+  KernelStats launch(std::size_t warp_count,
+                     const std::function<void(Warp&)>& kernel);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Cumulative stats across all launches on this engine.
+  [[nodiscard]] const KernelStats& lifetime_stats() const noexcept {
+    return lifetime_;
+  }
+
+ private:
+  Config config_;
+  ThreadPool* pool_;
+  KernelStats lifetime_;
+};
+
+}  // namespace sciprep::sim

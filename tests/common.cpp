@@ -1,0 +1,289 @@
+// Tests for buffer/bitstream/crc/rng/threadpool/stats substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sciprep/common/bitstream.hpp"
+#include "sciprep/common/buffer.hpp"
+#include "sciprep/common/crc.hpp"
+#include "sciprep/common/error.hpp"
+#include "sciprep/common/rng.hpp"
+#include "sciprep/common/stats.hpp"
+#include "sciprep/common/threadpool.hpp"
+
+namespace sciprep {
+namespace {
+
+TEST(ByteWriter, ScalarsAndStringsRoundTrip) {
+  ByteWriter w;
+  w.put<std::uint32_t>(0xDEADBEEFu);
+  w.put<std::uint16_t>(42);
+  w.put<float>(3.5F);
+  w.put_string("cosmo");
+  w.put<std::int64_t>(-7);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get<std::uint16_t>(), 42);
+  EXPECT_EQ(r.get<float>(), 3.5F);
+  EXPECT_EQ(r.get_string(), "cosmo");
+  EXPECT_EQ(r.get<std::int64_t>(), -7);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, ThrowsOnTruncation) {
+  ByteWriter w;
+  w.put<std::uint16_t>(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint8_t>(), 7);
+  EXPECT_THROW(r.get<std::uint32_t>(), FormatError);
+}
+
+TEST(ByteWriter, PatchRewritesReservedBytes) {
+  ByteWriter w;
+  const std::size_t at = w.reserve(4);
+  w.put<std::uint8_t>(9);
+  w.patch<std::uint32_t>(at, 123456u);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint32_t>(), 123456u);
+  EXPECT_EQ(r.get<std::uint8_t>(), 9);
+}
+
+TEST(BitStream, SingleBits) {
+  BitWriter w;
+  const std::uint32_t pattern = 0b1011001110001111u;
+  for (int i = 0; i < 16; ++i) {
+    w.put_bits((pattern >> i) & 1u, 1);
+  }
+  const Bytes bytes = std::move(w).finish();
+  BitReader r(bytes);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(r.get_bit(), (pattern >> i) & 1u) << "bit " << i;
+  }
+}
+
+TEST(BitStream, MixedWidthRoundTrip) {
+  Rng rng(99);
+  std::vector<std::pair<std::uint32_t, int>> fields;
+  BitWriter w;
+  for (int i = 0; i < 5000; ++i) {
+    const int width = 1 + static_cast<int>(rng.next_below(24));
+    const auto value = static_cast<std::uint32_t>(
+        rng.next_u64() & ((width == 32 ? ~0u : (1u << width) - 1u)));
+    fields.emplace_back(value, width);
+    w.put_bits(value, width);
+  }
+  const Bytes bytes = std::move(w).finish();
+  BitReader r(bytes);
+  for (const auto& [value, width] : fields) {
+    EXPECT_EQ(r.get_bits(width), value);
+  }
+}
+
+TEST(BitStream, AlignAndBytes) {
+  BitWriter w;
+  w.put_bits(0b101, 3);
+  w.align_to_byte();
+  const Bytes payload = {0xAB, 0xCD};
+  w.put_bytes(payload);
+  const Bytes bytes = std::move(w).finish();
+
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bits(3), 0b101u);
+  r.align_to_byte();
+  const ByteSpan got = r.get_bytes(2);
+  EXPECT_EQ(got[0], 0xAB);
+  EXPECT_EQ(got[1], 0xCD);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStream, TruncationThrows) {
+  BitWriter w;
+  w.put_bits(0x3, 2);
+  const Bytes bytes = std::move(w).finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bits(8), 0x3u);  // full padded byte is available
+  EXPECT_THROW(r.get_bits(8), FormatError);
+}
+
+TEST(Crc32, KnownVectors) {
+  // "123456789" — canonical check values.
+  const auto data = as_bytes(std::string_view("123456789"));
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+  EXPECT_EQ(crc32c(data), 0xE3069283u);
+}
+
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32(ByteSpan{}), 0u);
+  EXPECT_EQ(crc32c(ByteSpan{}), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Rng rng(5);
+  Bytes data(1000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  const ByteSpan s(data);
+  const std::uint32_t whole = crc32(s);
+  const std::uint32_t part = crc32(s.subspan(300), crc32(s.first(300)));
+  EXPECT_EQ(part, whole);
+  EXPECT_EQ(crc32c(s.subspan(123), crc32c(s.first(123))), crc32c(s));
+}
+
+TEST(Crc32, MaskUnmaskInverse) {
+  for (std::uint32_t v : {0u, 1u, 0xFFFFFFFFu, 0xCBF43926u, 0x12345678u}) {
+    EXPECT_EQ(unmask_crc(mask_crc(v)), v);
+    EXPECT_NE(mask_crc(v), v);  // masking must change the value
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, ForkGivesIndependentStreams) {
+  Rng root(1);
+  Rng s0 = root.fork(0);
+  Rng s1 = root.fork(1);
+  EXPECT_NE(s0.next_u64(), s1.next_u64());
+  // Forking is a pure function of (state, stream id).
+  Rng root2(1);
+  Rng s0b = root2.fork(0);
+  s0 = root.fork(0);
+  EXPECT_EQ(s0.next_u64(), s0b.next_u64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    const auto k = rng.next_below(17);
+    ASSERT_LT(k, 17u);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.add(rng.normal());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(13);
+  for (const double mean : {0.5, 4.0, 30.0, 200.0}) {
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i) {
+      stats.add(static_cast<double>(rng.poisson(mean)));
+    }
+    EXPECT_NEAR(stats.mean(), mean, mean * 0.05 + 0.05) << "mean " << mean;
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); }, 16);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 57) throw Error("boom");
+                                 }),
+               Error);
+  // Pool remains usable afterwards.
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats stats;
+  const std::vector<double> xs = {1, 2, 3, 4, 100};
+  for (double x : xs) stats.add(x);
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), 22.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 100.0);
+  // Sample variance of {1,2,3,4,100}.
+  const double mean = 22.0;
+  double m2 = 0;
+  for (double x : xs) m2 += (x - mean) * (x - mean);
+  EXPECT_NEAR(stats.variance(), m2 / 4.0, 1e-9);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(21);
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal() * 3 + 1;
+    ((i % 2 == 0) ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(FrequencyTable, OrdersByFrequency) {
+  FrequencyTable t;
+  for (int i = 0; i < 10; ++i) t.add(5);
+  for (int i = 0; i < 3; ++i) t.add(7);
+  t.add(9);
+  EXPECT_EQ(t.unique_count(), 3u);
+  EXPECT_EQ(t.total(), 14u);
+  const auto ranked = t.by_frequency();
+  EXPECT_EQ(ranked[0].first, 5);
+  EXPECT_EQ(ranked[1].first, 7);
+  EXPECT_EQ(ranked[2].first, 9);
+}
+
+TEST(FrequencyTable, PowerLawSlopeRecoversExponent) {
+  // Construct frequencies ~ rank^-2 exactly and check the fit.
+  FrequencyTable t;
+  for (std::int64_t rank = 1; rank <= 50; ++rank) {
+    const auto freq =
+        static_cast<std::uint64_t>(1e9 / static_cast<double>(rank * rank));
+    t.add(rank, freq);
+  }
+  EXPECT_NEAR(t.power_law_slope(50), -2.0, 0.01);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.125), 1.5);
+}
+
+TEST(FormatBytes, HumanReadable) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3ull * 1024 * 1024 * 1024), "3.00 GiB");
+}
+
+}  // namespace
+}  // namespace sciprep

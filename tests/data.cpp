@@ -1,0 +1,257 @@
+// Tests for the synthetic dataset generators: determinism plus the
+// statistical properties (§V of the paper) the codecs rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "sciprep/common/stats.hpp"
+#include "sciprep/data/cam_gen.hpp"
+#include "sciprep/data/cosmo_gen.hpp"
+
+namespace sciprep::data {
+namespace {
+
+CosmoGenConfig small_cosmo() {
+  CosmoGenConfig c;
+  c.dim = 32;  // keep tests fast; statistical properties hold at any dim
+  c.seed = 42;
+  return c;
+}
+
+CamGenConfig small_cam() {
+  CamGenConfig c;
+  c.height = 96;
+  c.width = 144;
+  c.channels = 16;
+  c.seed = 42;
+  return c;
+}
+
+TEST(CosmoGen, Deterministic) {
+  const CosmoGenerator gen(small_cosmo());
+  const auto a = gen.generate(3);
+  const auto b = gen.generate(3);
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.params, b.params);
+}
+
+TEST(CosmoGen, DistinctIndicesDiffer) {
+  const CosmoGenerator gen(small_cosmo());
+  const auto a = gen.generate(0);
+  const auto b = gen.generate(1);
+  EXPECT_NE(a.counts, b.counts);
+  EXPECT_NE(a.params, b.params);
+}
+
+TEST(CosmoGen, ParamsWithinThirtyPercentSpread) {
+  const CosmoGenerator gen(small_cosmo());
+  const CosmoParams mean{};
+  const std::array<float, 4> means = {mean.omega_m, mean.sigma_8, mean.n_s,
+                                      mean.h_0};
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto s = gen.generate(i % 5);  // sample a few
+    for (int p = 0; p < 4; ++p) {
+      EXPECT_GE(s.params[static_cast<std::size_t>(p)],
+                means[static_cast<std::size_t>(p)] * 0.699F);
+      EXPECT_LE(s.params[static_cast<std::size_t>(p)],
+                means[static_cast<std::size_t>(p)] * 1.301F);
+    }
+    if (i >= 4) break;
+  }
+}
+
+TEST(CosmoGen, CountsAreSmallNonNegativeIntegers) {
+  const CosmoGenerator gen(small_cosmo());
+  const auto s = gen.generate(0);
+  std::int32_t max_count = 0;
+  for (const auto c : s.counts) {
+    ASSERT_GE(c, 0);
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_GT(max_count, 5);       // has dense clusters
+  EXPECT_LT(max_count, 100000);  // but counts stay "small integers"
+}
+
+// §V.B property: unique values per sample in the order of hundreds.
+TEST(CosmoGen, FewUniqueValues) {
+  const CosmoGenerator gen(small_cosmo());
+  const auto s = gen.generate(1);
+  std::set<std::int32_t> unique(s.counts.begin(), s.counts.end());
+  EXPECT_GE(unique.size(), 20u);
+  EXPECT_LE(unique.size(), 2000u);  // paper: "few hundreds" at 128^3
+}
+
+// §V.B property: value frequencies follow a power law (negative log-log
+// slope) — most voxels near-empty, rare dense clusters.
+TEST(CosmoGen, PowerLawFrequency) {
+  const CosmoGenerator gen(small_cosmo());
+  const auto s = gen.generate(2);
+  FrequencyTable table;
+  for (const auto c : s.counts) table.add(c);
+  const double slope = table.power_law_slope(40);
+  EXPECT_LT(slope, -0.8);  // clearly decaying
+}
+
+// §V.B property: redshift channels are coupled — the number of unique
+// groups-of-4 is orders of magnitude below the combinatorial bound.
+TEST(CosmoGen, RedshiftGroupsAreCoupled) {
+  const CosmoGenerator gen(small_cosmo());
+  const auto s = gen.generate(3);
+  std::set<std::int32_t> unique(s.counts.begin(), s.counts.end());
+  std::unordered_set<std::uint64_t> groups;
+  for (std::size_t v = 0; v < s.counts.size(); v += 4) {
+    std::uint64_t key = 0;
+    for (int r = 0; r < 4; ++r) {
+      key = key * 131071 + static_cast<std::uint64_t>(s.counts[v + r]);
+    }
+    groups.insert(key);
+  }
+  const double combinatorial = std::pow(static_cast<double>(unique.size()), 4);
+  EXPECT_LT(static_cast<double>(groups.size()), combinatorial / 50.0);
+  // And small enough to index with 16-bit keys scaled to this volume — at
+  // 128^3 the paper reports ~37k groups for 558 unique values.
+  EXPECT_LT(groups.size(), s.voxel_count());
+}
+
+// Later redshifts are more clustered: the variance/mean ratio of counts grows.
+TEST(CosmoGen, ProgressiveClustering) {
+  const CosmoGenerator gen(small_cosmo());
+  const auto s = gen.generate(4);
+  std::array<RunningStats, 4> stats;
+  for (std::size_t v = 0; v < s.counts.size(); v += 4) {
+    for (int r = 0; r < 4; ++r) {
+      stats[static_cast<std::size_t>(r)].add(s.counts[v + r]);
+    }
+  }
+  const double early = stats[0].variance() / std::max(0.1, stats[0].mean());
+  const double late = stats[3].variance() / std::max(0.1, stats[3].mean());
+  EXPECT_GT(late, early * 1.5);
+}
+
+TEST(CosmoGen, RejectsNonPowerOfTwoDim) {
+  CosmoGenConfig c;
+  c.dim = 100;
+  EXPECT_THROW(CosmoGenerator{c}, ConfigError);
+}
+
+TEST(CamGen, Deterministic) {
+  const CamGenerator gen(small_cam());
+  const auto a = gen.generate(7);
+  const auto b = gen.generate(7);
+  EXPECT_EQ(a.image, b.image);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(CamGen, ShapesMatchConfig) {
+  const CamGenerator gen(small_cam());
+  const auto s = gen.generate(0);
+  EXPECT_EQ(s.height, 96);
+  EXPECT_EQ(s.width, 144);
+  EXPECT_EQ(s.channels, 16);
+  EXPECT_EQ(s.image.size(), s.value_count());
+  EXPECT_EQ(s.labels.size(), s.pixel_count());
+}
+
+TEST(CamGen, ChannelsHavePhysicalRanges) {
+  const CamGenerator gen(small_cam());
+  const auto s = gen.generate(1);
+  // Sea-level pressure (channel 7) must live near 1e5 Pa, temperature
+  // channels near 250-310 K: magnitudes differ by orders of magnitude.
+  RunningStats psl;
+  RunningStats t500;
+  for (int y = 0; y < s.height; ++y) {
+    for (int x = 0; x < s.width; ++x) {
+      psl.add(s.at(7, y, x));
+      t500.add(s.at(9, y, x));
+    }
+  }
+  EXPECT_GT(psl.mean(), 9.0e4);
+  EXPECT_LT(psl.mean(), 1.1e5);
+  EXPECT_GT(t500.mean(), 230.0);
+  EXPECT_LT(t500.mean(), 290.0);
+}
+
+// §V.A property: the x-direction is the smoothest — mean |dv/dx| well below
+// mean |dv/dy|.
+TEST(CamGen, SmoothestAlongX) {
+  const CamGenerator gen(small_cam());
+  const auto s = gen.generate(2);
+  double dx_sum = 0;
+  double dy_sum = 0;
+  std::size_t n = 0;
+  for (int c = 0; c < s.channels; ++c) {
+    const ChannelSpec& spec = channel_spec(c);
+    for (int y = 1; y < s.height - 1; ++y) {
+      for (int x = 1; x < s.width - 1; ++x) {
+        dx_sum += std::abs(s.at(c, y, x + 1) - s.at(c, y, x)) / spec.scale;
+        dy_sum += std::abs(s.at(c, y + 1, x) - s.at(c, y, x)) / spec.scale;
+        ++n;
+      }
+    }
+  }
+  EXPECT_LT(dx_sum / n, dy_sum / n * 0.8);
+}
+
+TEST(CamGen, LabelsMarkAnomalies) {
+  const CamGenerator gen(small_cam());
+  // Find a sample with at least one cyclone.
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const auto s = gen.generate(i);
+    std::size_t cyclone_pixels = 0;
+    std::size_t river_pixels = 0;
+    for (const auto l : s.labels) {
+      cyclone_pixels += (l == 1);
+      river_pixels += (l == 2);
+    }
+    if (cyclone_pixels == 0) continue;
+    // Labels are rare (extreme events): < 30% of pixels.
+    EXPECT_LT(cyclone_pixels + river_pixels, s.pixel_count() * 3 / 10);
+    return;
+  }
+  FAIL() << "no cyclone in 20 samples (rate too low?)";
+}
+
+// The anomaly must perturb the field: gradient energy inside labelled
+// regions exceeds the background (that is what the segmentation net learns,
+// and why the codec leaves those lines raw).
+TEST(CamGen, AnomaliesAreAbrupt) {
+  const CamGenerator gen(small_cam());
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const auto s = gen.generate(i);
+    double grad_in = 0;
+    double grad_out = 0;
+    std::size_t n_in = 0;
+    std::size_t n_out = 0;
+    const int c = 7;  // PSL: strong anomaly gain
+    const ChannelSpec& spec = channel_spec(c);
+    for (int y = 0; y < s.height; ++y) {
+      for (int x = 0; x + 1 < s.width; ++x) {
+        const double g =
+            std::abs(s.at(c, y, x + 1) - s.at(c, y, x)) / spec.scale;
+        if (s.labels[static_cast<std::size_t>(y) * s.width + x] == 1) {
+          grad_in += g;
+          ++n_in;
+        } else {
+          grad_out += g;
+          ++n_out;
+        }
+      }
+    }
+    if (n_in < 100) continue;
+    EXPECT_GT(grad_in / n_in, 2.0 * grad_out / n_out);
+    return;
+  }
+  FAIL() << "no labelled sample found";
+}
+
+TEST(CamGen, RejectsDegenerateConfig) {
+  CamGenConfig c;
+  c.height = 4;
+  EXPECT_THROW(CamGenerator{c}, ConfigError);
+}
+
+}  // namespace
+}  // namespace sciprep::data

@@ -1,0 +1,239 @@
+// Tests for the training substrate: gradient checks against numerical
+// differentiation for every layer, loss properties, optimizer behaviour, and
+// small end-to-end learning sanity checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sciprep/dnn/layers.hpp"
+#include "sciprep/dnn/loss.hpp"
+#include "sciprep/dnn/optimizer.hpp"
+
+namespace sciprep::dnn {
+namespace {
+
+/// Numerical gradient of a scalar function of `tensor` at index i.
+template <class F>
+double numeric_grad(Tensor& tensor, std::size_t i, F&& scalar_fn,
+                    double eps = 1e-3) {
+  const float saved = tensor[i];
+  tensor[i] = saved + static_cast<float>(eps);
+  const double up = scalar_fn();
+  tensor[i] = saved - static_cast<float>(eps);
+  const double down = scalar_fn();
+  tensor[i] = saved;
+  return (up - down) / (2 * eps);
+}
+
+/// Check analytic input- and weight-gradients of `layer` on `input` by
+/// probing a handful of coordinates of a random linear readout.
+void check_gradients(Layer& layer, Tensor input, std::uint64_t seed) {
+  Rng rng(seed);
+  // Random readout weights make the scalar sensitive to every output.
+  Tensor probe_out = layer.forward(input);
+  std::vector<float> readout(probe_out.size());
+  for (auto& r : readout) r = static_cast<float>(rng.normal());
+
+  auto scalar = [&] {
+    const Tensor out = layer.forward(input);
+    double s = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) s += out[i] * readout[i];
+    return s;
+  };
+
+  // Analytic gradients.
+  for (Tensor* g : layer.grads()) g->fill(0);
+  const Tensor out = layer.forward(input);
+  Tensor upstream(out.shape);
+  for (std::size_t i = 0; i < out.size(); ++i) upstream[i] = readout[i];
+  const Tensor dinput = layer.backward(upstream);
+
+  // Probe input gradient.
+  for (int probe = 0; probe < 8; ++probe) {
+    const std::size_t i = rng.next_below(input.size());
+    const double num = numeric_grad(input, i, scalar);
+    EXPECT_NEAR(dinput[i], num, 1e-2 + 0.05 * std::abs(num))
+        << "input grad at " << i;
+  }
+  // Probe each parameter tensor.
+  const auto params = layer.params();
+  const auto grads = layer.grads();
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    for (int probe = 0; probe < 6; ++probe) {
+      const std::size_t i = rng.next_below(params[t]->size());
+      const double num = numeric_grad(*params[t], i, scalar);
+      EXPECT_NEAR((*grads[t])[i], num, 1e-2 + 0.05 * std::abs(num))
+          << "param " << t << " grad at " << i;
+    }
+  }
+}
+
+Tensor random_tensor(std::vector<std::uint64_t> shape, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  Rng rng(seed);
+  for (auto& v : t.data) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+TEST(DnnGrad, Dense) {
+  Rng rng(1);
+  Dense layer(10, 6, rng);
+  check_gradients(layer, random_tensor({10}, 2), 3);
+}
+
+TEST(DnnGrad, Conv2d) {
+  Rng rng(2);
+  Conv2d layer(3, 4, rng);
+  check_gradients(layer, random_tensor({3, 6, 8}, 4), 5);
+}
+
+TEST(DnnGrad, Conv3d) {
+  Rng rng(3);
+  Conv3d layer(2, 3, rng);
+  check_gradients(layer, random_tensor({2, 4, 4, 6}, 6), 7);
+}
+
+TEST(DnnGrad, Relu) {
+  Relu layer;
+  check_gradients(layer, random_tensor({40}, 8), 9);
+}
+
+TEST(DnnGrad, MaxPool2d) {
+  MaxPool2d layer;
+  check_gradients(layer, random_tensor({2, 4, 6}, 10), 11);
+}
+
+TEST(DnnGrad, MaxPool3d) {
+  MaxPool3d layer;
+  check_gradients(layer, random_tensor({2, 4, 4, 4}, 12), 13);
+}
+
+TEST(DnnGrad, SequentialComposition) {
+  Rng rng(14);
+  Sequential model;
+  model.add(std::make_unique<Conv2d>(2, 3, rng));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<MaxPool2d>());
+  model.add(std::make_unique<Flatten>());
+  model.add(std::make_unique<Dense>(3 * 2 * 3, 4, rng));
+  check_gradients(model, random_tensor({2, 4, 6}, 15), 16);
+}
+
+TEST(DnnLoss, MseMatchesHandComputation) {
+  Tensor pred({2}, {1.0F, 3.0F});
+  const std::vector<float> target = {0.0F, 1.0F};
+  const LossResult r = mse_loss(pred, target);
+  EXPECT_DOUBLE_EQ(r.loss, (1.0 + 4.0) / 2.0);
+  EXPECT_FLOAT_EQ(r.grad[0], 2.0F * 1.0F / 2.0F);
+  EXPECT_FLOAT_EQ(r.grad[1], 2.0F * 2.0F / 2.0F);
+}
+
+TEST(DnnLoss, SoftmaxXentGradientSumsToZeroPerPixel) {
+  Tensor logits({3, 2, 2}, {0.5F, -1.0F, 2.0F, 0.0F, 1.0F, 1.0F, -0.5F, 0.3F,
+                            0.0F, 0.2F, 0.1F, -0.2F});
+  const std::vector<std::uint8_t> labels = {0, 1, 2, 1};
+  const LossResult r = softmax_xent_loss(logits, labels);
+  EXPECT_GT(r.loss, 0);
+  const std::size_t pixels = 4;
+  for (std::size_t px = 0; px < pixels; ++px) {
+    double sum = 0;
+    for (std::size_t c = 0; c < 3; ++c) sum += r.grad[c * pixels + px];
+    EXPECT_NEAR(sum, 0.0, 1e-6) << "pixel " << px;
+  }
+}
+
+TEST(DnnLoss, SoftmaxXentPerfectPredictionHasLowLoss) {
+  Tensor logits({2, 1, 2}, {10.0F, -10.0F, -10.0F, 10.0F});
+  const std::vector<std::uint8_t> labels = {0, 1};
+  const LossResult r = softmax_xent_loss(logits, labels);
+  EXPECT_LT(r.loss, 1e-6);
+}
+
+TEST(DnnLoss, ClassWeightsReweightPixels) {
+  Tensor logits({2, 1, 2}, {0.0F, 0.0F, 0.0F, 0.0F});
+  const std::vector<std::uint8_t> labels = {0, 1};
+  const std::vector<float> weights = {1.0F, 3.0F};
+  const LossResult uniform = softmax_xent_loss(logits, labels);
+  const LossResult weighted = softmax_xent_loss(logits, labels, weights);
+  // Uniform logits: per-pixel loss identical, so weighting cannot change the
+  // normalized loss value, but gradients shift toward the weighted class.
+  EXPECT_NEAR(uniform.loss, weighted.loss, 1e-9);
+  // grad layout is [class, pixel]: pixel 1 carries weight 3, pixel 0 weight 1.
+  EXPECT_GT(std::abs(weighted.grad[1]), std::abs(weighted.grad[0]));
+}
+
+TEST(DnnLoss, PixelAccuracy) {
+  Tensor logits({2, 1, 2}, {1.0F, -1.0F, 0.0F, 2.0F});
+  const std::vector<std::uint8_t> labels = {0, 1};
+  EXPECT_DOUBLE_EQ(pixel_accuracy(logits, labels), 1.0);
+  const std::vector<std::uint8_t> wrong = {1, 0};
+  EXPECT_DOUBLE_EQ(pixel_accuracy(logits, wrong), 0.0);
+}
+
+TEST(DnnSgd, WarmupRampsLearningRate) {
+  Rng rng(20);
+  Sequential model;
+  model.add(std::make_unique<Dense>(2, 1, rng));
+  SgdConfig cfg;
+  cfg.learning_rate = 1.0F;
+  cfg.warmup_steps = 4;
+  Sgd opt(model, cfg);
+  EXPECT_FLOAT_EQ(opt.current_lr(), 0.25F);
+  opt.step();
+  EXPECT_FLOAT_EQ(opt.current_lr(), 0.5F);
+  opt.step();
+  opt.step();
+  opt.step();
+  EXPECT_FLOAT_EQ(opt.current_lr(), 1.0F);
+}
+
+TEST(DnnSgd, DecayHalvesLearningRate) {
+  Rng rng(21);
+  Sequential model;
+  model.add(std::make_unique<Dense>(2, 1, rng));
+  SgdConfig cfg;
+  cfg.learning_rate = 1.0F;
+  cfg.decay_every = 2;
+  Sgd opt(model, cfg);
+  opt.step();
+  opt.step();
+  EXPECT_FLOAT_EQ(opt.current_lr(), 0.5F);
+}
+
+TEST(DnnSgd, StepClearsGradients) {
+  Rng rng(22);
+  Dense layer(2, 1, rng);
+  Sgd opt(layer, {});
+  const Tensor out = layer.forward(Tensor({2}, {1.0F, 2.0F}));
+  layer.backward(Tensor({1}, {1.0F}));
+  EXPECT_NE((*layer.grads()[0])[0], 0.0F);
+  opt.step();
+  EXPECT_EQ((*layer.grads()[0])[0], 0.0F);
+}
+
+// End-to-end: a tiny dense model must fit a linear map.
+TEST(DnnTraining, LearnsLinearRegression) {
+  Rng rng(30);
+  Sequential model;
+  model.add(std::make_unique<Dense>(3, 4, rng));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<Dense>(4, 1, rng));
+  Sgd opt(model, {.learning_rate = 0.005F, .momentum = 0.0F});
+
+  Rng data_rng(31);
+  double last_loss = 0;
+  for (int step = 0; step < 2000; ++step) {
+    Tensor x({3});
+    for (auto& v : x.data) v = static_cast<float>(data_rng.normal());
+    const float target = 2.0F * x[0] - 1.0F * x[1] + 0.5F * x[2] + 0.3F;
+    const Tensor pred = model.forward(x);
+    const LossResult loss = mse_loss(pred, std::vector<float>{target});
+    model.backward(loss.grad);
+    opt.step();
+    last_loss = loss.loss;
+  }
+  EXPECT_LT(last_loss, 0.05);
+}
+
+}  // namespace
+}  // namespace sciprep::dnn

@@ -1,0 +1,291 @@
+// Cross-module integration tests: the full train-from-storage loop, format
+// interop chains (generator -> container -> codec -> pipeline -> model),
+// failure injection across layer boundaries, and end-to-end determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sciprep/apps/measure.hpp"
+#include "sciprep/apps/models.hpp"
+#include "sciprep/apps/trainer.hpp"
+#include "sciprep/codec/cam_codec.hpp"
+#include "sciprep/codec/cosmo_codec.hpp"
+#include "sciprep/common/error.hpp"
+#include "sciprep/compress/gzip.hpp"
+#include "sciprep/dnn/loss.hpp"
+#include "sciprep/dnn/optimizer.hpp"
+#include "sciprep/io/tfrecord.hpp"
+#include "sciprep/pipeline/pipeline.hpp"
+
+namespace sciprep {
+namespace {
+
+// ---------------------------------------------------------------------------
+// End-to-end: encoded dataset -> pipeline (GPU placement) -> training loop.
+// ---------------------------------------------------------------------------
+TEST(Integration, CosmoTrainFromEncodedPipelineLearns) {
+  data::CosmoGenConfig gen_cfg;
+  gen_cfg.dim = 16;
+  gen_cfg.seed = 900;
+  const data::CosmoGenerator gen(gen_cfg);
+  const codec::CosmoCodec codec;
+  const auto dataset = pipeline::InMemoryDataset::make_cosmo(
+      gen, 8, pipeline::StorageFormat::kEncoded, &codec);
+
+  sim::SimGpu gpu({.sm_count = 8, .warps_per_sm = 4});
+  pipeline::PipelineConfig pcfg;
+  pcfg.batch_size = 2;
+  pcfg.seed = 3;
+  pcfg.decode_placement = codec::Placement::kGpu;
+  pipeline::DataPipeline pipe(dataset, codec, pcfg, &gpu);
+
+  Rng rng(901);
+  auto model = apps::build_cosmoflow_model(16, rng);
+  dnn::Sgd optimizer(*model, {.learning_rate = 0.02F, .momentum = 0.9F});
+
+  std::vector<double> epoch_losses;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    pipe.start_epoch(static_cast<std::uint64_t>(epoch));
+    double loss_sum = 0;
+    std::size_t steps = 0;
+    pipeline::Batch batch;
+    while (pipe.next_batch(batch)) {
+      double batch_loss = 0;
+      for (const auto& tensor : batch.samples) {
+        const dnn::Tensor input = apps::cosmo_input_from_fp16(tensor);
+        const dnn::Tensor pred = model->forward(input);
+        const auto loss = dnn::mse_loss(pred, tensor.float_labels);
+        model->backward(loss.grad);
+        batch_loss += loss.loss;
+      }
+      optimizer.step(static_cast<float>(batch.size()));
+      loss_sum += batch_loss / batch.size();
+      ++steps;
+    }
+    epoch_losses.push_back(loss_sum / static_cast<double>(steps));
+  }
+  EXPECT_LT(epoch_losses.back(), epoch_losses.front() * 0.5)
+      << "training through the full pipeline must reduce the loss";
+  EXPECT_GT(pipe.stats().gpu.warps, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Storage chain: generator -> TFRecord file on disk -> gzip variant ->
+// pipeline decode; every stage validates the previous one's output.
+// ---------------------------------------------------------------------------
+TEST(Integration, CosmoDiskRoundTripThroughAllVariants) {
+  data::CosmoGenConfig gen_cfg;
+  gen_cfg.dim = 16;
+  gen_cfg.seed = 910;
+  const data::CosmoGenerator gen(gen_cfg);
+  const auto sample = gen.generate(2);
+
+  io::TfRecordWriter w;
+  w.append(sample.serialize());
+  const Bytes stream = std::move(w).take();
+
+  const std::string dir = ::testing::TempDir();
+  io::write_file(dir + "/s.tfrecord", stream);
+  io::write_file(dir + "/s.tfrecord.gz", io::gzip_tfrecord_stream(stream));
+
+  // Raw path.
+  const auto raw_back = io::read_file(dir + "/s.tfrecord");
+  const auto records = io::TfRecordReader::read_all(raw_back);
+  ASSERT_EQ(records.size(), 1u);
+  const auto parsed = io::CosmoSample::parse(records.front());
+  EXPECT_EQ(parsed.counts, sample.counts);
+  EXPECT_EQ(parsed.params, sample.params);
+
+  // Gzip path.
+  const auto gz_back = io::read_file(dir + "/s.tfrecord.gz");
+  const auto plain = io::gunzip_tfrecord_stream(gz_back);
+  EXPECT_EQ(plain, stream);
+
+  // Encoded path through the codec registry plugin interface.
+  const codec::CosmoCodec codec;
+  const Bytes encoded = codec.encode(records.front());
+  io::write_file(dir + "/s.cse", encoded);
+  const auto enc_back = io::read_file(dir + "/s.cse");
+  const auto tensor = codec.decode_cpu(enc_back);
+  const auto reference = codec.reference_preprocess(records.front());
+  ASSERT_EQ(tensor.values.size(), reference.values.size());
+  for (std::size_t i = 0; i < tensor.values.size(); ++i) {
+    ASSERT_EQ(tensor.values[i].bits(), reference.values[i].bits());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DeepCAM end-to-end: encoded pipeline + augmentation -> segmentation train.
+// ---------------------------------------------------------------------------
+TEST(Integration, CamTrainFromEncodedPipelineLearns) {
+  data::CamGenConfig gen_cfg;
+  gen_cfg.height = 24;
+  gen_cfg.width = 32;
+  gen_cfg.channels = 4;
+  gen_cfg.seed = 920;
+  gen_cfg.cyclone_rate = 4.0;
+  const data::CamGenerator gen(gen_cfg);
+  const codec::CamCodec codec;
+  const auto dataset = pipeline::InMemoryDataset::make_cam(
+      gen, 6, pipeline::StorageFormat::kEncoded, &codec);
+
+  pipeline::PipelineConfig pcfg;
+  pcfg.batch_size = 2;
+  pcfg.seed = 5;
+  pcfg.ops = {std::make_shared<pipeline::RandomFlipX>(0.5)};
+  pipeline::DataPipeline pipe(dataset, codec, pcfg);
+
+  Rng rng(921);
+  auto model = apps::build_deepcam_model(4, rng);
+  dnn::Sgd optimizer(*model, {.learning_rate = 0.05F, .momentum = 0.9F});
+  const std::vector<float> weights = {0.2F, 2.0F, 2.0F};
+
+  std::vector<double> epoch_losses;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    pipe.start_epoch(static_cast<std::uint64_t>(epoch));
+    double loss_sum = 0;
+    std::size_t steps = 0;
+    pipeline::Batch batch;
+    while (pipe.next_batch(batch)) {
+      double batch_loss = 0;
+      for (const auto& tensor : batch.samples) {
+        const dnn::Tensor input = apps::input_from_fp16(tensor);
+        const dnn::Tensor logits = model->forward(input);
+        const auto loss =
+            dnn::softmax_xent_loss(logits, tensor.byte_labels, weights);
+        model->backward(loss.grad);
+        batch_loss += loss.loss;
+      }
+      optimizer.step(static_cast<float>(batch.size()));
+      loss_sum += batch_loss / batch.size();
+      ++steps;
+    }
+    epoch_losses.push_back(loss_sum / static_cast<double>(steps));
+  }
+  EXPECT_LT(epoch_losses.back(), epoch_losses.front());
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection across layers: corruption introduced at the storage
+// level must surface as FormatError from the pipeline, not as bad tensors.
+// ---------------------------------------------------------------------------
+TEST(Integration, StorageCorruptionSurfacesThroughPipeline) {
+  data::CosmoGenConfig gen_cfg;
+  gen_cfg.dim = 8;
+  gen_cfg.seed = 930;
+  const data::CosmoGenerator gen(gen_cfg);
+  const codec::CosmoCodec codec;
+
+  // Corrupt a TFRecord payload byte: CRC catches it at decode time.
+  io::TfRecordWriter w;
+  w.append(gen.generate(0).serialize());
+  Bytes stream = std::move(w).take();
+  stream[stream.size() / 2] ^= 0x20;
+  pipeline::InMemoryDataset ds(pipeline::StorageFormat::kRawTfRecord,
+                               "cosmoflow");
+  ds.add_sample(std::move(stream));
+  pipeline::PipelineConfig pcfg;
+  pcfg.prefetch = false;
+  pipeline::DataPipeline pipe(ds, codec, pcfg);
+  pipeline::Batch batch;
+  EXPECT_THROW(pipe.next_batch(batch), FormatError);
+}
+
+TEST(Integration, EncodedCorruptionSurfacesThroughPipeline) {
+  data::CosmoGenConfig gen_cfg;
+  gen_cfg.dim = 8;
+  gen_cfg.seed = 931;
+  const data::CosmoGenerator gen(gen_cfg);
+  const codec::CosmoCodec codec;
+  Bytes encoded = codec.encode_sample(gen.generate(0));
+  encoded.resize(encoded.size() - 3);  // truncate
+  pipeline::InMemoryDataset ds(pipeline::StorageFormat::kEncoded, "cosmoflow");
+  ds.add_sample(std::move(encoded));
+  pipeline::PipelineConfig pcfg;
+  pcfg.prefetch = false;
+  pipeline::DataPipeline pipe(ds, codec, pcfg);
+  pipeline::Batch batch;
+  EXPECT_THROW(pipe.next_batch(batch), FormatError);
+}
+
+// Exceptions thrown inside a prefetch worker must reach the consumer.
+TEST(Integration, PrefetchWorkerErrorsPropagate) {
+  data::CosmoGenConfig gen_cfg;
+  gen_cfg.dim = 8;
+  gen_cfg.seed = 932;
+  const data::CosmoGenerator gen(gen_cfg);
+  const codec::CosmoCodec codec;
+  pipeline::InMemoryDataset ds(pipeline::StorageFormat::kEncoded, "cosmoflow");
+  ds.add_sample(codec.encode_sample(gen.generate(0)));  // batch 1: good
+  Bytes bad = codec.encode_sample(gen.generate(1));
+  bad.resize(bad.size() - 5);  // batch 2 (prefetched): truncated
+  ds.add_sample(std::move(bad));
+
+  pipeline::PipelineConfig pcfg;
+  pcfg.batch_size = 1;
+  pcfg.shuffle = false;
+  pcfg.prefetch = true;
+  pipeline::DataPipeline pipe(ds, codec, pcfg);
+  pipeline::Batch batch;
+  ASSERT_TRUE(pipe.next_batch(batch));  // good batch; bad one is in flight
+  EXPECT_THROW(pipe.next_batch(batch), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the same seeds produce bit-identical datasets, pipelines,
+// and training trajectories across runs.
+// ---------------------------------------------------------------------------
+TEST(Integration, FullStackDeterminism) {
+  auto run_once = [] {
+    data::CosmoGenConfig gen_cfg;
+    gen_cfg.dim = 16;
+    gen_cfg.seed = 940;
+    const data::CosmoGenerator gen(gen_cfg);
+    const codec::CosmoCodec codec;
+    const auto dataset = pipeline::InMemoryDataset::make_cosmo(
+        gen, 6, pipeline::StorageFormat::kEncoded, &codec);
+    pipeline::PipelineConfig pcfg;
+    pcfg.batch_size = 2;
+    pcfg.seed = 17;
+    pipeline::DataPipeline pipe(dataset, codec, pcfg);
+
+    Rng rng(941);
+    auto model = apps::build_cosmoflow_model(16, rng);
+    dnn::Sgd optimizer(*model, {.learning_rate = 0.02F, .momentum = 0.9F});
+    std::vector<double> losses;
+    pipeline::Batch batch;
+    while (pipe.next_batch(batch)) {
+      double batch_loss = 0;
+      for (const auto& tensor : batch.samples) {
+        const dnn::Tensor input = apps::cosmo_input_from_fp16(tensor);
+        const auto loss =
+            dnn::mse_loss(model->forward(input), tensor.float_labels);
+        model->backward(loss.grad);
+        batch_loss += loss.loss;
+      }
+      optimizer.step(static_cast<float>(batch.size()));
+      losses.push_back(batch_loss);
+    }
+    return losses;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------------------
+// The full measured->modelled chain used by the figure benches.
+// ---------------------------------------------------------------------------
+TEST(Integration, StepModelConsumesMeasuredProfiles) {
+  const auto profile =
+      apps::measure_cosmo(apps::LoaderConfig::kGpuPlugin, 16, 1, 950);
+  sim::StepScenario scenario;
+  scenario.platform = sim::cori_v100();
+  scenario.samples_per_node = 128 * 8;
+  scenario.batch_size = 4;
+  const auto breakdown = sim::model_step(scenario, profile.profile);
+  EXPECT_GT(breakdown.step_seconds(), 0);
+  EXPECT_GT(breakdown.gpu_decode, 0);
+  EXPECT_GT(sim::node_samples_per_second(scenario, breakdown), 0);
+}
+
+}  // namespace
+}  // namespace sciprep
