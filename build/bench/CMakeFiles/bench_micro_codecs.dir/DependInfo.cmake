@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_codecs.cpp" "bench/CMakeFiles/bench_micro_codecs.dir/bench_micro_codecs.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_codecs.dir/bench_micro_codecs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sciprep/codec/CMakeFiles/sciprep_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sciprep/data/CMakeFiles/sciprep_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sciprep/pipeline/CMakeFiles/sciprep_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sciprep/io/CMakeFiles/sciprep_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sciprep/compress/CMakeFiles/sciprep_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sciprep/sim/CMakeFiles/sciprep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sciprep/common/CMakeFiles/sciprep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

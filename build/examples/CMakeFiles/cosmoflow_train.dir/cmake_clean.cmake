@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmoflow_train.dir/cosmoflow_train.cpp.o"
+  "CMakeFiles/cosmoflow_train.dir/cosmoflow_train.cpp.o.d"
+  "cosmoflow_train"
+  "cosmoflow_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmoflow_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcam_pipeline.dir/deepcam_pipeline.cpp.o"
+  "CMakeFiles/deepcam_pipeline.dir/deepcam_pipeline.cpp.o.d"
+  "deepcam_pipeline"
+  "deepcam_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcam_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sciprep/common")
+subdirs("sciprep/compress")
+subdirs("sciprep/io")
+subdirs("sciprep/data")
+subdirs("sciprep/codec")
+subdirs("sciprep/sim")
+subdirs("sciprep/pipeline")
+subdirs("sciprep/dnn")
+subdirs("sciprep/apps")

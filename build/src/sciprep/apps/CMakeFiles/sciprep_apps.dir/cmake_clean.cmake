@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciprep_apps.dir/measure.cpp.o"
+  "CMakeFiles/sciprep_apps.dir/measure.cpp.o.d"
+  "CMakeFiles/sciprep_apps.dir/models.cpp.o"
+  "CMakeFiles/sciprep_apps.dir/models.cpp.o.d"
+  "CMakeFiles/sciprep_apps.dir/trainer.cpp.o"
+  "CMakeFiles/sciprep_apps.dir/trainer.cpp.o.d"
+  "libsciprep_apps.a"
+  "libsciprep_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciprep_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciprep_codec.dir/cam_codec.cpp.o"
+  "CMakeFiles/sciprep_codec.dir/cam_codec.cpp.o.d"
+  "CMakeFiles/sciprep_codec.dir/cosmo_codec.cpp.o"
+  "CMakeFiles/sciprep_codec.dir/cosmo_codec.cpp.o.d"
+  "CMakeFiles/sciprep_codec.dir/registry.cpp.o"
+  "CMakeFiles/sciprep_codec.dir/registry.cpp.o.d"
+  "libsciprep_codec.a"
+  "libsciprep_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciprep_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sciprep/common/crc.cpp" "src/sciprep/common/CMakeFiles/sciprep_common.dir/crc.cpp.o" "gcc" "src/sciprep/common/CMakeFiles/sciprep_common.dir/crc.cpp.o.d"
+  "/root/repo/src/sciprep/common/fp16.cpp" "src/sciprep/common/CMakeFiles/sciprep_common.dir/fp16.cpp.o" "gcc" "src/sciprep/common/CMakeFiles/sciprep_common.dir/fp16.cpp.o.d"
+  "/root/repo/src/sciprep/common/log.cpp" "src/sciprep/common/CMakeFiles/sciprep_common.dir/log.cpp.o" "gcc" "src/sciprep/common/CMakeFiles/sciprep_common.dir/log.cpp.o.d"
+  "/root/repo/src/sciprep/common/stats.cpp" "src/sciprep/common/CMakeFiles/sciprep_common.dir/stats.cpp.o" "gcc" "src/sciprep/common/CMakeFiles/sciprep_common.dir/stats.cpp.o.d"
+  "/root/repo/src/sciprep/common/threadpool.cpp" "src/sciprep/common/CMakeFiles/sciprep_common.dir/threadpool.cpp.o" "gcc" "src/sciprep/common/CMakeFiles/sciprep_common.dir/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciprep_common.dir/crc.cpp.o"
+  "CMakeFiles/sciprep_common.dir/crc.cpp.o.d"
+  "CMakeFiles/sciprep_common.dir/fp16.cpp.o"
+  "CMakeFiles/sciprep_common.dir/fp16.cpp.o.d"
+  "CMakeFiles/sciprep_common.dir/log.cpp.o"
+  "CMakeFiles/sciprep_common.dir/log.cpp.o.d"
+  "CMakeFiles/sciprep_common.dir/stats.cpp.o"
+  "CMakeFiles/sciprep_common.dir/stats.cpp.o.d"
+  "CMakeFiles/sciprep_common.dir/threadpool.cpp.o"
+  "CMakeFiles/sciprep_common.dir/threadpool.cpp.o.d"
+  "libsciprep_common.a"
+  "libsciprep_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciprep_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sciprep/compress/deflate.cpp" "src/sciprep/compress/CMakeFiles/sciprep_compress.dir/deflate.cpp.o" "gcc" "src/sciprep/compress/CMakeFiles/sciprep_compress.dir/deflate.cpp.o.d"
+  "/root/repo/src/sciprep/compress/gzip.cpp" "src/sciprep/compress/CMakeFiles/sciprep_compress.dir/gzip.cpp.o" "gcc" "src/sciprep/compress/CMakeFiles/sciprep_compress.dir/gzip.cpp.o.d"
+  "/root/repo/src/sciprep/compress/huffman.cpp" "src/sciprep/compress/CMakeFiles/sciprep_compress.dir/huffman.cpp.o" "gcc" "src/sciprep/compress/CMakeFiles/sciprep_compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/sciprep/compress/lz77.cpp" "src/sciprep/compress/CMakeFiles/sciprep_compress.dir/lz77.cpp.o" "gcc" "src/sciprep/compress/CMakeFiles/sciprep_compress.dir/lz77.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sciprep/common/CMakeFiles/sciprep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciprep_compress.dir/deflate.cpp.o"
+  "CMakeFiles/sciprep_compress.dir/deflate.cpp.o.d"
+  "CMakeFiles/sciprep_compress.dir/gzip.cpp.o"
+  "CMakeFiles/sciprep_compress.dir/gzip.cpp.o.d"
+  "CMakeFiles/sciprep_compress.dir/huffman.cpp.o"
+  "CMakeFiles/sciprep_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/sciprep_compress.dir/lz77.cpp.o"
+  "CMakeFiles/sciprep_compress.dir/lz77.cpp.o.d"
+  "libsciprep_compress.a"
+  "libsciprep_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciprep_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciprep_data.dir/cam_gen.cpp.o"
+  "CMakeFiles/sciprep_data.dir/cam_gen.cpp.o.d"
+  "CMakeFiles/sciprep_data.dir/cosmo_gen.cpp.o"
+  "CMakeFiles/sciprep_data.dir/cosmo_gen.cpp.o.d"
+  "libsciprep_data.a"
+  "libsciprep_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciprep_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

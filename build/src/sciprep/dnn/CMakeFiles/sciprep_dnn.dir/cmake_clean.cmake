@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciprep_dnn.dir/layers.cpp.o"
+  "CMakeFiles/sciprep_dnn.dir/layers.cpp.o.d"
+  "CMakeFiles/sciprep_dnn.dir/loss.cpp.o"
+  "CMakeFiles/sciprep_dnn.dir/loss.cpp.o.d"
+  "CMakeFiles/sciprep_dnn.dir/optimizer.cpp.o"
+  "CMakeFiles/sciprep_dnn.dir/optimizer.cpp.o.d"
+  "libsciprep_dnn.a"
+  "libsciprep_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciprep_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

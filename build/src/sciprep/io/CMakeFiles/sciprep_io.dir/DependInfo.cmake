@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sciprep/io/h5lite.cpp" "src/sciprep/io/CMakeFiles/sciprep_io.dir/h5lite.cpp.o" "gcc" "src/sciprep/io/CMakeFiles/sciprep_io.dir/h5lite.cpp.o.d"
+  "/root/repo/src/sciprep/io/samples.cpp" "src/sciprep/io/CMakeFiles/sciprep_io.dir/samples.cpp.o" "gcc" "src/sciprep/io/CMakeFiles/sciprep_io.dir/samples.cpp.o.d"
+  "/root/repo/src/sciprep/io/tfexample.cpp" "src/sciprep/io/CMakeFiles/sciprep_io.dir/tfexample.cpp.o" "gcc" "src/sciprep/io/CMakeFiles/sciprep_io.dir/tfexample.cpp.o.d"
+  "/root/repo/src/sciprep/io/tfrecord.cpp" "src/sciprep/io/CMakeFiles/sciprep_io.dir/tfrecord.cpp.o" "gcc" "src/sciprep/io/CMakeFiles/sciprep_io.dir/tfrecord.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sciprep/common/CMakeFiles/sciprep_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sciprep/compress/CMakeFiles/sciprep_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciprep_io.dir/h5lite.cpp.o"
+  "CMakeFiles/sciprep_io.dir/h5lite.cpp.o.d"
+  "CMakeFiles/sciprep_io.dir/samples.cpp.o"
+  "CMakeFiles/sciprep_io.dir/samples.cpp.o.d"
+  "CMakeFiles/sciprep_io.dir/tfexample.cpp.o"
+  "CMakeFiles/sciprep_io.dir/tfexample.cpp.o.d"
+  "CMakeFiles/sciprep_io.dir/tfrecord.cpp.o"
+  "CMakeFiles/sciprep_io.dir/tfrecord.cpp.o.d"
+  "libsciprep_io.a"
+  "libsciprep_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciprep_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

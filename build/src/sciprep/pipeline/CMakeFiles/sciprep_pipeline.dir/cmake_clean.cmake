@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciprep_pipeline.dir/dataset.cpp.o"
+  "CMakeFiles/sciprep_pipeline.dir/dataset.cpp.o.d"
+  "CMakeFiles/sciprep_pipeline.dir/ops.cpp.o"
+  "CMakeFiles/sciprep_pipeline.dir/ops.cpp.o.d"
+  "CMakeFiles/sciprep_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/sciprep_pipeline.dir/pipeline.cpp.o.d"
+  "libsciprep_pipeline.a"
+  "libsciprep_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciprep_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sciprep/sim/memhier.cpp" "src/sciprep/sim/CMakeFiles/sciprep_sim.dir/memhier.cpp.o" "gcc" "src/sciprep/sim/CMakeFiles/sciprep_sim.dir/memhier.cpp.o.d"
+  "/root/repo/src/sciprep/sim/platform.cpp" "src/sciprep/sim/CMakeFiles/sciprep_sim.dir/platform.cpp.o" "gcc" "src/sciprep/sim/CMakeFiles/sciprep_sim.dir/platform.cpp.o.d"
+  "/root/repo/src/sciprep/sim/simgpu.cpp" "src/sciprep/sim/CMakeFiles/sciprep_sim.dir/simgpu.cpp.o" "gcc" "src/sciprep/sim/CMakeFiles/sciprep_sim.dir/simgpu.cpp.o.d"
+  "/root/repo/src/sciprep/sim/stepmodel.cpp" "src/sciprep/sim/CMakeFiles/sciprep_sim.dir/stepmodel.cpp.o" "gcc" "src/sciprep/sim/CMakeFiles/sciprep_sim.dir/stepmodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sciprep/common/CMakeFiles/sciprep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

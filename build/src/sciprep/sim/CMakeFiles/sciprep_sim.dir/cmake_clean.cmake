@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciprep_sim.dir/memhier.cpp.o"
+  "CMakeFiles/sciprep_sim.dir/memhier.cpp.o.d"
+  "CMakeFiles/sciprep_sim.dir/platform.cpp.o"
+  "CMakeFiles/sciprep_sim.dir/platform.cpp.o.d"
+  "CMakeFiles/sciprep_sim.dir/simgpu.cpp.o"
+  "CMakeFiles/sciprep_sim.dir/simgpu.cpp.o.d"
+  "CMakeFiles/sciprep_sim.dir/stepmodel.cpp.o"
+  "CMakeFiles/sciprep_sim.dir/stepmodel.cpp.o.d"
+  "libsciprep_sim.a"
+  "libsciprep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciprep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

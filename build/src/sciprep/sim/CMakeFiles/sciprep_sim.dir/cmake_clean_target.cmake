@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsciprep_sim.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for sciprep_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec_cam.dir/codec_cam.cpp.o"
+  "CMakeFiles/test_codec_cam.dir/codec_cam.cpp.o.d"
+  "test_codec_cam"
+  "test_codec_cam.pdb"
+  "test_codec_cam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec_cam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

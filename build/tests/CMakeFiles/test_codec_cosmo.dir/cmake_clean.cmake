@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec_cosmo.dir/codec_cosmo.cpp.o"
+  "CMakeFiles/test_codec_cosmo.dir/codec_cosmo.cpp.o.d"
+  "test_codec_cosmo"
+  "test_codec_cosmo.pdb"
+  "test_codec_cosmo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec_cosmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
