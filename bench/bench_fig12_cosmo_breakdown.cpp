@@ -11,9 +11,10 @@
 #include "bench_util.hpp"
 #include "sciprep/apps/measure.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sciprep;
   using apps::LoaderConfig;
+  const auto obs_flags = benchutil::parse_obs_flags(argc, argv);
 
   benchutil::print_header(
       "Figure 12 — CosmoFlow time breakdown (ms/sample), small set, batch 4");
@@ -56,5 +57,6 @@ int main() {
   std::printf(
       "paper: decode overhead < 1%% of per-sample processing for CosmoFlow;\n"
       "see the gpuDecode column vs the step total above.\n");
+  benchutil::write_obs_outputs(obs_flags);
   return 0;
 }

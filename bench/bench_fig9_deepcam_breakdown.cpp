@@ -10,9 +10,10 @@
 #include "bench_util.hpp"
 #include "sciprep/apps/measure.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sciprep;
   using apps::LoaderConfig;
+  const auto obs_flags = benchutil::parse_obs_flags(argc, argv);
 
   benchutil::print_header(
       "Figure 9 — DeepCAM time breakdown (ms/sample), small set, batch 4");
@@ -49,5 +50,6 @@ int main() {
       "the A100; the plugin exposes the accelerator's raw speed and reduces\n"
       "allreduce contention (contention term visible in the allreduce "
       "column).\n");
+  benchutil::write_obs_outputs(obs_flags);
   return 0;
 }

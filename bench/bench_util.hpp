@@ -8,10 +8,50 @@
 #include <vector>
 
 #include "sciprep/common/format.hpp"
+#include "sciprep/obs/obs.hpp"
 #include "sciprep/sim/platform.hpp"
 #include "sciprep/sim/stepmodel.hpp"
 
 namespace benchutil {
+
+/// Observability outputs shared by the bench mains.
+struct ObsFlags {
+  std::string trace_out;    // --trace-out FILE: span timeline (Chrome JSON)
+  std::string metrics_out;  // --metrics-out FILE: metrics registry dump
+};
+
+/// Parse --trace-out / --metrics-out and enable the global tracer when a
+/// trace was requested. Unknown flags are ignored (benches keep their own
+/// positional arguments).
+inline ObsFlags parse_obs_flags(int argc, char** argv) {
+  ObsFlags flags;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace-out") {
+      flags.trace_out = argv[++i];
+    } else if (a == "--metrics-out") {
+      flags.metrics_out = argv[++i];
+    }
+  }
+  if (!flags.trace_out.empty()) {
+    sciprep::obs::Tracer::global().set_enabled(true);
+  }
+  return flags;
+}
+
+/// Write whichever outputs were requested (call at the end of main).
+inline void write_obs_outputs(const ObsFlags& flags) {
+  if (!flags.trace_out.empty()) {
+    sciprep::obs::Tracer::global().write_chrome_json(flags.trace_out);
+    std::printf("trace: %zu spans -> %s\n",
+                sciprep::obs::Tracer::global().size(),
+                flags.trace_out.c_str());
+  }
+  if (!flags.metrics_out.empty()) {
+    sciprep::obs::MetricsRegistry::global().write_json(flags.metrics_out);
+    std::printf("metrics: -> %s\n", flags.metrics_out.c_str());
+  }
+}
 
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");

@@ -9,6 +9,7 @@
 #include "sciprep/data/cam_gen.hpp"
 #include "sciprep/data/cosmo_gen.hpp"
 #include "sciprep/io/tfrecord.hpp"
+#include "sciprep/obs/obs.hpp"
 
 namespace sciprep::apps {
 
@@ -109,6 +110,12 @@ const char* loader_config_name(LoaderConfig config) {
 
 MeasuredWorkload measure_cosmo(LoaderConfig config, int dim, int repeat,
                                std::uint64_t seed) {
+  SCIPREP_OBS_SPAN_NAMED(measure_span, "apps.measure_cosmo", "apps");
+  if (measure_span.active()) {
+    measure_span.set_args_json(fmt(
+        "{{\"config\": \"{}\", \"dim\": {}, \"repeat\": {}}}",
+        loader_config_name(config), dim, repeat));
+  }
   calibrate_simgpu_once();
   data::CosmoGenConfig gen_cfg;
   gen_cfg.dim = dim;
@@ -204,6 +211,13 @@ MeasuredWorkload measure_cosmo(LoaderConfig config, int dim, int repeat,
 
 MeasuredWorkload measure_cam(LoaderConfig config, int height, int width,
                              int channels, int repeat, std::uint64_t seed) {
+  SCIPREP_OBS_SPAN_NAMED(measure_span, "apps.measure_cam", "apps");
+  if (measure_span.active()) {
+    measure_span.set_args_json(fmt(
+        "{{\"config\": \"{}\", \"height\": {}, \"width\": {}, "
+        "\"channels\": {}, \"repeat\": {}}}",
+        loader_config_name(config), height, width, channels, repeat));
+  }
   calibrate_simgpu_once();
   if (config == LoaderConfig::kGzip) {
     throw ConfigError(

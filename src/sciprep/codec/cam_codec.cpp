@@ -5,6 +5,7 @@
 
 #include "sciprep/common/error.hpp"
 #include "sciprep/compress/deflate.hpp"
+#include "sciprep/obs/obs.hpp"
 
 namespace sciprep::codec {
 
@@ -719,18 +720,28 @@ TensorF16 CamCodec::reference_preprocess_sample(const io::CamSample& sample,
 }
 
 Bytes CamCodec::encode(ByteSpan raw_sample) const {
-  return encode_sample(io::CamSample::parse(raw_sample));
+  SCIPREP_OBS_SPAN("codec.cam.encode", "codec");
+  SCIPREP_OBS_COUNT("codec.cam.encode_bytes_in_total", raw_sample.size());
+  Bytes out = encode_sample(io::CamSample::parse(raw_sample));
+  SCIPREP_OBS_COUNT("codec.cam.encode_bytes_out_total", out.size());
+  return out;
 }
 
 TensorF16 CamCodec::decode_cpu(ByteSpan encoded) const {
+  SCIPREP_OBS_SPAN("codec.cam.decode_cpu", "codec");
+  SCIPREP_OBS_COUNT("codec.cam.decode_bytes_in_total", encoded.size());
   return decode_sample_cpu(encoded);
 }
 
 TensorF16 CamCodec::decode_gpu(ByteSpan encoded, sim::SimGpu& gpu) const {
+  SCIPREP_OBS_SPAN("codec.cam.decode_gpu", "codec");
+  SCIPREP_OBS_COUNT("codec.cam.decode_bytes_in_total", encoded.size());
   return decode_sample_gpu(encoded, gpu);
 }
 
 TensorF16 CamCodec::reference_preprocess(ByteSpan raw_sample) const {
+  SCIPREP_OBS_SPAN("codec.cam.reference_preprocess", "codec");
+  SCIPREP_OBS_COUNT("codec.cam.reference_bytes_in_total", raw_sample.size());
   return reference_preprocess_sample(io::CamSample::parse(raw_sample),
                                      encode_options_.normalize,
                                      decode_options_.layout);

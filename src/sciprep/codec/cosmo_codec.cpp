@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "sciprep/common/error.hpp"
+#include "sciprep/obs/obs.hpp"
 
 namespace sciprep::codec {
 
@@ -269,13 +270,21 @@ ParsedCosmo parse_cosmo(ByteSpan encoded) {
   return p;
 }
 
+/// Reads the i-th little-endian int32 from an encoded table byte stream.
+/// The stream sits at an arbitrary offset inside the serialized sample, so a
+/// reinterpret_cast'ed array access would be a misaligned load.
+std::int32_t load_table_count(const std::uint8_t* table_bytes, std::size_t i) {
+  std::int32_t v;
+  std::memcpy(&v, table_bytes + i * sizeof(std::int32_t), sizeof(v));
+  return v;
+}
+
 /// Materialize a block's FP16 table: the fused log1p is applied to the unique
 /// groups only — three orders of magnitude fewer values than the volume.
 std::vector<Half> build_fp16_table(const ParsedBlock& b, bool log1p) {
   std::vector<Half> table(static_cast<std::size_t>(b.group_count) * kR);
-  const auto* raw = reinterpret_cast<const std::int32_t*>(b.table.data());
   for (std::size_t i = 0; i < table.size(); ++i) {
-    table[i] = transform_count(raw[i], log1p);
+    table[i] = transform_count(load_table_count(b.table.data(), i), log1p);
   }
   return table;
 }
@@ -357,7 +366,7 @@ TensorF16 CosmoCodec::decode_sample_gpu(ByteSpan encoded,
   for (const ParsedBlock& b : p.blocks) {
     // Table construction is itself a small kernel: one lane per table entry.
     std::vector<Half> table(static_cast<std::size_t>(b.group_count) * kR);
-    const auto* raw_table = reinterpret_cast<const std::int32_t*>(b.table.data());
+    const std::uint8_t* raw_table = b.table.data();
     const std::size_t table_values = table.size();
     const bool log1p = p.log1p;
     gpu.launch((table_values + sim::Warp::kLanes - 1) / sim::Warp::kLanes,
@@ -367,7 +376,8 @@ TensorF16 CosmoCodec::decode_sample_gpu(ByteSpan encoded,
                        warp.id() * sim::Warp::kLanes +
                        static_cast<std::size_t>(lane);
                    if (i >= table_values) return;
-                   table[i] = transform_count(raw_table[i], log1p);
+                   table[i] =
+                       transform_count(load_table_count(raw_table, i), log1p);
                  });
                  warp.count_read(sim::Warp::kLanes * sizeof(std::int32_t));
                  warp.count_write(sim::Warp::kLanes * sizeof(Half));
@@ -489,18 +499,28 @@ TensorF16 CosmoCodec::reference_preprocess_sample(const io::CosmoSample& sample,
 }
 
 Bytes CosmoCodec::encode(ByteSpan raw_sample) const {
-  return encode_sample(io::CosmoSample::parse(raw_sample));
+  SCIPREP_OBS_SPAN("codec.cosmo.encode", "codec");
+  SCIPREP_OBS_COUNT("codec.cosmo.encode_bytes_in_total", raw_sample.size());
+  Bytes out = encode_sample(io::CosmoSample::parse(raw_sample));
+  SCIPREP_OBS_COUNT("codec.cosmo.encode_bytes_out_total", out.size());
+  return out;
 }
 
 TensorF16 CosmoCodec::decode_cpu(ByteSpan encoded) const {
+  SCIPREP_OBS_SPAN("codec.cosmo.decode_cpu", "codec");
+  SCIPREP_OBS_COUNT("codec.cosmo.decode_bytes_in_total", encoded.size());
   return decode_sample_cpu(encoded);
 }
 
 TensorF16 CosmoCodec::decode_gpu(ByteSpan encoded, sim::SimGpu& gpu) const {
+  SCIPREP_OBS_SPAN("codec.cosmo.decode_gpu", "codec");
+  SCIPREP_OBS_COUNT("codec.cosmo.decode_bytes_in_total", encoded.size());
   return decode_sample_gpu(encoded, gpu);
 }
 
 TensorF16 CosmoCodec::reference_preprocess(ByteSpan raw_sample) const {
+  SCIPREP_OBS_SPAN("codec.cosmo.reference_preprocess", "codec");
+  SCIPREP_OBS_COUNT("codec.cosmo.reference_bytes_in_total", raw_sample.size());
   return reference_preprocess_sample(io::CosmoSample::parse(raw_sample),
                                      options_.fuse_log1p);
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "sciprep/common/error.hpp"
 #include "sciprep/common/format.hpp"
@@ -78,15 +80,130 @@ double FrequencyTable::power_law_slope(std::size_t ranks) const {
   return denom == 0.0 ? 0.0 : (dn * sxy - sx * sy) / denom;
 }
 
-double percentile(std::span<const double> sorted_values, double q) {
-  SCIPREP_ASSERT(!sorted_values.empty());
+double percentile(std::span<const double> values, double q) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
+}
+
+double percentile_sorted(std::span<const double> sorted_values, double q) {
   SCIPREP_ASSERT(q >= 0.0 && q <= 1.0);
+  if (sorted_values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  SCIPREP_ASSERT(std::is_sorted(sorted_values.begin(), sorted_values.end()));
   if (sorted_values.size() == 1) return sorted_values[0];
   const double pos = q * static_cast<double>(sorted_values.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, sorted_values.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac;
+}
+
+LogHistogram::LogHistogram() : LogHistogram(Options()) {}
+
+LogHistogram::LogHistogram(Options options) : options_(options) {
+  SCIPREP_ASSERT(options_.min_value > 0);
+  SCIPREP_ASSERT(options_.max_value > options_.min_value);
+  SCIPREP_ASSERT(options_.buckets_per_octave >= 1);
+  log2_min_ = std::log2(options_.min_value);
+  const double octaves =
+      std::log2(options_.max_value) - log2_min_;
+  const auto spans = static_cast<std::size_t>(
+      std::ceil(octaves * options_.buckets_per_octave));
+  // Bucket 0 is the underflow bucket; the last bucket doubles as overflow.
+  buckets_.assign(1 + std::max<std::size_t>(1, spans), 0);
+}
+
+std::size_t LogHistogram::bucket_index(double value) const noexcept {
+  if (!(value > options_.min_value)) return 0;  // also catches NaN
+  const double octaves = std::log2(value) - log2_min_;
+  const auto idx = 1 + static_cast<std::size_t>(
+                           octaves * options_.buckets_per_octave);
+  return std::min(idx, buckets_.size() - 1);
+}
+
+double LogHistogram::bucket_lower(std::size_t index) const noexcept {
+  if (index == 0) return 0.0;
+  return std::exp2(log2_min_ + static_cast<double>(index - 1) /
+                                   options_.buckets_per_octave);
+}
+
+double LogHistogram::bucket_upper(std::size_t index) const noexcept {
+  if (index + 1 >= buckets_.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::exp2(log2_min_ +
+                   static_cast<double>(index) / options_.buckets_per_octave);
+}
+
+void LogHistogram::record(double value, std::uint64_t weight) {
+  if (weight == 0) return;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  buckets_[bucket_index(value)] += weight;
+  count_ += weight;
+  sum_ += value * static_cast<double>(weight);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  SCIPREP_ASSERT(buckets_.size() == other.buckets_.size());
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::mean() const noexcept {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                     : sum_ / static_cast<double>(count_);
+}
+
+double LogHistogram::min() const noexcept {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double LogHistogram::max() const noexcept {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
+double LogHistogram::quantile(double q) const {
+  SCIPREP_ASSERT(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  // Exact at the extremes (min/max are tracked alongside the buckets).
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  // Same rank convention as percentile(): rank q*(n-1) over the samples.
+  const double target = q * static_cast<double>(count_ - 1);
+  std::uint64_t before = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const auto in_bucket = static_cast<double>(buckets_[i]);
+    if (target < static_cast<double>(before) + in_bucket) {
+      const double frac =
+          (target - static_cast<double>(before) + 0.5) / in_bucket;
+      const double lo = std::max(bucket_lower(i), options_.min_value *
+                                                      0.5);  // avoid log(0)
+      double hi = bucket_upper(i);
+      if (!std::isfinite(hi)) hi = std::max(max_, lo * 2);
+      const double v = lo * std::pow(hi / lo, std::clamp(frac, 0.0, 1.0));
+      return std::clamp(v, min_, max_);
+    }
+    before += buckets_[i];
+  }
+  return max_;
 }
 
 std::string format_bytes(std::uint64_t bytes) {

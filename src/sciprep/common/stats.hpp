@@ -61,8 +61,70 @@ class FrequencyTable {
   std::uint64_t total_ = 0;
 };
 
-/// Percentile of a sample set (linear interpolation, q in [0,1]).
-double percentile(std::span<const double> sorted_values, double q);
+/// Percentile of a sample set (linear interpolation, q in [0,1]). The input
+/// need not be sorted — an internal copy is sorted. Returns NaN on empty
+/// input.
+double percentile(std::span<const double> values, double q);
+
+/// Percentile of an already-sorted sample set (asserts sortedness instead of
+/// copying). Returns NaN on empty input.
+double percentile_sorted(std::span<const double> sorted_values, double q);
+
+/// Log-bucketed histogram for positive measurements (latencies, byte sizes).
+///
+/// Bucket 0 catches values <= min_value ("underflow"); the remaining buckets
+/// partition [min_value, max_value] into `buckets_per_octave` geometric
+/// sub-buckets per power of two, and the final bucket additionally absorbs
+/// values above max_value. Exact count/sum/min/max are tracked alongside the
+/// buckets, so quantile() is bucket-resolution-accurate in the middle of the
+/// distribution and exact at the extremes.
+class LogHistogram {
+ public:
+  struct Options {
+    double min_value = 1e-9;  // one nanosecond, when recording seconds
+    double max_value = 1e3;
+    int buckets_per_octave = 4;
+  };
+
+  LogHistogram();  // default Options
+  explicit LogHistogram(Options options);
+
+  void record(double value, std::uint64_t weight = 1);
+  /// Accumulate another histogram with identical Options.
+  void merge(const LogHistogram& other);
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] std::size_t bucket_index(double value) const noexcept;
+  /// Inclusive-exclusive value range [lower, upper) covered by a bucket.
+  /// bucket_lower(0) == 0; bucket_upper of the last bucket is +infinity.
+  [[nodiscard]] double bucket_lower(std::size_t index) const noexcept;
+  [[nodiscard]] double bucket_upper(std::size_t index) const noexcept;
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const noexcept;  // NaN when empty
+  [[nodiscard]] double max() const noexcept;  // NaN when empty
+  /// Quantile estimate (q in [0,1]); geometric interpolation inside the
+  /// bucket holding the target rank, clamped to the observed [min, max].
+  /// Returns NaN when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_;
+  double log2_min_ = 0;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
 
 /// Format a byte count as a human-readable string ("3.2 GiB").
 std::string format_bytes(std::uint64_t bytes);

@@ -5,6 +5,12 @@
 
 namespace sciprep {
 
+std::uint32_t thread_index() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t index = next.fetch_add(1);
+  return index;
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -26,12 +32,22 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth = 0;
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
+    depth = queue_.size();
   }
   cv_task_.notify_one();
+  if (ThreadPoolObserver* obs = observer_.load()) {
+    obs->on_enqueue(depth);
+  }
 }
 
 void ThreadPool::wait_idle() {
@@ -65,7 +81,7 @@ void ThreadPool::parallel_for(std::size_t n,
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock(mutex_);
       cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -76,13 +92,20 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
+    const auto started = std::chrono::steady_clock::now();
     try {
-      task();
+      task.fn();
     } catch (...) {
       std::lock_guard lock(mutex_);
       if (!first_error_) {
         first_error_ = std::current_exception();
       }
+    }
+    if (ThreadPoolObserver* obs = observer_.load()) {
+      const auto finished = std::chrono::steady_clock::now();
+      obs->on_task_complete(
+          std::chrono::duration<double>(started - task.enqueued_at).count(),
+          std::chrono::duration<double>(finished - started).count());
     }
     {
       std::lock_guard lock(mutex_);

@@ -6,8 +6,11 @@
 // rethrown on the calling thread.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -16,6 +19,25 @@
 #include <vector>
 
 namespace sciprep {
+
+/// Small dense id for the calling thread (0 for the first thread that asks).
+/// Stable for the thread's lifetime; used for log lines and trace spans.
+std::uint32_t thread_index() noexcept;
+
+/// Observation hook for ThreadPool queue/task telemetry. Implementations
+/// must be thread-safe; callbacks run on submitter and worker threads.
+class ThreadPoolObserver {
+ public:
+  virtual ~ThreadPoolObserver() = default;
+  /// A task was queued; `queue_depth` counts it.
+  virtual void on_enqueue(std::size_t queue_depth) { (void)queue_depth; }
+  /// A task finished. `queue_seconds` is the time it waited in the queue,
+  /// `run_seconds` the time it ran (including a throwing run).
+  virtual void on_task_complete(double queue_seconds, double run_seconds) {
+    (void)queue_seconds;
+    (void)run_seconds;
+  }
+};
 
 class ThreadPool {
  public:
@@ -30,6 +52,15 @@ class ThreadPool {
     return workers_.size();
   }
 
+  /// Attach an unowned observer (nullptr detaches). The observer must
+  /// outlive the pool or be detached before destruction.
+  void set_observer(ThreadPoolObserver* observer) noexcept {
+    observer_.store(observer);
+  }
+
+  /// Tasks currently waiting in the queue (excludes running tasks).
+  [[nodiscard]] std::size_t queue_depth() const;
+
   /// Enqueue one task; returns immediately.
   void submit(std::function<void()> task);
 
@@ -42,16 +73,22 @@ class ThreadPool {
                     std::size_t grain = 1);
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  std::deque<QueuedTask> queue_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t active_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_error_;
+  std::atomic<ThreadPoolObserver*> observer_{nullptr};
 };
 
 /// Process-wide shared pool for callers that do not manage their own.

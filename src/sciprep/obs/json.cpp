@@ -1,0 +1,217 @@
+#include "sciprep/obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace sciprep::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+namespace {
+
+/// Recursive-descent RFC 8259 validator over [p, end).
+class Validator {
+ public:
+  Validator(const char* p, const char* end) : p_(p), end_(end) {}
+
+  bool run() {
+    skip_ws();
+    if (!value(0)) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (static_cast<std::size_t>(end_ - p_) < word.size()) return false;
+    if (std::string_view(p_, word.size()) != word) return false;
+    p_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (p_ == end_ || *p_ != '"') return false;
+    ++p_;
+    while (p_ != end_) {
+      const unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') {
+        ++p_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control char
+      if (c == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+        const char esc = *p_;
+        if (esc == 'u') {
+          ++p_;
+          for (int i = 0; i < 4; ++i, ++p_) {
+            if (p_ == end_ || !std::isxdigit(static_cast<unsigned char>(*p_)))
+              return false;
+          }
+          continue;
+        }
+        if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+            esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+      ++p_;
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+      return false;
+    while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    return true;
+  }
+
+  bool number() {
+    if (p_ != end_ && *p_ == '-') ++p_;
+    if (p_ == end_) return false;
+    if (*p_ == '0') {
+      ++p_;
+    } else if (!digits()) {
+      return false;
+    }
+    if (p_ != end_ && *p_ == '.') {
+      ++p_;
+      if (!digits()) return false;
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value(int depth) {
+    if (depth > kMaxDepth || p_ == end_) return false;
+    switch (*p_) {
+      case '{': {
+        ++p_;
+        skip_ws();
+        if (p_ != end_ && *p_ == '}') {
+          ++p_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          if (!string()) return false;
+          skip_ws();
+          if (p_ == end_ || *p_ != ':') return false;
+          ++p_;
+          skip_ws();
+          if (!value(depth + 1)) return false;
+          skip_ws();
+          if (p_ == end_) return false;
+          if (*p_ == ',') {
+            ++p_;
+            continue;
+          }
+          if (*p_ == '}') {
+            ++p_;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '[': {
+        ++p_;
+        skip_ws();
+        if (p_ != end_ && *p_ == ']') {
+          ++p_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          if (!value(depth + 1)) return false;
+          skip_ws();
+          if (p_ == end_) return false;
+          if (*p_ == ',') {
+            ++p_;
+            continue;
+          }
+          if (*p_ == ']') {
+            ++p_;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  return Validator(text.data(), text.data() + text.size()).run();
+}
+
+}  // namespace sciprep::obs

@@ -1,0 +1,23 @@
+// Tiny JSON utilities for the observability layer: string escaping for the
+// writers, number formatting that never emits invalid tokens (NaN/inf become
+// null), and a strict validating parser used by the trace smoke tests and
+// `trainer --validate`. This is deliberately not a DOM library — the obs
+// layer only ever writes JSON and checks that what it wrote parses.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sciprep::obs {
+
+/// Escape `s` for inclusion inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+/// Format a double as a JSON value: "null" for NaN/inf, shortest-ish %.12g
+/// otherwise.
+std::string json_number(double v);
+
+/// Strict whole-document validity check (RFC 8259 grammar, depth-limited).
+[[nodiscard]] bool json_valid(std::string_view text);
+
+}  // namespace sciprep::obs

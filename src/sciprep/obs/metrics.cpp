@@ -1,0 +1,169 @@
+#include "sciprep/obs/metrics.hpp"
+
+#include <cstdio>
+
+#include "sciprep/common/error.hpp"
+#include "sciprep/common/log.hpp"
+#include "sciprep/obs/json.hpp"
+
+namespace sciprep::obs {
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  static const bool wired = [] {
+    // Pre-create so every dump shows them, then mirror log events as they
+    // happen. The hook only fires after this block completes, so the
+    // re-entrant global() calls below are safe.
+    registry.counter("log.warnings_total");
+    registry.counter("log.errors_total");
+    set_log_hook([](LogLevel level, std::string_view) {
+      if (level == LogLevel::kWarn) {
+        MetricsRegistry::global().counter("log.warnings_total").add(1);
+      } else if (level == LogLevel::kError) {
+        MetricsRegistry::global().counter("log.errors_total").add(1);
+      }
+    });
+    return true;
+  }();
+  (void)wired;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      LogHistogram::Options options) {
+  std::lock_guard lock(mutex_);
+  return histograms_.try_emplace(name, options).first->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += fmt("\"{}\":{}", json_escape(name), c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += fmt("\"{}\":{{\"value\":{},\"high_watermark\":{}}}",
+               json_escape(name), g.value(), g.high_watermark());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    const LogHistogram snap = h.snapshot();
+    out += fmt(
+        "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},"
+        "\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+        json_escape(name), snap.count(), json_number(snap.sum()),
+        json_number(snap.mean()), json_number(snap.min()),
+        json_number(snap.max()), json_number(snap.quantile(0.50)),
+        json_number(snap.quantile(0.90)), json_number(snap.quantile(0.99)));
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < snap.bucket_count(); ++i) {
+      if (snap.buckets()[i] == 0) continue;  // sparse dump
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += fmt("{{\"lo\":{},\"hi\":{},\"count\":{}}}",
+                 json_number(snap.bucket_lower(i)),
+                 json_number(snap.bucket_upper(i)), snap.buckets()[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::human_dump() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  if (!counters_.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, c] : counters_) {
+      out += fmt("  {:<48} {}\n", name, c.value());
+    }
+  }
+  if (!gauges_.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, g] : gauges_) {
+      out += fmt("  {:<48} {}  (high {})\n", name, g.value(),
+                 g.high_watermark());
+    }
+  }
+  if (!histograms_.empty()) {
+    out += fmt("histograms: {:<36} {:>9} {:>11} {:>11} {:>11} {:>11}\n", "",
+               "count", "mean", "p50", "p90", "p99");
+    for (const auto& [name, h] : histograms_) {
+      const LogHistogram snap = h.snapshot();
+      out += fmt("  {:<46} {:>9} {:>11.4g} {:>11.4g} {:>11.4g} {:>11.4g}\n",
+                 name, snap.count(), snap.mean(), snap.quantile(0.50),
+                 snap.quantile(0.90), snap.quantile(0.99));
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  const std::string doc = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw IoError(fmt("metrics: cannot open '{}' for writing", path));
+  }
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != doc.size() || close_rc != 0) {
+    throw IoError(fmt("metrics: short write to '{}'", path));
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+PoolMetrics::PoolMetrics(MetricsRegistry& registry, const std::string& prefix)
+    : depth_(registry.gauge(prefix + ".queue_depth")),
+      tasks_(registry.counter(prefix + ".tasks_total")),
+      queue_seconds_(registry.histogram(prefix + ".task_queue_seconds")),
+      run_seconds_(registry.histogram(prefix + ".task_run_seconds")) {}
+
+void PoolMetrics::on_enqueue(std::size_t queue_depth) {
+  // Track outstanding work (queued + running) as a +1/-1 pair: unlike
+  // mirroring `queue_depth` (sampled only at enqueue time), this drains back
+  // to zero and its high-watermark is the peak backlog.
+  (void)queue_depth;
+  depth_.add(1);
+}
+
+void PoolMetrics::on_task_complete(double queue_seconds, double run_seconds) {
+  tasks_.add(1);
+  depth_.add(-1);
+  queue_seconds_.record(queue_seconds);
+  run_seconds_.record(run_seconds);
+}
+
+}  // namespace sciprep::obs

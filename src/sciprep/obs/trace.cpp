@@ -1,0 +1,116 @@
+#include "sciprep/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+
+#include "sciprep/common/error.hpp"
+#include "sciprep/common/threadpool.hpp"
+#include "sciprep/obs/json.hpp"
+
+namespace sciprep::obs {
+
+Tracer::Tracer(std::size_t capacity)
+    : ring_(capacity > 0 ? capacity : 1),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::record(std::string_view name, std::string_view category,
+                    std::uint64_t t_start_ns, std::uint64_t t_end_ns,
+                    std::string args_json) {
+  // Writers hold the lock shared: the atomic claim hands each of them a
+  // distinct slot, so they never touch the same span. Exporters hold it
+  // exclusive and therefore see fully-written spans.
+  std::shared_lock lock(mutex_);
+  const std::uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  TraceSpan& span = ring_[slot % ring_.size()];
+  span.name.assign(name);
+  span.category.assign(category);
+  span.thread = thread_index();
+  span.t_start_ns = t_start_ns;
+  span.t_end_ns = t_end_ns;
+  span.args_json = std::move(args_json);
+}
+
+std::size_t Tracer::size() const {
+  const std::uint64_t total = next_.load();
+  return total < ring_.size() ? static_cast<std::size_t>(total) : ring_.size();
+}
+
+std::uint64_t Tracer::total_recorded() const { return next_.load(); }
+
+void Tracer::clear() {
+  std::unique_lock lock(mutex_);
+  next_.store(0);
+  for (TraceSpan& span : ring_) {
+    span = TraceSpan{};
+  }
+}
+
+std::vector<TraceSpan> Tracer::snapshot() const {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t total = next_.load();
+  std::vector<TraceSpan> out;
+  if (total == 0) return out;
+  const std::uint64_t n = std::min<std::uint64_t>(total, ring_.size());
+  out.reserve(static_cast<std::size_t>(n));
+  // Oldest retained span first.
+  const std::uint64_t first = total - n;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(first + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<TraceSpan> spans = snapshot();
+  std::string out;
+  out.reserve(spans.size() * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& span : spans) {
+    if (!first) out += ',';
+    first = false;
+    const double ts_us = static_cast<double>(span.t_start_ns) / 1e3;
+    const double dur_us =
+        static_cast<double>(span.t_end_ns - span.t_start_ns) / 1e3;
+    out += fmt(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":{},\"ts\":{},\"dur\":{}",
+        json_escape(span.name), json_escape(span.category), span.thread,
+        json_number(ts_us), json_number(dur_us));
+    if (!span.args_json.empty()) {
+      out += ",\"args\":";
+      out += span.args_json;
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  const std::string doc = to_chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw IoError(fmt("trace: cannot open '{}' for writing", path));
+  }
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != doc.size() || close_rc != 0) {
+    throw IoError(fmt("trace: short write to '{}'", path));
+  }
+}
+
+}  // namespace sciprep::obs

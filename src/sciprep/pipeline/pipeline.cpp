@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <numeric>
 
 #include "sciprep/common/error.hpp"
 #include "sciprep/io/tfrecord.hpp"
+#include "sciprep/obs/obs.hpp"
 
 namespace sciprep::pipeline {
 
@@ -20,6 +20,26 @@ double now_seconds() {
 
 }  // namespace
 
+DataPipeline::Handles::Handles(obs::MetricsRegistry& registry)
+    : samples(registry.counter("pipeline.samples_total")),
+      batches(registry.counter("pipeline.batches_total")),
+      bytes_at_rest(registry.counter("pipeline.bytes_at_rest_total")),
+      gpu_warps(registry.counter("pipeline.gpu.warps_total")),
+      gpu_bytes_read(registry.counter("pipeline.gpu.bytes_read_total")),
+      gpu_bytes_written(registry.counter("pipeline.gpu.bytes_written_total")),
+      gpu_lockstep_ops(registry.counter("pipeline.gpu.lockstep_ops_total")),
+      gpu_divergent_branches(
+          registry.counter("pipeline.gpu.divergent_branches_total")),
+      shuffle_seconds(registry.histogram("pipeline.stage.shuffle_seconds")),
+      decode_seconds(registry.histogram("pipeline.stage.decode_seconds")),
+      ops_seconds(registry.histogram("pipeline.stage.ops_seconds")),
+      batch_assemble_seconds(
+          registry.histogram("pipeline.stage.batch_assemble_seconds")),
+      prefetch_wait_seconds(
+          registry.histogram("pipeline.stage.prefetch_wait_seconds")),
+      decode_gpu_seconds(
+          registry.histogram("pipeline.stage.decode_gpu_seconds")) {}
+
 DataPipeline::DataPipeline(const InMemoryDataset& dataset,
                            const codec::SampleCodec& codec,
                            PipelineConfig config, sim::SimGpu* gpu)
@@ -27,10 +47,18 @@ DataPipeline::DataPipeline(const InMemoryDataset& dataset,
       codec_(codec),
       config_(std::move(config)),
       gpu_(gpu),
+      owned_metrics_(config_.metrics != nullptr
+                         ? nullptr
+                         : std::make_unique<obs::MetricsRegistry>()),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : owned_metrics_.get()),
+      m_(*metrics_),
+      pool_metrics_(*metrics_, "pipeline.pool"),
       workers_(std::max<std::size_t>(1, config_.worker_threads)) {
   if (config_.batch_size < 1) {
     throw ConfigError("pipeline: batch_size must be >= 1");
   }
+  workers_.set_observer(&pool_metrics_);
   if (config_.decode_placement == codec::Placement::kGpu) {
     if (gpu_ == nullptr) {
       throw ConfigError("pipeline: GPU placement requires a SimGpu");
@@ -67,10 +95,13 @@ void DataPipeline::start_epoch(std::uint64_t epoch) {
   batch_index_ = 0;
   std::iota(order_.begin(), order_.end(), 0);
   if (config_.shuffle) {
+    SCIPREP_OBS_SPAN("pipeline.shuffle", "pipeline");
+    const double t0 = now_seconds();
     Rng rng(config_.seed * 0x9E3779B9u + epoch + 1);
     for (std::size_t i = order_.size(); i > 1; --i) {
       std::swap(order_[i - 1], order_[rng.next_below(i)]);
     }
+    m_.shuffle_seconds.record(now_seconds() - t0);
   }
 }
 
@@ -81,6 +112,7 @@ std::size_t DataPipeline::batches_per_epoch() const {
 }
 
 codec::TensorF16 DataPipeline::decode_sample(std::size_t index) const {
+  SCIPREP_OBS_SPAN("pipeline.decode", "pipeline");
   const ByteSpan stored = dataset_.sample(index);
   switch (dataset_.format()) {
     case StorageFormat::kRawTfRecord: {
@@ -92,7 +124,11 @@ codec::TensorF16 DataPipeline::decode_sample(std::size_t index) const {
       return codec_.reference_preprocess(records.front());
     }
     case StorageFormat::kGzipTfRecord: {
-      const Bytes plain = io::gunzip_tfrecord_stream(stored);
+      Bytes plain;
+      {
+        SCIPREP_OBS_SPAN("pipeline.gunzip", "pipeline");
+        plain = io::gunzip_tfrecord_stream(stored);
+      }
       const auto records = io::TfRecordReader::read_all(plain);
       if (records.size() != 1) {
         throw_format("pipeline: expected 1 record per sample file, got {}",
@@ -112,61 +148,84 @@ codec::TensorF16 DataPipeline::decode_sample(std::size_t index) const {
 }
 
 Batch DataPipeline::assemble_batch(std::uint64_t first, std::uint64_t count) {
+  SCIPREP_OBS_SPAN_NAMED(assemble_span, "pipeline.batch_assemble", "pipeline");
+  if (assemble_span.active()) {
+    assemble_span.set_args_json(
+        fmt("{{\"first\": {}, \"count\": {}, \"epoch\": {}}}", first, count,
+            epoch_));
+  }
+  const double assemble_t0 = now_seconds();
+
   Batch batch;
   batch.samples.resize(count);
   batch.epoch = epoch_;
-
-  std::mutex stats_mutex;
-  double cpu_seconds = 0;
 
   auto decode_one = [&](std::size_t i) {
     const std::size_t index = order_[first + i];
     const double t0 = now_seconds();
     codec::TensorF16 tensor = decode_sample(index);
+    const double t1 = now_seconds();
     // Augmentations run on the decode worker, seeded per (epoch, position)
     // so reruns of an epoch are bit-identical.
     if (!config_.ops.empty()) {
+      SCIPREP_OBS_SPAN("pipeline.ops", "pipeline");
       Rng rng = Rng(config_.seed).fork((epoch_ << 24) ^ (first + i));
       for (const auto& op : config_.ops) {
         op->apply(tensor, rng);
       }
+      m_.ops_seconds.record(now_seconds() - t1);
     }
-    const double dt = now_seconds() - t0;
     batch.samples[i] = std::move(tensor);
-    std::lock_guard lock(stats_mutex);
-    cpu_seconds += dt;
+    m_.decode_seconds.record(t1 - t0);
   };
 
   if (config_.decode_placement == codec::Placement::kGpu) {
     // The (one) simulated device processes decode kernels serially.
-    const std::uint64_t gpu_wall0 = 0;
-    (void)gpu_wall0;
     const sim::KernelStats before = gpu_->lifetime_stats();
     for (std::size_t i = 0; i < count; ++i) {
       decode_one(i);
     }
     const sim::KernelStats after = gpu_->lifetime_stats();
-    std::lock_guard lock(stats_mutex);
-    stats_.gpu.bytes_read += after.bytes_read - before.bytes_read;
-    stats_.gpu.bytes_written += after.bytes_written - before.bytes_written;
-    stats_.gpu.lockstep_ops += after.lockstep_ops - before.lockstep_ops;
-    stats_.gpu.divergent_branches +=
-        after.divergent_branches - before.divergent_branches;
-    stats_.gpu.warps += after.warps - before.warps;
-    stats_.gpu.wall_seconds += after.wall_seconds - before.wall_seconds;
-    stats_.decode_gpu_seconds += after.wall_seconds - before.wall_seconds;
+    m_.gpu_bytes_read.add(after.bytes_read - before.bytes_read);
+    m_.gpu_bytes_written.add(after.bytes_written - before.bytes_written);
+    m_.gpu_lockstep_ops.add(after.lockstep_ops - before.lockstep_ops);
+    m_.gpu_divergent_branches.add(after.divergent_branches -
+                                  before.divergent_branches);
+    m_.gpu_warps.add(after.warps - before.warps);
+    m_.decode_gpu_seconds.record(after.wall_seconds - before.wall_seconds);
   } else {
     workers_.parallel_for(count, decode_one);
-    stats_.decode_cpu_seconds += cpu_seconds;
   }
 
   for (std::size_t i = 0; i < count; ++i) {
     batch.bytes_at_rest += dataset_.sample_bytes(order_[first + i]);
   }
-  stats_.samples += count;
-  stats_.bytes_at_rest += batch.bytes_at_rest;
-  ++stats_.batches;
+  m_.samples.add(count);
+  m_.bytes_at_rest.add(batch.bytes_at_rest);
+  m_.batches.add(1);
+  m_.batch_assemble_seconds.record(now_seconds() - assemble_t0);
   return batch;
+}
+
+PipelineStats DataPipeline::stats() const {
+  PipelineStats s;
+  s.samples = m_.samples.value();
+  s.batches = m_.batches.value();
+  s.bytes_at_rest = m_.bytes_at_rest.value();
+  if (config_.decode_placement == codec::Placement::kGpu) {
+    s.decode_gpu_seconds = m_.decode_gpu_seconds.sum();
+    s.gpu.wall_seconds = s.decode_gpu_seconds;
+    s.gpu.warps = m_.gpu_warps.value();
+    s.gpu.bytes_read = m_.gpu_bytes_read.value();
+    s.gpu.bytes_written = m_.gpu_bytes_written.value();
+    s.gpu.lockstep_ops = m_.gpu_lockstep_ops.value();
+    s.gpu.divergent_branches = m_.gpu_divergent_branches.value();
+  } else {
+    // Decode and augmentation both burn host CPU on the worker pool.
+    s.decode_cpu_seconds =
+        m_.decode_seconds.sum() + m_.ops_seconds.sum();
+  }
+  return s;
 }
 
 bool DataPipeline::next_batch(Batch& batch) {
@@ -186,7 +245,10 @@ bool DataPipeline::next_batch(Batch& batch) {
     // rethrows here and the pipeline must not hold a consumed future.
     std::future<Batch> ready = std::move(*pending_);
     pending_.reset();
+    SCIPREP_OBS_SPAN("pipeline.prefetch_wait", "pipeline");
+    const double t0 = now_seconds();
     result = ready.get();
+    m_.prefetch_wait_seconds.record(now_seconds() - t0);
   } else {
     const std::uint64_t count = take_count(cursor_);
     if (count == 0) return false;

@@ -16,10 +16,12 @@
 
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "sciprep/codec/codec.hpp"
+#include "sciprep/obs/metrics.hpp"
 #include "sciprep/pipeline/dataset.hpp"
 #include "sciprep/pipeline/ops.hpp"
 #include "sciprep/sim/simgpu.hpp"
@@ -35,6 +37,11 @@ struct PipelineConfig {
   bool prefetch = true;             // overlap next-batch decode
   codec::Placement decode_placement = codec::Placement::kCpu;
   OpList ops;                       // applied post-decode, pre-batch
+  /// Registry the pipeline's stage metrics land in. When null the pipeline
+  /// owns a private registry (so two pipelines in one process don't mix
+  /// counts); inject obs::MetricsRegistry::global() to fold pipeline metrics
+  /// into a process-wide dump. Must outlive the pipeline.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct Batch {
@@ -46,6 +53,9 @@ struct Batch {
   [[nodiscard]] int size() const { return static_cast<int>(samples.size()); }
 };
 
+/// Aggregate pipeline counters, assembled on demand from the metrics
+/// registry (stats() is a snapshot, not a live reference — every field is the
+/// corresponding pipeline.* metric's current value).
 struct PipelineStats {
   std::uint64_t samples = 0;
   std::uint64_t batches = 0;
@@ -77,16 +87,52 @@ class DataPipeline {
   /// time single-sample decode).
   [[nodiscard]] codec::TensorF16 decode_sample(std::size_t index) const;
 
-  [[nodiscard]] const PipelineStats& stats() const noexcept { return stats_; }
+  /// Snapshot of the aggregate counters, assembled from the registry.
+  [[nodiscard]] PipelineStats stats() const;
   [[nodiscard]] std::size_t batches_per_epoch() const;
 
+  /// The registry backing stats(): per-stage latency histograms
+  /// (pipeline.stage.*), sample/byte counters (pipeline.*_total), simulated
+  /// GPU kernel counters (pipeline.gpu.*) and worker-pool telemetry
+  /// (pipeline.pool.*).
+  [[nodiscard]] obs::MetricsRegistry& metrics() const noexcept {
+    return *metrics_;
+  }
+
  private:
+  // Metric handles resolved once at construction; hot paths pay one atomic
+  // (counters) or one short critical section (histograms) per event.
+  struct Handles {
+    explicit Handles(obs::MetricsRegistry& registry);
+
+    obs::Counter& samples;
+    obs::Counter& batches;
+    obs::Counter& bytes_at_rest;
+    obs::Counter& gpu_warps;
+    obs::Counter& gpu_bytes_read;
+    obs::Counter& gpu_bytes_written;
+    obs::Counter& gpu_lockstep_ops;
+    obs::Counter& gpu_divergent_branches;
+    obs::Histogram& shuffle_seconds;
+    obs::Histogram& decode_seconds;
+    obs::Histogram& ops_seconds;
+    obs::Histogram& batch_assemble_seconds;
+    obs::Histogram& prefetch_wait_seconds;
+    obs::Histogram& decode_gpu_seconds;
+  };
+
   Batch assemble_batch(std::uint64_t first, std::uint64_t count);
 
   const InMemoryDataset& dataset_;
   const codec::SampleCodec& codec_;
   PipelineConfig config_;
   sim::SimGpu* gpu_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when none injected
+  obs::MetricsRegistry* metrics_;
+  Handles m_;
+  obs::PoolMetrics pool_metrics_;
+  // Declared after pool_metrics_ so the workers (who call the observer) are
+  // joined before the observer is destroyed.
   ThreadPool workers_;
 
   std::vector<std::size_t> order_;
@@ -94,7 +140,6 @@ class DataPipeline {
   std::uint64_t cursor_ = 0;       // next sample position in order_
   std::uint64_t batch_index_ = 0;
   std::optional<std::future<Batch>> pending_;
-  PipelineStats stats_;
 };
 
 }  // namespace sciprep::pipeline

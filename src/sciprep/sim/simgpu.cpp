@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "sciprep/common/error.hpp"
+#include "sciprep/common/format.hpp"
+#include "sciprep/obs/obs.hpp"
 
 namespace sciprep::sim {
 
@@ -28,6 +30,7 @@ KernelStats SimGpu::launch(std::size_t warp_count,
   stats.warps = warp_count;
   if (warp_count == 0) return stats;
 
+  SCIPREP_OBS_SPAN_NAMED(kernel_span, "sim.kernel", "sim");
   const auto start = std::chrono::steady_clock::now();
 
   std::mutex merge_mutex;
@@ -53,6 +56,15 @@ KernelStats SimGpu::launch(std::size_t warp_count,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   lifetime_.merge(stats);
+  if (kernel_span.active()) {
+    kernel_span.set_args_json(
+        fmt("{{\"warps\": {}, \"bytes_read\": {}, \"bytes_written\": {}, "
+            "\"lockstep_ops\": {}, \"divergent_branches\": {}, "
+            "\"wall_ms\": {:.6f}}}",
+            stats.warps, stats.bytes_read, stats.bytes_written,
+            stats.lockstep_ops, stats.divergent_branches,
+            stats.wall_seconds * 1e3));
+  }
   return stats;
 }
 

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <numeric>
 #include <string>
@@ -277,6 +278,131 @@ TEST(Percentile, InterpolatesLinearly) {
   EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
   EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
   EXPECT_DOUBLE_EQ(percentile(v, 0.125), 1.5);
+}
+
+TEST(Percentile, SortsUnsortedInput) {
+  const std::vector<double> v = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+}
+
+TEST(Percentile, EmptyInputIsNaN) {
+  const std::vector<double> empty;
+  EXPECT_TRUE(std::isnan(percentile(empty, 0.5)));
+  EXPECT_TRUE(std::isnan(percentile_sorted(empty, 0.5)));
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats empty;
+  RunningStats filled;
+  filled.add(2.0);
+  filled.add(4.0);
+
+  RunningStats a = filled;
+  a.merge(empty);  // merging in empty is a no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+
+  RunningStats b;
+  b.merge(filled);  // merging into empty copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(b.variance(), filled.variance());
+
+  RunningStats c;
+  c.merge(empty);  // empty into empty stays empty
+  EXPECT_EQ(c.count(), 0u);
+}
+
+TEST(RunningStats, MergeSingleElementSides) {
+  RunningStats a;
+  a.add(10.0);
+  RunningStats b;
+  b.add(-10.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), -10.0);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+}
+
+TEST(FrequencyTable, PowerLawSlopeDegenerateInputs) {
+  FrequencyTable empty;
+  EXPECT_DOUBLE_EQ(empty.power_law_slope(), 0.0);
+
+  FrequencyTable single;
+  single.add(7, 100);
+  EXPECT_DOUBLE_EQ(single.power_law_slope(), 0.0);  // one point, no slope
+}
+
+TEST(FrequencyTable, PowerLawSlopeFewerEntriesThanRanks) {
+  // rank^-1 over 5 entries, fit asked for 64 ranks: must clamp to what is
+  // there instead of reading out of range.
+  FrequencyTable t;
+  for (std::int64_t rank = 1; rank <= 5; ++rank) {
+    t.add(rank, static_cast<std::uint64_t>(120 / rank));
+  }
+  EXPECT_NEAR(t.power_law_slope(64), -1.0, 0.05);
+}
+
+TEST(LogHistogram, BucketBoundariesArePowersOfTwoSubdivided) {
+  LogHistogram h({.min_value = 1.0, .max_value = 16.0, .buckets_per_octave = 1});
+  // 4 octaves at 1 bucket each + underflow bucket 0.
+  EXPECT_EQ(h.bucket_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lower(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lower(4), 8.0);
+  EXPECT_TRUE(std::isinf(h.bucket_upper(4)));  // last bucket absorbs overflow
+
+  EXPECT_EQ(h.bucket_index(0.5), 0u);   // underflow
+  EXPECT_EQ(h.bucket_index(1.0), 0u);   // boundary: <= min_value underflows
+  EXPECT_EQ(h.bucket_index(1.5), 1u);
+  EXPECT_EQ(h.bucket_index(3.0), 2u);
+  EXPECT_EQ(h.bucket_index(12.0), 4u);
+  EXPECT_EQ(h.bucket_index(1e9), 4u);   // overflow clamps to the last bucket
+}
+
+TEST(LogHistogram, TracksExactCountSumMinMax) {
+  LogHistogram h;
+  EXPECT_TRUE(std::isnan(h.mean()));
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+
+  h.record(1e-3);
+  h.record(4e-3);
+  h.record(16e-3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.sum(), 21e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 16e-3);
+  // Quantiles are clamped to the observed extremes.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 16e-3);
+  // The middle quantile lands inside 4e-3's bucket (within its bounds).
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, h.bucket_lower(h.bucket_index(4e-3)));
+  EXPECT_LE(p50, h.bucket_upper(h.bucket_index(4e-3)));
+}
+
+TEST(LogHistogram, MergeAccumulates) {
+  const LogHistogram::Options opts{.min_value = 1e-6,
+                                   .max_value = 1.0,
+                                   .buckets_per_octave = 2};
+  LogHistogram a(opts);
+  LogHistogram b(opts);
+  a.record(1e-3, 5);
+  b.record(1e-2, 3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_NEAR(a.sum(), 5e-3 + 3e-2, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(a.max(), 1e-2);
 }
 
 TEST(FormatBytes, HumanReadable) {

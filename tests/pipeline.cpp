@@ -309,6 +309,59 @@ TEST(Pipeline, StatsTrackDecodeWork) {
   EXPECT_DOUBLE_EQ(pipe.stats().decode_cpu_seconds, 0.0);
 }
 
+TEST(Pipeline, StatsAreAssembledFromMetricsRegistry) {
+  const auto gen = cosmo_gen();
+  const codec::CosmoCodec codec;
+  const auto ds =
+      InMemoryDataset::make_cosmo(gen, 6, StorageFormat::kEncoded, &codec);
+  obs::MetricsRegistry registry;
+  PipelineConfig cfg;
+  cfg.batch_size = 2;
+  cfg.metrics = &registry;  // injected registry backs stats()
+  DataPipeline pipe(ds, codec, cfg);
+  EXPECT_EQ(&pipe.metrics(), &registry);
+  Batch batch;
+  while (pipe.next_batch(batch)) {
+  }
+  const PipelineStats stats = pipe.stats();
+  EXPECT_EQ(stats.samples, 6u);
+  EXPECT_EQ(stats.samples, registry.counter_value("pipeline.samples_total"));
+  EXPECT_EQ(stats.batches, registry.counter_value("pipeline.batches_total"));
+  EXPECT_EQ(stats.bytes_at_rest,
+            registry.counter_value("pipeline.bytes_at_rest_total"));
+  // CPU decode time is the decode-stage histogram's sum (no ops configured,
+  // so the ops histogram contributes nothing).
+  const auto& decode_hist =
+      registry.histogram("pipeline.stage.decode_seconds");
+  EXPECT_EQ(decode_hist.count(), 6u);
+  EXPECT_DOUBLE_EQ(stats.decode_cpu_seconds, decode_hist.sum());
+  EXPECT_EQ(registry.histogram("pipeline.stage.ops_seconds").count(), 0u);
+  // The worker pool's telemetry landed in the same registry.
+  EXPECT_GT(registry.counter_value("pipeline.pool.tasks_total"), 0u);
+  EXPECT_EQ(registry.gauge("pipeline.pool.queue_depth").value(), 0);
+  // Per-batch assembly and prefetch waits were histogrammed.
+  EXPECT_EQ(registry.histogram("pipeline.stage.batch_assemble_seconds").count(),
+            stats.batches);
+  EXPECT_GT(registry.histogram("pipeline.stage.prefetch_wait_seconds").count(),
+            0u);
+}
+
+TEST(Pipeline, PrivateRegistriesKeepPipelinesApart) {
+  const auto gen = cosmo_gen();
+  const codec::CosmoCodec codec;
+  const auto ds =
+      InMemoryDataset::make_cosmo(gen, 4, StorageFormat::kEncoded, &codec);
+  PipelineConfig cfg;
+  cfg.batch_size = 2;
+  DataPipeline a(ds, codec, cfg);
+  DataPipeline b(ds, codec, cfg);
+  Batch batch;
+  while (a.next_batch(batch)) {
+  }
+  EXPECT_EQ(a.stats().samples, 4u);
+  EXPECT_EQ(b.stats().samples, 0u);  // b's private registry saw nothing
+}
+
 TEST(Ops, ScaleOpScalesValues) {
   codec::TensorF16 t;
   t.shape = {4};
