@@ -1,0 +1,126 @@
+// Micro-benchmarks for the fault layer's zero-fault hot path.
+//
+// The robustness layer must cost ≈ nothing when healthy. Three tiers:
+//   - NoInjector: injection compiled in but no injector installed — the
+//     production configuration; the per-sample cost is one pointer test.
+//   - ZeroFaultInjector: an injector installed with every probability at
+//     zero — the cost is a config lookup per gate, no draws, no copies.
+//   - ActiveInjection: 5% transient + 1% corrupt under a retry+skip policy —
+//     the degraded case, for scale.
+// The acceptance bar is <1% throughput delta between the first two tiers on
+// the full pipeline loop.
+#include <benchmark/benchmark.h>
+
+#include "sciprep/codec/cosmo_codec.hpp"
+#include "sciprep/data/cosmo_gen.hpp"
+#include "sciprep/fault/fault.hpp"
+#include "sciprep/pipeline/pipeline.hpp"
+
+namespace {
+
+using namespace sciprep;
+
+const pipeline::InMemoryDataset& shared_dataset() {
+  static const codec::CosmoCodec codec;
+  static const pipeline::InMemoryDataset dataset = [] {
+    data::CosmoGenConfig cfg;
+    cfg.dim = 16;
+    cfg.seed = 3;
+    const data::CosmoGenerator gen(cfg);
+    return pipeline::InMemoryDataset::make_cosmo(
+        gen, 32, pipeline::StorageFormat::kEncoded, &codec);
+  }();
+  return dataset;
+}
+
+const codec::CosmoCodec& shared_codec() {
+  static const codec::CosmoCodec codec;
+  return codec;
+}
+
+enum class Tier { kNoInjector, kZeroFaultInjector, kActiveInjection };
+
+void run_pipeline_epochs(benchmark::State& state, Tier tier) {
+  obs::MetricsRegistry registry;
+  fault::Injector injector(99, &registry);
+  if (tier == Tier::kActiveInjection) {
+    injector.configure(fault::Site::kIoRead, {.transient_probability = 0.05});
+    injector.configure(fault::Site::kCodecDecode,
+                       {.corrupt_probability = 0.01});
+  }
+  pipeline::PipelineConfig cfg;
+  cfg.batch_size = 8;
+  cfg.worker_threads = 2;
+  cfg.prefetch = false;
+  cfg.metrics = &registry;
+  cfg.injector = tier == Tier::kNoInjector ? nullptr : &injector;
+  if (tier != Tier::kNoInjector) {
+    cfg.fault_policy.on_transient = fault::Action::kRetry;
+    cfg.fault_policy.retry = {.max_attempts = 3, .backoff_seconds = 0};
+    cfg.fault_policy.on_retry_exhausted = fault::Action::kSkipSample;
+    cfg.fault_policy.on_corrupt = fault::Action::kSkipSample;
+    cfg.fault_policy.error_budget = ~0ull;
+  }
+  pipeline::DataPipeline pipe(shared_dataset(), shared_codec(), cfg);
+
+  std::uint64_t epoch = 0;
+  std::uint64_t samples = 0;
+  for (auto _ : state) {
+    pipe.start_epoch(epoch++);
+    pipeline::Batch batch;
+    while (pipe.next_batch(batch)) {
+      samples += static_cast<std::uint64_t>(batch.size());
+      benchmark::DoNotOptimize(batch.samples.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(samples));
+}
+
+void BM_PipelineEpoch_NoInjector(benchmark::State& state) {
+  run_pipeline_epochs(state, Tier::kNoInjector);
+}
+BENCHMARK(BM_PipelineEpoch_NoInjector)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineEpoch_ZeroFaultInjector(benchmark::State& state) {
+  run_pipeline_epochs(state, Tier::kZeroFaultInjector);
+}
+BENCHMARK(BM_PipelineEpoch_ZeroFaultInjector)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineEpoch_ActiveInjection(benchmark::State& state) {
+  run_pipeline_epochs(state, Tier::kActiveInjection);
+}
+BENCHMARK(BM_PipelineEpoch_ActiveInjection)->Unit(benchmark::kMillisecond);
+
+// Single-sample decode, isolating the per-gate cost without pool/batch
+// machinery around it.
+void run_decode_sample(benchmark::State& state, Tier tier) {
+  obs::MetricsRegistry registry;
+  fault::Injector injector(99, &registry);
+  pipeline::PipelineConfig cfg;
+  cfg.worker_threads = 1;
+  cfg.prefetch = false;
+  cfg.shuffle = false;
+  cfg.metrics = &registry;
+  cfg.injector = tier == Tier::kNoInjector ? nullptr : &injector;
+  pipeline::DataPipeline pipe(shared_dataset(), shared_codec(), cfg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipe.decode_sample(i));
+    i = (i + 1) % shared_dataset().size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_DecodeSample_NoInjector(benchmark::State& state) {
+  run_decode_sample(state, Tier::kNoInjector);
+}
+BENCHMARK(BM_DecodeSample_NoInjector);
+
+void BM_DecodeSample_ZeroFaultInjector(benchmark::State& state) {
+  run_decode_sample(state, Tier::kZeroFaultInjector);
+}
+BENCHMARK(BM_DecodeSample_ZeroFaultInjector);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -37,6 +37,7 @@
 #include "sciprep/data/cosmo_gen.hpp"
 #include "sciprep/dnn/loss.hpp"
 #include "sciprep/dnn/optimizer.hpp"
+#include "sciprep/fault/fault.hpp"
 #include "sciprep/obs/obs.hpp"
 #include "sciprep/pipeline/pipeline.hpp"
 
@@ -55,6 +56,16 @@ struct TrainerArgs {
   std::string trace_out;
   std::string metrics_out;
   bool validate = false;
+  // Fault injection + recovery (see src/sciprep/fault/).
+  double inject_transient = 0;      // P(transient read fault) per sample read
+  double inject_corrupt = 0;        // P(record corrupt at rest) per sample
+  std::uint64_t inject_seed = 1234;
+  std::string fault_policy = "fail";  // fail | skip | retry-skip
+  std::uint64_t fault_budget = 1u << 20;
+
+  [[nodiscard]] bool injecting() const {
+    return inject_transient > 0 || inject_corrupt > 0;
+  }
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -62,7 +73,10 @@ struct TrainerArgs {
       stderr,
       "usage: %s [--workload cosmo|cam] [--samples N] [--epochs N]\n"
       "          [--dim N] [--batch N] [--workers N] [--placement cpu|gpu]\n"
-      "          [--trace-out FILE] [--metrics-out FILE] [--validate]\n",
+      "          [--trace-out FILE] [--metrics-out FILE] [--validate]\n"
+      "          [--inject-transient P] [--inject-corrupt P]\n"
+      "          [--inject-seed N] [--fault-policy fail|skip|retry-skip]\n"
+      "          [--fault-budget N]\n",
       argv0);
   std::exit(2);
 }
@@ -95,6 +109,16 @@ TrainerArgs parse_args(int argc, char** argv) {
       args.metrics_out = value();
     } else if (a == "--validate") {
       args.validate = true;
+    } else if (a == "--inject-transient") {
+      args.inject_transient = std::atof(value());
+    } else if (a == "--inject-corrupt") {
+      args.inject_corrupt = std::atof(value());
+    } else if (a == "--inject-seed") {
+      args.inject_seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (a == "--fault-policy") {
+      args.fault_policy = value();
+    } else if (a == "--fault-budget") {
+      args.fault_budget = static_cast<std::uint64_t>(std::atoll(value()));
     } else {
       std::fprintf(stderr, "trainer: unknown flag '%s'\n", argv[i]);
       usage(argv[0]);
@@ -105,13 +129,48 @@ TrainerArgs parse_args(int argc, char** argv) {
   if (args.samples < 1 || args.epochs < 1 || args.dim < 4 || args.batch < 1) {
     usage(argv[0]);
   }
+  if (args.fault_policy != "fail" && args.fault_policy != "skip" &&
+      args.fault_policy != "retry-skip") {
+    usage(argv[0]);
+  }
   return args;
+}
+
+fault::FaultPolicy make_fault_policy(const TrainerArgs& args) {
+  fault::FaultPolicy policy;  // default: kFail everywhere
+  if (args.fault_policy == "skip") {
+    policy.on_transient = fault::Action::kSkipSample;
+    policy.on_corrupt = fault::Action::kSkipSample;
+  } else if (args.fault_policy == "retry-skip") {
+    policy.on_transient = fault::Action::kRetry;
+    policy.retry = {.max_attempts = 3,
+                    .backoff_seconds = 1e-4,
+                    .backoff_multiplier = 2};
+    policy.on_retry_exhausted = fault::Action::kSkipSample;
+    policy.on_corrupt = fault::Action::kSkipSample;
+  }
+  policy.error_budget = args.fault_budget;
+  return policy;
+}
+
+/// Configure the trainer's injector: transient faults on the sample-read
+/// site, at-rest corruption on whichever record-format site the dataset
+/// uses (all three are armed; the pipeline consults the one matching its
+/// storage format).
+void configure_injector(fault::Injector& injector, const TrainerArgs& args) {
+  injector.configure(fault::Site::kIoRead,
+                     {.transient_probability = args.inject_transient});
+  const fault::SiteConfig corrupt{.corrupt_probability = args.inject_corrupt};
+  injector.configure(fault::Site::kTfrecordPayloadCrc, corrupt);
+  injector.configure(fault::Site::kH5ChunkCrc, corrupt);
+  injector.configure(fault::Site::kCodecDecode, corrupt);
 }
 
 /// Run the CosmoFlow arm: encoded dataset -> pipeline (with one augmentation
 /// op so the pipeline.ops stage is exercised) -> tiny 3D-conv model.
 void run_cosmo(const TrainerArgs& args, sim::SimGpu& gpu,
-               pipeline::PipelineStats& stats_out) {
+               fault::Injector& injector, pipeline::PipelineStats& stats_out,
+               std::vector<std::size_t>& quarantine_out) {
   data::CosmoGenConfig gen_cfg;
   gen_cfg.dim = args.dim;
   gen_cfg.seed = 2022;
@@ -131,6 +190,8 @@ void run_cosmo(const TrainerArgs& args, sim::SimGpu& gpu,
                                                   : codec::Placement::kCpu;
   pcfg.ops.push_back(std::make_shared<pipeline::ScaleOp>(1.0F));
   pcfg.metrics = &obs::MetricsRegistry::global();
+  pcfg.fault_policy = make_fault_policy(args);
+  pcfg.injector = args.injecting() ? &injector : nullptr;
   pipeline::DataPipeline pipe(dataset, codec, pcfg,
                               pcfg.decode_placement == codec::Placement::kGpu
                                   ? &gpu
@@ -161,16 +222,19 @@ void run_cosmo(const TrainerArgs& args, sim::SimGpu& gpu,
       ++steps;
     }
     std::printf("epoch %d: mean loss %.5f (%zu steps)\n", epoch,
-                epoch_loss / static_cast<double>(steps), steps);
+                steps > 0 ? epoch_loss / static_cast<double>(steps) : 0.0,
+                steps);
   }
   stats_out = pipe.stats();
+  quarantine_out = pipe.quarantine();
 }
 
 /// Run the DeepCAM arm: decode-only batch pump (the paper's DeepCAM
 /// evaluation is loader-bound; the model step adds nothing to the
 /// observability surface being exercised here).
 void run_cam(const TrainerArgs& args, sim::SimGpu& gpu,
-             pipeline::PipelineStats& stats_out) {
+             fault::Injector& injector, pipeline::PipelineStats& stats_out,
+             std::vector<std::size_t>& quarantine_out) {
   data::CamGenConfig gen_cfg;
   gen_cfg.height = args.dim;
   gen_cfg.width = args.dim;
@@ -192,6 +256,8 @@ void run_cam(const TrainerArgs& args, sim::SimGpu& gpu,
                                                   : codec::Placement::kCpu;
   pcfg.ops.push_back(std::make_shared<pipeline::RandomFlipX>());
   pcfg.metrics = &obs::MetricsRegistry::global();
+  pcfg.fault_policy = make_fault_policy(args);
+  pcfg.injector = args.injecting() ? &injector : nullptr;
   pipeline::DataPipeline pipe(dataset, codec, pcfg,
                               pcfg.decode_placement == codec::Placement::kGpu
                                   ? &gpu
@@ -205,6 +271,7 @@ void run_cam(const TrainerArgs& args, sim::SimGpu& gpu,
     std::printf("epoch %d: %zu batches decoded\n", epoch, steps);
   }
   stats_out = pipe.stats();
+  quarantine_out = pipe.quarantine();
 }
 
 std::string read_file(const std::string& path) {
@@ -220,13 +287,23 @@ std::string read_file(const std::string& path) {
 /// --validate: re-read the emitted artifacts and cross-check them. Returns
 /// the number of violations (0 = clean).
 int validate_outputs(const TrainerArgs& args,
-                     const pipeline::PipelineStats& stats) {
+                     const pipeline::PipelineStats& stats,
+                     const std::vector<std::size_t>& quarantine) {
   int failures = 0;
   auto check = [&](bool ok, const std::string& what) {
     if (!ok) {
       std::fprintf(stderr, "validate: FAIL %s\n", what.c_str());
       ++failures;
     }
+  };
+  // Exact-value counter match in the JSON dump ("name":value framing).
+  auto json_counter_is = [](const std::string& doc, const std::string& key,
+                            std::uint64_t value) {
+    const std::string needle = fmt("\"{}\":{}", key, value);
+    const std::size_t at = doc.find(needle);
+    if (at == std::string::npos) return false;
+    const std::size_t end = at + needle.size();
+    return end >= doc.size() || doc[end] == ',' || doc[end] == '}';
   };
 
   if (!args.trace_out.empty()) {
@@ -263,6 +340,34 @@ int validate_outputs(const TrainerArgs& args,
         fmt("codec.{}.decode_bytes_in_total", args.workload);
     check(metrics.find(fmt("\"{}\"", byte_counter)) != std::string::npos,
           fmt("metrics contains '{}'", byte_counter));
+    if (args.injecting()) {
+      check(metrics.find("\"fault.injected_total\"") != std::string::npos,
+            "metrics contains 'fault.injected_total'");
+      check(json_counter_is(metrics, "pipeline.samples_skipped_total",
+                            stats.samples_skipped),
+            "metrics dump agrees with stats.samples_skipped");
+    }
+  }
+
+  // Epoch accounting: every sample of every epoch is either delivered or
+  // skipped — nothing is silently lost.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(args.samples) *
+      static_cast<std::uint64_t>(args.epochs);
+  check(stats.samples + stats.samples_skipped == expected,
+        fmt("samples {} + skipped {} == dataset size x epochs {}",
+            stats.samples, stats.samples_skipped, expected));
+  // Every skip event names a quarantined id; the de-duplicated quarantine
+  // can only be smaller (the same bad record re-skips each epoch).
+  check(quarantine.size() <= stats.samples_skipped,
+        fmt("quarantine size {} <= skip events {}", quarantine.size(),
+            stats.samples_skipped));
+  check((stats.samples_skipped == 0) == quarantine.empty(),
+        "quarantine and the skip counter agree on whether skips happened");
+  if (args.injecting() && args.fault_policy != "fail") {
+    check(stats.degraded == (stats.samples_skipped + stats.retries +
+                             stats.fallbacks > 0),
+          "degraded gauge tracks recovery events");
   }
 
   // PipelineStats is assembled from the registry — the two must agree.
@@ -292,12 +397,23 @@ int main(int argc, char** argv) {
   }
 
   sim::SimGpu gpu({.sm_count = 80, .warps_per_sm = 8});
+  fault::Injector injector(args.inject_seed, &obs::MetricsRegistry::global());
+  configure_injector(injector, args);
+  if (args.injecting()) {
+    std::printf(
+        "fault injection: transient %.2f%% + corrupt %.2f%% (seed %llu), "
+        "policy %s\n",
+        args.inject_transient * 100, args.inject_corrupt * 100,
+        static_cast<unsigned long long>(args.inject_seed),
+        args.fault_policy.c_str());
+  }
   pipeline::PipelineStats stats;
+  std::vector<std::size_t> quarantine;
   try {
     if (args.workload == "cosmo") {
-      run_cosmo(args, gpu, stats);
+      run_cosmo(args, gpu, injector, stats, quarantine);
     } else {
-      run_cam(args, gpu, stats);
+      run_cam(args, gpu, injector, stats, quarantine);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "trainer: %s\n", e.what());
@@ -311,6 +427,15 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.batches),
       format_bytes(stats.bytes_at_rest).c_str(),
       stats.decode_cpu_seconds * 1e3, stats.decode_gpu_seconds * 1e3);
+  if (stats.degraded) {
+    std::printf(
+        "faults: %llu injected; %llu retries, %llu skipped "
+        "(%zu unique quarantined ids), %llu fallbacks — degraded mode\n",
+        static_cast<unsigned long long>(injector.injected_total()),
+        static_cast<unsigned long long>(stats.retries),
+        static_cast<unsigned long long>(stats.samples_skipped),
+        quarantine.size(), static_cast<unsigned long long>(stats.fallbacks));
+  }
   std::printf("\n%s", obs::MetricsRegistry::global().human_dump().c_str());
 
   try {
@@ -324,7 +449,7 @@ int main(int argc, char** argv) {
       std::printf("metrics: -> %s\n", args.metrics_out.c_str());
     }
     if (args.validate) {
-      return validate_outputs(args, stats) == 0 ? 0 : 1;
+      return validate_outputs(args, stats, quarantine) == 0 ? 0 : 1;
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "trainer: %s\n", e.what());

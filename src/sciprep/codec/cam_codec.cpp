@@ -274,6 +274,13 @@ ParsedCam parse_cam(ByteSpan encoded) {
     throw_format("cam codec: degenerate dims {}x{}x{}", p.channels, p.height,
                  p.width);
   }
+  const std::uint64_t pixel_count = static_cast<std::uint64_t>(p.height) *
+                                    static_cast<std::uint64_t>(p.width);
+  if (static_cast<std::uint64_t>(p.channels) * pixel_count >
+      (std::uint64_t{1} << 28)) {
+    throw_format("cam codec: implausible dims {}x{}x{}", p.channels, p.height,
+                 p.width);
+  }
   p.stats.resize(static_cast<std::size_t>(p.channels));
   for (auto& s : p.stats) {
     s.mean = in.get<float>();
@@ -281,6 +288,12 @@ ParsedCam parse_cam(ByteSpan encoded) {
   }
   const auto labels_raw = in.get<std::uint32_t>();
   const auto labels_comp = in.get<std::uint32_t>();
+  // One u8 label per pixel — validate before inflate so a bit-rotted size
+  // field cannot demand an arbitrarily large decompression buffer.
+  if (labels_raw != pixel_count) {
+    throw_format("cam codec: {} label bytes for a {}x{} image", labels_raw,
+                 p.height, p.width);
+  }
   const ByteSpan comp = in.get_bytes(labels_comp);
   p.labels = compress::inflate(comp, labels_raw);
   if (p.labels.size() != labels_raw) {
@@ -294,6 +307,10 @@ ParsedCam parse_cam(ByteSpan encoded) {
   if (line_count != expect_lines) {
     throw_format("cam codec: {} lines for {}x{} image", line_count, p.channels,
                  p.height);
+  }
+  if (in.remaining() / 4 < static_cast<std::uint64_t>(line_count) + 1) {
+    throw_format("cam codec: stream too short for {} line offsets",
+                 line_count);
   }
   std::vector<std::uint32_t> offsets(line_count + 1);
   for (auto& o : offsets) {

@@ -7,6 +7,7 @@
 // decodes garbage is worse than one that stops.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -38,6 +39,69 @@ class IoError : public Error {
  public:
   using Error::Error;
 };
+
+/// An I/O operation failed in a way that is expected to succeed on retry
+/// (a parallel-filesystem stall, a dropped connection, an injected transient
+/// fault). Recovery policies may retry these; they must not retry anything
+/// else.
+class TransientError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// Stored data ends before its own framing says it should (a record whose
+/// declared length runs past EOF, a chunk table pointing beyond the file).
+/// Carries the stream offset of the element that could not be completed.
+/// Derives from IoError — a truncated shard is an I/O-level defect — but
+/// classifies as corrupt: rereading the same bytes cannot help.
+class TruncatedError : public IoError {
+ public:
+  TruncatedError(std::string msg, std::uint64_t offset)
+      : IoError(std::move(msg)), offset_(offset) {}
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+
+ private:
+  std::uint64_t offset_ = 0;
+};
+
+/// Failure families as seen by recovery policies (sciprep::fault). The class
+/// decides which actions can possibly help: transients may clear on retry,
+/// corrupt data stays corrupt (skip or fall back), config errors are caller
+/// bugs and never recoverable, and everything else is fatal.
+enum class ErrorClass {
+  kTransient,  // expected to clear on retry
+  kCorrupt,    // the bytes are bad and will stay bad
+  kConfig,     // caller error; policies must re-throw
+  kFatal,      // unknown failure; policies must re-throw
+};
+
+inline ErrorClass classify(const std::exception& e) noexcept {
+  if (dynamic_cast<const ConfigError*>(&e) != nullptr) {
+    return ErrorClass::kConfig;
+  }
+  if (dynamic_cast<const TransientError*>(&e) != nullptr) {
+    return ErrorClass::kTransient;
+  }
+  if (dynamic_cast<const TruncatedError*>(&e) != nullptr ||
+      dynamic_cast<const FormatError*>(&e) != nullptr) {
+    return ErrorClass::kCorrupt;
+  }
+  return ErrorClass::kFatal;
+}
+
+inline const char* error_class_name(ErrorClass c) noexcept {
+  switch (c) {
+    case ErrorClass::kTransient:
+      return "transient";
+    case ErrorClass::kCorrupt:
+      return "corrupt";
+    case ErrorClass::kConfig:
+      return "config";
+    case ErrorClass::kFatal:
+      return "fatal";
+  }
+  return "?";
+}
 
 namespace detail {
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,

@@ -137,10 +137,29 @@ H5File H5File::parse(ByteSpan data) {
       d.attrs.emplace(std::move(k), in.get_string());
     }
     const auto nchunks = in.get<std::uint32_t>();
-    d.data.reserve(d.element_count() * dtype_size(d.dtype));
+    // The declared shape can lie (bit rot); chunk payloads cannot exceed the
+    // bytes actually present, so cap the reservation at the input size.
+    d.data.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(d.element_count() * dtype_size(d.dtype),
+                                in.remaining())));
     for (std::uint32_t c = 0; c < nchunks; ++c) {
+      const std::size_t chunk_start = in.position();
+      if (in.remaining() < 12) {
+        throw TruncatedError(
+            fmt("h5lite: file ends inside the header of chunk {} of dataset "
+                "'{}' at offset {}",
+                c, d.name, chunk_start),
+            chunk_start);
+      }
       const auto size = in.get<std::uint64_t>();
       const auto crc = in.get<std::uint32_t>();
+      if (size > in.remaining()) {
+        throw TruncatedError(
+            fmt("h5lite: chunk {} of dataset '{}' at offset {} declares {} "
+                "bytes but only {} remain",
+                c, d.name, chunk_start, size, in.remaining()),
+            chunk_start);
+      }
       const ByteSpan chunk = in.get_bytes(static_cast<std::size_t>(size));
       if (crc32c(chunk) != crc) {
         throw_format("h5lite: chunk {} of dataset '{}' fails CRC", c, d.name);

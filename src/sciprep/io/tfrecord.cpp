@@ -29,20 +29,36 @@ void TfRecordWriter::append(ByteSpan payload) {
 
 bool TfRecordReader::next(Bytes& payload) {
   if (in_.done()) return false;
+  const std::size_t record_start = in_.position();
+  if (in_.remaining() < 12) {
+    throw TruncatedError(
+        fmt("tfrecord: stream ends inside the record header at offset {} "
+            "({} of 12 header bytes present)",
+            record_start, in_.remaining()),
+        record_start);
+  }
   const auto length = in_.get<std::uint64_t>();
   const auto length_crc = in_.get<std::uint32_t>();
   if (length_crc != crc_of_length(length)) {
-    throw_format("tfrecord: length CRC mismatch at offset {}",
-                 in_.position() - 12);
+    throw_format("tfrecord: length CRC mismatch at offset {}", record_start);
   }
-  if (length > in_.remaining()) {
-    throw_format("tfrecord: record length {} exceeds remaining {} bytes",
-                 length, in_.remaining());
+  if (length > in_.remaining() || in_.remaining() - length < 4) {
+    throw TruncatedError(
+        fmt("tfrecord: record at offset {} declares {} payload bytes but "
+            "only {} bytes remain (including the 4-byte payload CRC)",
+            record_start, length, in_.remaining()),
+        record_start);
   }
+  // Past this point the reader position advances over the whole record
+  // before any CRC verdict, so a payload CRC failure leaves the stream
+  // positioned at the next record and the caller can resync by calling
+  // next() again.
   const ByteSpan body = in_.get_bytes(static_cast<std::size_t>(length));
   const auto body_crc = in_.get<std::uint32_t>();
   if (body_crc != mask_crc(crc32c(body))) {
-    throw_format("tfrecord: payload CRC mismatch for {}-byte record", length);
+    throw_format(
+        "tfrecord: payload CRC mismatch for {}-byte record at offset {}",
+        length, record_start);
   }
   payload.assign(body.begin(), body.end());
   return true;

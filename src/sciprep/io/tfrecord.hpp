@@ -38,7 +38,12 @@ class TfRecordReader {
  public:
   explicit TfRecordReader(ByteSpan stream) : in_(stream) {}
 
-  /// Returns false at clean end-of-stream; throws FormatError on corruption.
+  /// Returns false at clean end-of-stream. Throws TruncatedError (naming the
+  /// record's offset) when the stream ends inside a record's framing, and
+  /// FormatError on CRC mismatches. A payload CRC failure is resumable: the
+  /// reader position has already advanced past the bad record, so calling
+  /// next() again yields the following record (skip-style recovery policies
+  /// rely on this).
   bool next(Bytes& payload);
 
   /// Convenience: parse every record in `stream`.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <numeric>
+#include <thread>
 
 #include "sciprep/common/error.hpp"
 #include "sciprep/io/tfrecord.hpp"
@@ -18,12 +20,29 @@ double now_seconds() {
       .count();
 }
 
+fault::Site corrupt_site_for(StorageFormat format) {
+  switch (format) {
+    case StorageFormat::kRawTfRecord:
+    case StorageFormat::kGzipTfRecord:
+      return fault::Site::kTfrecordPayloadCrc;
+    case StorageFormat::kRawH5:
+      return fault::Site::kH5ChunkCrc;
+    case StorageFormat::kEncoded:
+      return fault::Site::kCodecDecode;
+  }
+  return fault::Site::kCodecDecode;
+}
+
 }  // namespace
 
 DataPipeline::Handles::Handles(obs::MetricsRegistry& registry)
     : samples(registry.counter("pipeline.samples_total")),
       batches(registry.counter("pipeline.batches_total")),
       bytes_at_rest(registry.counter("pipeline.bytes_at_rest_total")),
+      samples_skipped(registry.counter("pipeline.samples_skipped_total")),
+      retries(registry.counter("pipeline.retries_total")),
+      fallbacks(registry.counter("pipeline.fallbacks_total")),
+      degraded(registry.gauge("pipeline.degraded")),
       gpu_warps(registry.counter("pipeline.gpu.warps_total")),
       gpu_bytes_read(registry.counter("pipeline.gpu.bytes_read_total")),
       gpu_bytes_written(registry.counter("pipeline.gpu.bytes_written_total")),
@@ -38,7 +57,9 @@ DataPipeline::Handles::Handles(obs::MetricsRegistry& registry)
       prefetch_wait_seconds(
           registry.histogram("pipeline.stage.prefetch_wait_seconds")),
       decode_gpu_seconds(
-          registry.histogram("pipeline.stage.decode_gpu_seconds")) {}
+          registry.histogram("pipeline.stage.decode_gpu_seconds")),
+      retry_backoff_seconds(
+          registry.histogram("pipeline.stage.retry_backoff_seconds")) {}
 
 DataPipeline::DataPipeline(const InMemoryDataset& dataset,
                            const codec::SampleCodec& codec,
@@ -47,6 +68,9 @@ DataPipeline::DataPipeline(const InMemoryDataset& dataset,
       codec_(codec),
       config_(std::move(config)),
       gpu_(gpu),
+      injector_(config_.injector != nullptr ? config_.injector
+                                            : fault::Injector::global()),
+      corrupt_site_(corrupt_site_for(dataset.format())),
       owned_metrics_(config_.metrics != nullptr
                          ? nullptr
                          : std::make_unique<obs::MetricsRegistry>()),
@@ -112,8 +136,24 @@ std::size_t DataPipeline::batches_per_epoch() const {
 }
 
 codec::TensorF16 DataPipeline::decode_sample(std::size_t index) const {
+  return decode_guarded(index, /*attempt=*/0, /*force_cpu=*/false);
+}
+
+codec::TensorF16 DataPipeline::decode_guarded(std::size_t index, int attempt,
+                                              bool force_cpu) const {
   SCIPREP_OBS_SPAN("pipeline.decode", "pipeline");
-  const ByteSpan stored = dataset_.sample(index);
+  ByteSpan stored = dataset_.sample(index);
+  Bytes scratch;
+  std::uint64_t op = index;
+  if (injector_ != nullptr) {
+    // Transient faults are keyed on (epoch, attempt, sample) so every retry
+    // is a fresh draw; at-rest corruption is keyed on the sample id alone,
+    // modelling a record that is bad on disk — the same sample fails the
+    // same way on every read, in every epoch, under any thread schedule.
+    op = (epoch_ << 40) ^ (static_cast<std::uint64_t>(attempt) << 32) ^ index;
+    injector_->on_operation(fault::Site::kIoRead, op);
+    stored = injector_->mutate(corrupt_site_, index, stored, scratch);
+  }
   switch (dataset_.format()) {
     case StorageFormat::kRawTfRecord: {
       const auto records = io::TfRecordReader::read_all(stored);
@@ -139,12 +179,84 @@ codec::TensorF16 DataPipeline::decode_sample(std::size_t index) const {
     case StorageFormat::kRawH5:
       return codec_.reference_preprocess(stored);
     case StorageFormat::kEncoded:
-      if (config_.decode_placement == codec::Placement::kGpu) {
+      if (!force_cpu && config_.decode_placement == codec::Placement::kGpu) {
+        if (injector_ != nullptr) {
+          injector_->on_operation(fault::Site::kGpuLaunch, op);
+        }
         return codec_.decode_gpu(stored, *gpu_);
       }
       return codec_.decode_cpu(stored);
   }
   throw ConfigError("pipeline: unhandled storage format");
+}
+
+bool DataPipeline::consume_budget() {
+  return recovery_events_.fetch_add(1, std::memory_order_relaxed) <
+         config_.fault_policy.error_budget;
+}
+
+std::optional<codec::TensorF16> DataPipeline::decode_with_recovery(
+    std::size_t index) {
+  const fault::FaultPolicy& policy = config_.fault_policy;
+  int attempt = 0;
+  for (;;) {
+    try {
+      return decode_guarded(index, attempt, /*force_cpu=*/false);
+    } catch (const std::exception& e) {
+      const ErrorClass cls = classify(e);
+      fault::Action action = cls == ErrorClass::kTransient ? policy.on_transient
+                             : cls == ErrorClass::kCorrupt ? policy.on_corrupt
+                                                           : fault::Action::kFail;
+      if (action == fault::Action::kRetry) {
+        if (attempt + 1 < policy.retry.max_attempts) {
+          if (!consume_budget()) throw;  // budget spent: escalate to failure
+          const double backoff =
+              policy.retry.backoff_seconds *
+              std::pow(policy.retry.backoff_multiplier, attempt);
+          if (backoff > 0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+          }
+          m_.retry_backoff_seconds.record(backoff);
+          m_.retries.add(1);
+          m_.degraded.set(1);
+          ++attempt;
+          continue;
+        }
+        action = policy.on_retry_exhausted;
+      }
+      if (action == fault::Action::kFallback) {
+        // The only fallback decode path today is GPU placement → the CPU
+        // decoder over the same stored bytes. Raw formats already decode on
+        // the CPU baseline, so for them the fallback degrades to a skip.
+        const bool can_fallback =
+            dataset_.format() == StorageFormat::kEncoded &&
+            config_.decode_placement == codec::Placement::kGpu;
+        if (can_fallback) {
+          if (!consume_budget()) throw;
+          m_.fallbacks.add(1);
+          m_.degraded.set(1);
+          try {
+            return decode_guarded(index, attempt, /*force_cpu=*/true);
+          } catch (const std::exception&) {
+            // The baseline path failed too (e.g. the record itself is
+            // corrupt): quarantine below.
+          }
+        }
+        action = fault::Action::kSkipSample;
+      }
+      if (action == fault::Action::kSkipSample) {
+        if (!consume_budget()) throw;
+        m_.samples_skipped.add(1);
+        m_.degraded.set(1);
+        {
+          const std::lock_guard<std::mutex> lock(quarantine_mutex_);
+          quarantine_.push_back(index);
+        }
+        return std::nullopt;
+      }
+      throw;  // kFail, config/fatal classes, or budget escalation
+    }
+  }
 }
 
 Batch DataPipeline::assemble_batch(std::uint64_t first, std::uint64_t count) {
@@ -157,26 +269,31 @@ Batch DataPipeline::assemble_batch(std::uint64_t first, std::uint64_t count) {
   const double assemble_t0 = now_seconds();
 
   Batch batch;
-  batch.samples.resize(count);
   batch.epoch = epoch_;
+  // Decode into per-slot optionals: a policy-skipped sample leaves a hole,
+  // and the batch is compacted afterwards preserving epoch order.
+  std::vector<std::optional<codec::TensorF16>> slots(count);
 
   auto decode_one = [&](std::size_t i) {
     const std::size_t index = order_[first + i];
     const double t0 = now_seconds();
-    codec::TensorF16 tensor = decode_sample(index);
+    std::optional<codec::TensorF16> tensor = decode_with_recovery(index);
     const double t1 = now_seconds();
+    m_.decode_seconds.record(t1 - t0);
+    if (!tensor) {
+      return;  // skipped: already counted and quarantined
+    }
     // Augmentations run on the decode worker, seeded per (epoch, position)
     // so reruns of an epoch are bit-identical.
     if (!config_.ops.empty()) {
       SCIPREP_OBS_SPAN("pipeline.ops", "pipeline");
       Rng rng = Rng(config_.seed).fork((epoch_ << 24) ^ (first + i));
       for (const auto& op : config_.ops) {
-        op->apply(tensor, rng);
+        op->apply(*tensor, rng);
       }
       m_.ops_seconds.record(now_seconds() - t1);
     }
-    batch.samples[i] = std::move(tensor);
-    m_.decode_seconds.record(t1 - t0);
+    slots[i] = std::move(tensor);
   };
 
   if (config_.decode_placement == codec::Placement::kGpu) {
@@ -197,14 +314,32 @@ Batch DataPipeline::assemble_batch(std::uint64_t first, std::uint64_t count) {
     workers_.parallel_for(count, decode_one);
   }
 
+  batch.samples.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
+    if (!slots[i]) continue;
+    batch.samples.push_back(std::move(*slots[i]));
     batch.bytes_at_rest += dataset_.sample_bytes(order_[first + i]);
   }
-  m_.samples.add(count);
+  m_.samples.add(batch.samples.size());
   m_.bytes_at_rest.add(batch.bytes_at_rest);
-  m_.batches.add(1);
+  if (!batch.samples.empty()) {
+    // A fully-skipped range produces no batch; next_batch() rolls on to the
+    // next range, so don't count a phantom one.
+    m_.batches.add(1);
+  }
   m_.batch_assemble_seconds.record(now_seconds() - assemble_t0);
   return batch;
+}
+
+std::vector<std::size_t> DataPipeline::quarantine() const {
+  std::vector<std::size_t> ids;
+  {
+    const std::lock_guard<std::mutex> lock(quarantine_mutex_);
+    ids = quarantine_;
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
 }
 
 PipelineStats DataPipeline::stats() const {
@@ -212,6 +347,10 @@ PipelineStats DataPipeline::stats() const {
   s.samples = m_.samples.value();
   s.batches = m_.batches.value();
   s.bytes_at_rest = m_.bytes_at_rest.value();
+  s.samples_skipped = m_.samples_skipped.value();
+  s.retries = m_.retries.value();
+  s.fallbacks = m_.fallbacks.value();
+  s.degraded = m_.degraded.value() != 0;
   if (config_.decode_placement == codec::Placement::kGpu) {
     s.decode_gpu_seconds = m_.decode_gpu_seconds.sum();
     s.gpu.wall_seconds = s.decode_gpu_seconds;
@@ -239,38 +378,49 @@ bool DataPipeline::next_batch(Batch& batch) {
     return std::min(b, remaining);
   };
 
-  Batch result;
-  if (pending_) {
-    // Clear the slot before get(): if the worker threw, the exception
-    // rethrows here and the pipeline must not hold a consumed future.
-    std::future<Batch> ready = std::move(*pending_);
-    pending_.reset();
-    SCIPREP_OBS_SPAN("pipeline.prefetch_wait", "pipeline");
-    const double t0 = now_seconds();
-    result = ready.get();
-    m_.prefetch_wait_seconds.record(now_seconds() - t0);
-  } else {
-    const std::uint64_t count = take_count(cursor_);
-    if (count == 0) return false;
-    result = assemble_batch(cursor_, count);
-    cursor_ += count;
-  }
-  result.index_in_epoch = batch_index_++;
-
-  // Kick off the next batch's decode while the caller trains on this one.
-  if (config_.prefetch) {
-    const std::uint64_t count = take_count(cursor_);
-    if (count > 0) {
+  // Loop: a range whose samples were all skipped by policy yields an empty
+  // batch, which is dropped here and the next range pulled instead.
+  for (;;) {
+    Batch result;
+    if (pending_) {
+      // Move the future out of the slot before get(): if the prefetch worker
+      // threw, the exception rethrows here and the pipeline must not be left
+      // holding a consumed future — the failed range counts as consumed and
+      // the next call continues with the ranges after it.
+      std::future<Batch> ready = std::move(*pending_);
+      pending_.reset();
+      SCIPREP_OBS_SPAN("pipeline.prefetch_wait", "pipeline");
+      const double t0 = now_seconds();
+      result = ready.get();
+      m_.prefetch_wait_seconds.record(now_seconds() - t0);
+    } else {
+      const std::uint64_t count = take_count(cursor_);
+      if (count == 0) return false;
       const std::uint64_t at = cursor_;
+      // Claim the range before assembling (mirroring the prefetch path): if
+      // assemble_batch throws under a kFail policy, the bad range must not
+      // be retried forever on the next call.
       cursor_ += count;
-      pending_ = std::async(std::launch::async, [this, at, count] {
-        return assemble_batch(at, count);
-      });
+      result = assemble_batch(at, count);
     }
-  }
 
-  batch = std::move(result);
-  return true;
+    // Kick off the next batch's decode while the caller trains on this one.
+    if (config_.prefetch && !pending_) {
+      const std::uint64_t count = take_count(cursor_);
+      if (count > 0) {
+        const std::uint64_t at = cursor_;
+        cursor_ += count;
+        pending_ = std::async(std::launch::async, [this, at, count] {
+          return assemble_batch(at, count);
+        });
+      }
+    }
+
+    if (result.samples.empty()) continue;  // fully-skipped range
+    result.index_in_epoch = batch_index_++;
+    batch = std::move(result);
+    return true;
+  }
 }
 
 }  // namespace sciprep::pipeline

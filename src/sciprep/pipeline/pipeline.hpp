@@ -14,13 +14,16 @@
 // the per-platform step times of Figures 8-12.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "sciprep/codec/codec.hpp"
+#include "sciprep/fault/fault.hpp"
 #include "sciprep/obs/metrics.hpp"
 #include "sciprep/pipeline/dataset.hpp"
 #include "sciprep/pipeline/ops.hpp"
@@ -42,6 +45,14 @@ struct PipelineConfig {
   /// counts); inject obs::MetricsRegistry::global() to fold pipeline metrics
   /// into a process-wide dump. Must outlive the pipeline.
   obs::MetricsRegistry* metrics = nullptr;
+  /// What to do when a sample fails to load or decode. The default (kFail
+  /// everywhere) re-throws out of next_batch(), exactly the pre-policy
+  /// behavior; see fault::FaultPolicy for retry/skip/fallback semantics.
+  fault::FaultPolicy fault_policy;
+  /// Fault source consulted around sample reads and decodes. When null,
+  /// fault::Injector::global() applies (itself null outside tests/benches —
+  /// production pays one pointer test per sample). Must outlive the pipeline.
+  fault::Injector* injector = nullptr;
 };
 
 struct Batch {
@@ -57,9 +68,13 @@ struct Batch {
 /// registry (stats() is a snapshot, not a live reference — every field is the
 /// corresponding pipeline.* metric's current value).
 struct PipelineStats {
-  std::uint64_t samples = 0;
+  std::uint64_t samples = 0;           // delivered (excludes skipped)
   std::uint64_t batches = 0;
-  std::uint64_t bytes_at_rest = 0;
+  std::uint64_t bytes_at_rest = 0;     // stored bytes of delivered samples
+  std::uint64_t samples_skipped = 0;   // quarantined by kSkipSample
+  std::uint64_t retries = 0;           // transient-failure re-attempts
+  std::uint64_t fallbacks = 0;         // GPU→CPU baseline re-decodes
+  bool degraded = false;               // any recovery event has fired
   double decode_cpu_seconds = 0;   // baseline preprocess / gunzip / cpu decode
   double decode_gpu_seconds = 0;   // SimGpu wall time
   sim::KernelStats gpu;            // accumulated kernel counters
@@ -84,12 +99,18 @@ class DataPipeline {
   bool next_batch(Batch& batch);
 
   /// Decode one sample through the configured path (exposed for benches that
-  /// time single-sample decode).
+  /// time single-sample decode). Fault-injection gates apply; the recovery
+  /// policy does not — failures throw.
   [[nodiscard]] codec::TensorF16 decode_sample(std::size_t index) const;
 
   /// Snapshot of the aggregate counters, assembled from the registry.
   [[nodiscard]] PipelineStats stats() const;
   [[nodiscard]] std::size_t batches_per_epoch() const;
+
+  /// Sample ids quarantined by the kSkipSample policy, sorted ascending and
+  /// de-duplicated across epochs. Deterministic for a fixed (pipeline seed,
+  /// injector seed) pair regardless of worker count or prefetch.
+  [[nodiscard]] std::vector<std::size_t> quarantine() const;
 
   /// The registry backing stats(): per-stage latency histograms
   /// (pipeline.stage.*), sample/byte counters (pipeline.*_total), simulated
@@ -108,6 +129,10 @@ class DataPipeline {
     obs::Counter& samples;
     obs::Counter& batches;
     obs::Counter& bytes_at_rest;
+    obs::Counter& samples_skipped;
+    obs::Counter& retries;
+    obs::Counter& fallbacks;
+    obs::Gauge& degraded;
     obs::Counter& gpu_warps;
     obs::Counter& gpu_bytes_read;
     obs::Counter& gpu_bytes_written;
@@ -119,14 +144,28 @@ class DataPipeline {
     obs::Histogram& batch_assemble_seconds;
     obs::Histogram& prefetch_wait_seconds;
     obs::Histogram& decode_gpu_seconds;
+    obs::Histogram& retry_backoff_seconds;
   };
 
   Batch assemble_batch(std::uint64_t first, std::uint64_t count);
+  /// Fetch + decode `index` through the configured path, with fault-injection
+  /// gates applied. `attempt` distinguishes retry draws; `force_cpu` routes an
+  /// encoded sample through the CPU decoder (the kFallback path).
+  [[nodiscard]] codec::TensorF16 decode_guarded(std::size_t index, int attempt,
+                                                bool force_cpu) const;
+  /// decode_guarded wrapped in the fault-policy dispatch; nullopt means the
+  /// sample was skipped (already counted and quarantined).
+  [[nodiscard]] std::optional<codec::TensorF16> decode_with_recovery(
+      std::size_t index);
+  /// Claims one recovery event against the error budget; false = spent.
+  [[nodiscard]] bool consume_budget();
 
   const InMemoryDataset& dataset_;
   const codec::SampleCodec& codec_;
   PipelineConfig config_;
   sim::SimGpu* gpu_;
+  fault::Injector* injector_;       // per-pipeline override or global; may be null
+  fault::Site corrupt_site_;        // at-rest corruption site for the format
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when none injected
   obs::MetricsRegistry* metrics_;
   Handles m_;
@@ -140,6 +179,10 @@ class DataPipeline {
   std::uint64_t cursor_ = 0;       // next sample position in order_
   std::uint64_t batch_index_ = 0;
   std::optional<std::future<Batch>> pending_;
+
+  std::atomic<std::uint64_t> recovery_events_{0};  // vs fault_policy.error_budget
+  mutable std::mutex quarantine_mutex_;
+  std::vector<std::size_t> quarantine_;  // raw skip events; dedup on read
 };
 
 }  // namespace sciprep::pipeline

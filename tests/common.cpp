@@ -19,6 +19,24 @@
 namespace sciprep {
 namespace {
 
+TEST(ErrorClassify, MapsExceptionTypesToRecoveryClasses) {
+  EXPECT_EQ(classify(TransientError("pfs stall")), ErrorClass::kTransient);
+  EXPECT_EQ(classify(FormatError("bad crc")), ErrorClass::kCorrupt);
+  EXPECT_EQ(classify(TruncatedError("cut", 128)), ErrorClass::kCorrupt);
+  EXPECT_EQ(classify(ConfigError("bad batch size")), ErrorClass::kConfig);
+  EXPECT_EQ(classify(Error("generic")), ErrorClass::kFatal);
+  EXPECT_EQ(classify(std::runtime_error("foreign")), ErrorClass::kFatal);
+  EXPECT_EQ(classify(IoError("open failed")), ErrorClass::kFatal);
+}
+
+TEST(ErrorClassify, TruncatedErrorCarriesOffsetAndIsIoError) {
+  const TruncatedError e("record cut short", 4096);
+  EXPECT_EQ(e.offset(), 4096u);
+  EXPECT_NE(dynamic_cast<const IoError*>(&e), nullptr);
+  EXPECT_STREQ(error_class_name(classify(e)), "corrupt");
+  EXPECT_STREQ(error_class_name(ErrorClass::kTransient), "transient");
+}
+
 TEST(ByteWriter, ScalarsAndStringsRoundTrip) {
   ByteWriter w;
   w.put<std::uint32_t>(0xDEADBEEFu);

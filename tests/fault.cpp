@@ -1,0 +1,432 @@
+// Tests for sciprep::fault: injector determinism, recovery-policy dispatch
+// (retry / skip / fallback / fail), error-budget escalation, quarantine
+// accounting, and the prefetch-failure contract of DataPipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "sciprep/codec/cam_codec.hpp"
+#include "sciprep/codec/cosmo_codec.hpp"
+#include "sciprep/common/error.hpp"
+#include "sciprep/fault/fault.hpp"
+#include "sciprep/pipeline/pipeline.hpp"
+#include "sciprep/sim/simgpu.hpp"
+
+namespace sciprep::pipeline {
+namespace {
+
+data::CosmoGenerator cosmo_gen(int dim = 16) {
+  data::CosmoGenConfig cfg;
+  cfg.dim = dim;
+  cfg.seed = 11;
+  return data::CosmoGenerator(cfg);
+}
+
+/// A pipeline over an encoded cosmo dataset with an attached injector.
+struct Rig {
+  explicit Rig(std::size_t n) : gen(cosmo_gen()), registry() {
+    dataset.emplace(
+        InMemoryDataset::make_cosmo(gen, n, StorageFormat::kEncoded, &codec));
+  }
+
+  DataPipeline make(fault::Injector* injector, fault::FaultPolicy policy,
+                    PipelineConfig base = {}, sim::SimGpu* gpu = nullptr) {
+    base.seed = 5;
+    base.metrics = &registry;
+    base.fault_policy = policy;
+    base.injector = injector;
+    return DataPipeline(*dataset, codec, base, gpu);
+  }
+
+  data::CosmoGenerator gen;
+  codec::CosmoCodec codec;
+  obs::MetricsRegistry registry;
+  std::optional<InMemoryDataset> dataset;
+};
+
+/// Drain a full epoch; returns the number of delivered samples.
+std::uint64_t drain_epoch(DataPipeline& pipe, std::uint64_t epoch) {
+  pipe.start_epoch(epoch);
+  Batch batch;
+  std::uint64_t delivered = 0;
+  std::uint64_t last_index = 0;
+  bool first = true;
+  while (pipe.next_batch(batch)) {
+    EXPECT_GT(batch.size(), 0);  // empty batches must never surface
+    if (!first) {
+      EXPECT_EQ(batch.index_in_epoch, last_index + 1);  // indices contiguous
+    }
+    first = false;
+    last_index = batch.index_in_epoch;
+    delivered += static_cast<std::uint64_t>(batch.size());
+  }
+  return delivered;
+}
+
+TEST(Injector, DecisionsAreDeterministicAcrossInstancesAndCallOrder) {
+  obs::MetricsRegistry reg_a;
+  obs::MetricsRegistry reg_b;
+  fault::Injector a(42, &reg_a);
+  fault::Injector b(42, &reg_b);
+  const fault::SiteConfig cfg{.transient_probability = 0.3,
+                              .corrupt_probability = 0.3,
+                              .truncate_probability = 0.1};
+  a.configure(fault::Site::kIoRead, cfg);
+  b.configure(fault::Site::kIoRead, cfg);
+
+  const Bytes payload(256, 0xAB);
+  std::vector<bool> threw_a;
+  std::vector<Bytes> mutated_a;
+  for (std::uint64_t op = 0; op < 200; ++op) {
+    bool threw = false;
+    try {
+      a.on_operation(fault::Site::kIoRead, op);
+    } catch (const TransientError&) {
+      threw = true;
+    }
+    threw_a.push_back(threw);
+    Bytes scratch;
+    const ByteSpan out =
+        a.mutate(fault::Site::kIoRead, op, ByteSpan(payload), scratch);
+    mutated_a.emplace_back(out.begin(), out.end());
+  }
+  // Replay in reverse order on the second instance: decisions must be pure
+  // functions of (seed, site, op), not of call order.
+  for (std::uint64_t op = 200; op-- > 0;) {
+    bool threw = false;
+    try {
+      b.on_operation(fault::Site::kIoRead, op);
+    } catch (const TransientError&) {
+      threw = true;
+    }
+    EXPECT_EQ(threw, threw_a[op]) << "op " << op;
+    Bytes scratch;
+    const ByteSpan out =
+        b.mutate(fault::Site::kIoRead, op, ByteSpan(payload), scratch);
+    EXPECT_EQ(Bytes(out.begin(), out.end()), mutated_a[op]) << "op " << op;
+  }
+  EXPECT_GT(a.injected_total(), 0u);
+  EXPECT_EQ(a.injected_total(), b.injected_total());
+  EXPECT_EQ(reg_a.counter_value("fault.io.read_total"), a.injected_total());
+}
+
+TEST(Injector, DifferentSeedsDisagree) {
+  obs::MetricsRegistry reg;
+  fault::Injector a(1, &reg);
+  fault::Injector b(2, &reg);
+  const fault::SiteConfig cfg{.transient_probability = 0.5};
+  a.configure(fault::Site::kCodecDecode, cfg);
+  b.configure(fault::Site::kCodecDecode, cfg);
+  int disagreements = 0;
+  for (std::uint64_t op = 0; op < 64; ++op) {
+    const auto fires = [&](const fault::Injector& inj) {
+      try {
+        inj.on_operation(fault::Site::kCodecDecode, op);
+        return false;
+      } catch (const TransientError&) {
+        return true;
+      }
+    };
+    disagreements += fires(a) != fires(b) ? 1 : 0;
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(Injector, ZeroConfigIsTransparent) {
+  obs::MetricsRegistry reg;
+  const fault::Injector inj(7, &reg);
+  const Bytes payload(64, 1);
+  Bytes scratch;
+  for (std::uint64_t op = 0; op < 32; ++op) {
+    EXPECT_NO_THROW(inj.on_operation(fault::Site::kIoRead, op));
+    const ByteSpan out =
+        inj.mutate(fault::Site::kCodecDecode, op, ByteSpan(payload), scratch);
+    // Not just equal bytes: the span must alias the original (no copy made).
+    EXPECT_EQ(out.data(), payload.data());
+  }
+  EXPECT_EQ(inj.injected_total(), 0u);
+  EXPECT_TRUE(scratch.empty());
+}
+
+TEST(Injector, SiteNamesMatchTheDocumentedAddresses) {
+  EXPECT_STREQ(fault::site_name(fault::Site::kIoRead), "io.read");
+  EXPECT_STREQ(fault::site_name(fault::Site::kTfrecordPayloadCrc),
+               "tfrecord.payload_crc");
+  EXPECT_STREQ(fault::site_name(fault::Site::kH5ChunkCrc), "h5lite.chunk_crc");
+  EXPECT_STREQ(fault::site_name(fault::Site::kCodecDecode), "codec.decode");
+  EXPECT_STREQ(fault::site_name(fault::Site::kGpuLaunch), "gpu.launch");
+}
+
+TEST(Injector, GlobalInstallAppliesToNewPipelines) {
+  Rig rig(6);
+  obs::MetricsRegistry inj_reg;
+  fault::Injector inj(9, &inj_reg);
+  inj.configure(fault::Site::kCodecDecode, {.corrupt_probability = 1.0});
+  fault::Injector::install_global(&inj);
+  fault::FaultPolicy policy;
+  policy.on_corrupt = fault::Action::kSkipSample;
+  PipelineConfig base;
+  base.shuffle = false;
+  base.prefetch = false;
+  {
+    // No per-pipeline injector: the global one must be picked up.
+    DataPipeline pipe = rig.make(nullptr, policy, base);
+    EXPECT_EQ(drain_epoch(pipe, 0), 0u);
+    EXPECT_EQ(pipe.stats().samples_skipped, 6u);
+  }
+  fault::Injector::install_global(nullptr);
+  rig.registry.reset();  // the two pipelines share the rig's registry
+  {
+    DataPipeline pipe = rig.make(nullptr, policy, base);
+    EXPECT_EQ(drain_epoch(pipe, 0), 6u);
+    EXPECT_EQ(pipe.stats().samples_skipped, 0u);
+  }
+}
+
+TEST(FaultPolicy, DefaultKFailRethrowsOutOfNextBatch) {
+  Rig rig(8);
+  fault::Injector inj(3, &rig.registry);
+  inj.configure(fault::Site::kCodecDecode, {.corrupt_probability = 1.0});
+  PipelineConfig base;
+  base.shuffle = false;
+  base.prefetch = false;
+  base.batch_size = 4;
+  DataPipeline pipe = rig.make(&inj, fault::FaultPolicy{}, base);
+  Batch batch;
+  EXPECT_THROW(pipe.next_batch(batch), Error);
+}
+
+TEST(FaultPolicy, SkipSampleKeepsTheEpochGoingAndQuarantines) {
+  Rig rig(32);
+  fault::Injector inj(21, &rig.registry);
+  inj.configure(fault::Site::kCodecDecode, {.corrupt_probability = 0.3});
+  fault::FaultPolicy policy;
+  policy.on_corrupt = fault::Action::kSkipSample;
+  PipelineConfig base;
+  base.batch_size = 4;
+  DataPipeline pipe = rig.make(&inj, policy, base);
+
+  const std::uint64_t delivered = drain_epoch(pipe, 0);
+  const PipelineStats stats = pipe.stats();
+  EXPECT_EQ(delivered, stats.samples);
+  EXPECT_EQ(stats.samples + stats.samples_skipped, 32u);
+  EXPECT_GT(stats.samples_skipped, 0u);
+  EXPECT_LT(stats.samples_skipped, 32u);
+  EXPECT_TRUE(stats.degraded);
+  const auto quarantined = pipe.quarantine();
+  EXPECT_EQ(quarantined.size(), stats.samples_skipped);
+  EXPECT_TRUE(std::is_sorted(quarantined.begin(), quarantined.end()));
+  // Counters mirror into the injected registry.
+  EXPECT_EQ(rig.registry.counter_value("pipeline.samples_skipped_total"),
+            stats.samples_skipped);
+}
+
+TEST(FaultPolicy, CorruptionIsAtRestSoTheSameSamplesSkipEveryEpoch) {
+  Rig rig(24);
+  fault::Injector inj(21, &rig.registry);
+  inj.configure(fault::Site::kCodecDecode, {.corrupt_probability = 0.25});
+  fault::FaultPolicy policy;
+  policy.on_corrupt = fault::Action::kSkipSample;
+  DataPipeline pipe = rig.make(&inj, policy);
+
+  (void)drain_epoch(pipe, 0);
+  const auto after_first = pipe.quarantine();
+  const std::uint64_t skipped_first = pipe.stats().samples_skipped;
+  ASSERT_GT(skipped_first, 0u);
+  (void)drain_epoch(pipe, 1);
+  // Epoch 2 re-skips exactly the same ids: the quarantine set is unchanged
+  // while the skip-event counter doubled.
+  EXPECT_EQ(pipe.quarantine(), after_first);
+  EXPECT_EQ(pipe.stats().samples_skipped, 2 * skipped_first);
+}
+
+TEST(FaultPolicy, RunsAreBitIdenticalUnderAFixedSeedPair) {
+  Rig rig(40);
+  fault::FaultPolicy policy;
+  policy.on_transient = fault::Action::kRetry;
+  policy.retry = {.max_attempts = 3, .backoff_seconds = 0};
+  policy.on_retry_exhausted = fault::Action::kSkipSample;
+  policy.on_corrupt = fault::Action::kSkipSample;
+
+  auto run = [&](std::size_t workers, bool prefetch) {
+    obs::MetricsRegistry reg;
+    fault::Injector inj(77, &reg);
+    inj.configure(fault::Site::kIoRead, {.transient_probability = 0.25});
+    inj.configure(fault::Site::kCodecDecode, {.corrupt_probability = 0.05});
+    PipelineConfig base;
+    base.batch_size = 4;
+    base.worker_threads = workers;
+    base.prefetch = prefetch;
+    base.seed = 5;
+    base.metrics = &reg;
+    base.fault_policy = policy;
+    base.injector = &inj;
+    DataPipeline pipe(*rig.dataset, rig.codec, base);
+    std::uint64_t delivered = 0;
+    for (std::uint64_t epoch = 0; epoch < 2; ++epoch) {
+      delivered += drain_epoch(pipe, epoch);
+    }
+    const PipelineStats stats = pipe.stats();
+    EXPECT_EQ(stats.samples + stats.samples_skipped, 80u);
+    return std::make_tuple(delivered, stats.samples_skipped, stats.retries,
+                           pipe.quarantine());
+  };
+
+  const auto a = run(1, false);
+  const auto b = run(4, true);  // different parallelism, same decisions
+  EXPECT_EQ(a, b);
+  EXPECT_GT(std::get<2>(a), 0u);       // retries actually happened
+  EXPECT_FALSE(std::get<3>(a).empty());  // and some samples were skipped
+}
+
+TEST(FaultPolicy, RetryRecoversTransientsWithoutSkipping) {
+  Rig rig(16);
+  fault::Injector inj(5, &rig.registry);
+  // 30% transient faults, independent per attempt: three attempts push the
+  // per-sample loss probability down to 2.7%, so retries do the heavy lifting.
+  inj.configure(fault::Site::kIoRead, {.transient_probability = 0.3});
+  fault::FaultPolicy policy;
+  policy.on_transient = fault::Action::kRetry;
+  policy.retry = {.max_attempts = 3, .backoff_seconds = 1e-5};
+  policy.on_retry_exhausted = fault::Action::kSkipSample;
+  DataPipeline pipe = rig.make(&inj, policy);
+
+  const std::uint64_t delivered = drain_epoch(pipe, 0);
+  const PipelineStats stats = pipe.stats();
+  EXPECT_EQ(delivered + stats.samples_skipped, 16u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(rig.registry.counter_value("pipeline.retries_total"),
+            stats.retries);
+  EXPECT_GT(
+      rig.registry.histogram("pipeline.stage.retry_backoff_seconds").count(),
+      0u);
+}
+
+TEST(FaultPolicy, GpuLaunchFaultsFallBackToCpuDecode) {
+  Rig rig(10);
+  sim::SimGpu gpu({.sm_count = 2, .warps_per_sm = 2});
+  fault::Injector inj(13, &rig.registry);
+  inj.configure(fault::Site::kGpuLaunch, {.transient_probability = 1.0});
+  fault::FaultPolicy policy;
+  policy.on_transient = fault::Action::kFallback;
+  PipelineConfig base;
+  base.shuffle = false;
+  base.prefetch = false;
+  base.decode_placement = codec::Placement::kGpu;
+  DataPipeline pipe = rig.make(&inj, policy, base, &gpu);
+
+  const std::uint64_t delivered = drain_epoch(pipe, 0);
+  const PipelineStats stats = pipe.stats();
+  EXPECT_EQ(delivered, 10u);
+  EXPECT_EQ(stats.samples_skipped, 0u);
+  EXPECT_EQ(stats.fallbacks, 10u);
+  EXPECT_TRUE(stats.degraded);
+
+  // The fallback output is the CPU decode of the same bytes — bit-exact
+  // against a clean CPU pipeline.
+  PipelineConfig cpu_base;
+  cpu_base.shuffle = false;
+  cpu_base.prefetch = false;
+  DataPipeline cpu_pipe = rig.make(nullptr, fault::FaultPolicy{}, cpu_base);
+  pipe.start_epoch(0);
+  Batch batch;
+  ASSERT_TRUE(pipe.next_batch(batch));
+  const codec::TensorF16& got = batch.samples.front();  // shuffle is off
+  const codec::TensorF16 want = cpu_pipe.decode_sample(0);
+  ASSERT_EQ(got.values.size(), want.values.size());
+  for (std::size_t i = 0; i < got.values.size(); ++i) {
+    ASSERT_EQ(got.values[i].bits(), want.values[i].bits());
+  }
+}
+
+TEST(FaultPolicy, ErrorBudgetEscalatesToFailure) {
+  Rig rig(12);
+  fault::Injector inj(3, &rig.registry);
+  inj.configure(fault::Site::kCodecDecode, {.corrupt_probability = 1.0});
+  fault::FaultPolicy policy;
+  policy.on_corrupt = fault::Action::kSkipSample;
+  policy.error_budget = 5;  // every sample is corrupt; the 6th skip is denied
+  PipelineConfig base;
+  base.shuffle = false;
+  base.prefetch = false;
+  base.batch_size = 1;
+  base.worker_threads = 1;
+  DataPipeline pipe = rig.make(&inj, policy, base);
+
+  Batch batch;
+  std::uint64_t failures = 0;
+  for (int i = 0; i < 12; ++i) {
+    try {
+      if (!pipe.next_batch(batch)) break;
+      FAIL() << "every sample is corrupt — nothing should be delivered";
+    } catch (const Error&) {
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, 0u);
+  EXPECT_EQ(pipe.stats().samples_skipped, 5u);
+}
+
+// Satellite regression: an exception inside the prefetch future must not
+// leave the pipeline holding a consumed future — the next next_batch() call
+// is well-defined, continues with the remaining ranges, and the epoch
+// terminates.
+TEST(Pipeline, PrefetchFutureExceptionLeavesNextBatchWellDefined) {
+  Rig rig(20);
+  fault::Injector inj(17, &rig.registry);
+  // Half the samples corrupt under kFail: several batches (sync and
+  // prefetched alike) throw on delivery.
+  inj.configure(fault::Site::kCodecDecode, {.corrupt_probability = 0.5});
+  PipelineConfig base;
+  base.batch_size = 2;
+  base.prefetch = true;
+  base.worker_threads = 2;
+  DataPipeline pipe = rig.make(&inj, fault::FaultPolicy{}, base);
+
+  auto count_epoch = [&](std::uint64_t epoch) {
+    pipe.start_epoch(epoch);
+    Batch batch;
+    std::uint64_t throws = 0;
+    std::uint64_t delivered_batches = 0;
+    for (int guard = 0; guard < 64; ++guard) {
+      try {
+        if (!pipe.next_batch(batch)) break;
+        ++delivered_batches;
+      } catch (const Error&) {
+        ++throws;
+      }
+    }
+    // Every range surfaces exactly once — as a batch or as one exception.
+    EXPECT_EQ(throws + delivered_batches, 10u);
+    EXPECT_GT(throws, 0u);
+    EXPECT_GT(delivered_batches, 0u);
+    return std::make_pair(throws, delivered_batches);
+  };
+
+  const auto first = count_epoch(0);
+  // The pipeline stays usable for further epochs after mid-prefetch throws.
+  const auto second = count_epoch(1);
+  EXPECT_EQ(first.first + first.second, second.first + second.second);
+}
+
+TEST(Pipeline, AllSamplesSkippedYieldsCleanEmptyEpoch) {
+  Rig rig(6);
+  fault::Injector inj(2, &rig.registry);
+  inj.configure(fault::Site::kCodecDecode, {.corrupt_probability = 1.0});
+  fault::FaultPolicy policy;
+  policy.on_corrupt = fault::Action::kSkipSample;
+  PipelineConfig base;
+  base.batch_size = 4;
+  DataPipeline pipe = rig.make(&inj, policy, base);
+  EXPECT_EQ(drain_epoch(pipe, 0), 0u);
+  const PipelineStats stats = pipe.stats();
+  EXPECT_EQ(stats.samples, 0u);
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_EQ(stats.samples_skipped, 6u);
+  EXPECT_EQ(pipe.quarantine().size(), 6u);
+}
+
+}  // namespace
+}  // namespace sciprep::pipeline

@@ -84,7 +84,53 @@ TEST(TfRecord, DetectsTruncation) {
   const ByteSpan cut = ByteSpan(stream).first(stream.size() - 10);
   TfRecordReader r(cut);
   Bytes payload;
+  // Declared length runs past EOF: a typed IoError naming the record offset.
+  try {
+    r.next(payload);
+    FAIL() << "expected TruncatedError";
+  } catch (const TruncatedError& e) {
+    EXPECT_EQ(e.offset(), 0u);
+    EXPECT_NE(std::string(e.what()).find("offset 0"), std::string::npos);
+  }
+}
+
+TEST(TfRecord, TruncatedHeaderNamesOffset) {
+  TfRecordWriter w;
+  w.append(Bytes(16, 3));
+  const Bytes stream = std::move(w).take();
+  // Cut inside the *second* record's 12-byte header.
+  Bytes two = stream;
+  two.insert(two.end(), stream.begin(), stream.begin() + 6);
+  TfRecordReader r{ByteSpan(two)};
+  Bytes payload;
+  ASSERT_TRUE(r.next(payload));
+  try {
+    r.next(payload);
+    FAIL() << "expected TruncatedError";
+  } catch (const TruncatedError& e) {
+    EXPECT_EQ(e.offset(), stream.size());
+  }
+}
+
+TEST(TfRecord, PayloadCrcFailureResyncsToNextRecord) {
+  TfRecordWriter w;
+  w.append(Bytes(64, 1));
+  w.append(Bytes(64, 2));
+  w.append(Bytes(64, 3));
+  Bytes stream = std::move(w).take();
+  // Flip one payload byte of the middle record (header is 12 bytes, the
+  // first record spans 12 + 64 + 4 bytes).
+  stream[(12 + 64 + 4) + 12 + 10] ^= 0x01;
+  TfRecordReader r{ByteSpan(stream)};
+  Bytes payload;
+  ASSERT_TRUE(r.next(payload));
+  EXPECT_EQ(payload, Bytes(64, 1));
+  // The bad record throws, but the reader position has advanced past it...
   EXPECT_THROW(r.next(payload), FormatError);
+  // ...so the next call resyncs to the following record.
+  ASSERT_TRUE(r.next(payload));
+  EXPECT_EQ(payload, Bytes(64, 3));
+  EXPECT_FALSE(r.next(payload));
 }
 
 TEST(TfRecord, GzipVariantRoundTrips) {
@@ -191,6 +237,38 @@ TEST(H5Lite, RejectsShapeDataMismatch) {
   d.shape = {10};
   d.data = Bytes(12);  // 3 floats, not 10
   EXPECT_THROW(file.add(std::move(d)), FormatError);
+}
+
+TEST(H5Lite, TruncatedChunkDataNamesOffset) {
+  H5File file;
+  file.add_array<std::uint8_t>("t", DType::kU8, {64},
+                               std::span<const std::uint8_t>(Bytes(64, 9)));
+  const Bytes wire = file.serialize(/*chunk_size=*/64);
+  // Cut into the chunk payload: the declared 64-byte chunk now runs past EOF.
+  const ByteSpan cut = ByteSpan(wire).first(wire.size() - 10);
+  try {
+    H5File::parse(cut);
+    FAIL() << "expected TruncatedError";
+  } catch (const TruncatedError& e) {
+    EXPECT_EQ(e.offset(), wire.size() - 64 - 12);
+    EXPECT_NE(std::string(e.what()).find("dataset 't'"), std::string::npos);
+  }
+}
+
+TEST(H5Lite, TruncatedChunkHeaderNamesOffset) {
+  H5File file;
+  file.add_array<std::uint8_t>("t", DType::kU8, {64},
+                               std::span<const std::uint8_t>(Bytes(64, 9)));
+  const Bytes wire = file.serialize(/*chunk_size=*/64);
+  // Cut inside the 12-byte chunk header itself.
+  const std::size_t header_at = wire.size() - 64 - 12;
+  const ByteSpan cut = ByteSpan(wire).first(header_at + 5);
+  try {
+    H5File::parse(cut);
+    FAIL() << "expected TruncatedError";
+  } catch (const TruncatedError& e) {
+    EXPECT_EQ(e.offset(), header_at);
+  }
 }
 
 TEST(H5Lite, DetectsChunkCorruption) {
