@@ -17,22 +17,38 @@
 // metrics dump must contain the per-stage histograms, and the pipeline's
 // PipelineStats snapshot must agree with the registry. Exits nonzero on any
 // violation (this backs the obs_trace_smoke ctest).
+//
+// Checkpoint & resume (sciprep::guard, DESIGN.md §9):
+//   --checkpoint-out FILE [--checkpoint-every N] writes a crash-consistent
+//   progress snapshot every N delivered batches; --resume-from FILE restarts
+//   a killed run at its last checkpoint and delivers the bit-identical
+//   remaining batch sequence. --digest-out records per-batch content CRCs
+//   (plus a final-counter footer); --expect-digest cross-checks a resumed
+//   run's digests against an uninterrupted run's file, which is how the
+//   kill_resume_smoke ctest proves the resume property end to end.
+//   --kill-after-batches N simulates the crash (hard exit 42 after the Nth
+//   delivered batch); --stage-deadline-ms arms the pipeline watchdog so
+//   injected stalls (--inject-delay/--inject-delay-ms) trip deadlines and
+//   flow through the fault policy like any other transient.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "sciprep/apps/models.hpp"
+#include "sciprep/common/crc.hpp"
 #include "sciprep/common/error.hpp"
 #include "sciprep/common/format.hpp"
 #include "sciprep/codec/cam_codec.hpp"
 #include "sciprep/codec/cosmo_codec.hpp"
 #include "sciprep/common/log.hpp"
 #include "sciprep/common/stats.hpp"
+#include "sciprep/guard/guard.hpp"
 #include "sciprep/data/cam_gen.hpp"
 #include "sciprep/data/cosmo_gen.hpp"
 #include "sciprep/dnn/loss.hpp"
@@ -59,12 +75,24 @@ struct TrainerArgs {
   // Fault injection + recovery (see src/sciprep/fault/).
   double inject_transient = 0;      // P(transient read fault) per sample read
   double inject_corrupt = 0;        // P(record corrupt at rest) per sample
+  double inject_truncate = 0;       // P(record truncated at rest) per sample
+  double inject_delay = 0;          // P(stalled read) per sample read
+  double inject_delay_ms = 50;      // stall length when a delay fires
   std::uint64_t inject_seed = 1234;
   std::string fault_policy = "fail";  // fail | skip | retry-skip
   std::uint64_t fault_budget = 1u << 20;
+  // Guard: checkpoint/resume + watchdog deadlines (see src/sciprep/guard/).
+  std::string checkpoint_out;       // snapshot file, written atomically
+  std::uint64_t checkpoint_every = 32;  // delivered batches per checkpoint
+  std::string resume_from;          // snapshot file to resume from
+  double stage_deadline_ms = 0;     // decode/gunzip/io.read deadline (0 = off)
+  std::string digest_out;           // per-batch content CRC log
+  std::string expect_digest;        // digest file to cross-check against
+  std::uint64_t kill_after_batches = 0;  // simulate a crash (exit 42)
 
   [[nodiscard]] bool injecting() const {
-    return inject_transient > 0 || inject_corrupt > 0;
+    return inject_transient > 0 || inject_corrupt > 0 || inject_truncate > 0 ||
+           inject_delay > 0;
   }
 };
 
@@ -75,8 +103,13 @@ struct TrainerArgs {
       "          [--dim N] [--batch N] [--workers N] [--placement cpu|gpu]\n"
       "          [--trace-out FILE] [--metrics-out FILE] [--validate]\n"
       "          [--inject-transient P] [--inject-corrupt P]\n"
-      "          [--inject-seed N] [--fault-policy fail|skip|retry-skip]\n"
-      "          [--fault-budget N]\n",
+      "          [--inject-truncate P] [--inject-delay P]\n"
+      "          [--inject-delay-ms MS] [--inject-seed N]\n"
+      "          [--fault-policy fail|skip|retry-skip] [--fault-budget N]\n"
+      "          [--checkpoint-out FILE] [--checkpoint-every N]\n"
+      "          [--resume-from FILE] [--stage-deadline-ms MS]\n"
+      "          [--digest-out FILE] [--expect-digest FILE]\n"
+      "          [--kill-after-batches N]\n",
       argv0);
   std::exit(2);
 }
@@ -113,12 +146,32 @@ TrainerArgs parse_args(int argc, char** argv) {
       args.inject_transient = std::atof(value());
     } else if (a == "--inject-corrupt") {
       args.inject_corrupt = std::atof(value());
+    } else if (a == "--inject-truncate") {
+      args.inject_truncate = std::atof(value());
+    } else if (a == "--inject-delay") {
+      args.inject_delay = std::atof(value());
+    } else if (a == "--inject-delay-ms") {
+      args.inject_delay_ms = std::atof(value());
     } else if (a == "--inject-seed") {
       args.inject_seed = static_cast<std::uint64_t>(std::atoll(value()));
     } else if (a == "--fault-policy") {
       args.fault_policy = value();
     } else if (a == "--fault-budget") {
       args.fault_budget = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (a == "--checkpoint-out") {
+      args.checkpoint_out = value();
+    } else if (a == "--checkpoint-every") {
+      args.checkpoint_every = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (a == "--resume-from") {
+      args.resume_from = value();
+    } else if (a == "--stage-deadline-ms") {
+      args.stage_deadline_ms = std::atof(value());
+    } else if (a == "--digest-out") {
+      args.digest_out = value();
+    } else if (a == "--expect-digest") {
+      args.expect_digest = value();
+    } else if (a == "--kill-after-batches") {
+      args.kill_after_batches = static_cast<std::uint64_t>(std::atoll(value()));
     } else {
       std::fprintf(stderr, "trainer: unknown flag '%s'\n", argv[i]);
       usage(argv[0]);
@@ -159,17 +212,182 @@ fault::FaultPolicy make_fault_policy(const TrainerArgs& args) {
 /// storage format).
 void configure_injector(fault::Injector& injector, const TrainerArgs& args) {
   injector.configure(fault::Site::kIoRead,
-                     {.transient_probability = args.inject_transient});
-  const fault::SiteConfig corrupt{.corrupt_probability = args.inject_corrupt};
+                     {.transient_probability = args.inject_transient,
+                      .delay_probability = args.inject_delay,
+                      .delay_seconds = args.inject_delay_ms / 1e3});
+  const fault::SiteConfig corrupt{.corrupt_probability = args.inject_corrupt,
+                                  .truncate_probability = args.inject_truncate};
   injector.configure(fault::Site::kTfrecordPayloadCrc, corrupt);
   injector.configure(fault::Site::kH5ChunkCrc, corrupt);
   injector.configure(fault::Site::kCodecDecode, corrupt);
 }
 
+/// Arm the pipeline's guard features from the command line: one deadline for
+/// every decode-path stage (the end-to-end prefetch wait gets 8x — it covers
+/// a whole batch of samples, not one).
+void apply_guard_config(pipeline::PipelineConfig& pcfg,
+                        const TrainerArgs& args) {
+  if (args.stage_deadline_ms > 0) {
+    const double s = args.stage_deadline_ms / 1e3;
+    pcfg.deadlines.decode_seconds = s;
+    pcfg.deadlines.gunzip_seconds = s;
+    pcfg.deadlines.io_read_seconds = s;
+    pcfg.deadlines.prefetch_wait_seconds = 8 * s;
+  }
+}
+
+/// Per-run guard driver: resume, per-batch content digests, periodic
+/// checkpoints, and the simulated crash. One instance spans the epoch loop of
+/// either workload arm.
+struct RunGuard {
+  explicit RunGuard(const TrainerArgs& args) : args_(args) {
+    if (!args.checkpoint_out.empty()) {
+      checkpointer_.emplace(args.checkpoint_out, args.checkpoint_every,
+                            &obs::MetricsRegistry::global());
+    }
+  }
+
+  /// Restore `pipe` from --resume-from (if given). Returns the epoch the run
+  /// starts at; the caller must NOT start_epoch() that first epoch — resume()
+  /// has already positioned the pipeline inside it.
+  int begin(pipeline::DataPipeline& pipe) {
+    if (args_.resume_from.empty()) return 0;
+    const guard::Snapshot snap = guard::read_snapshot(args_.resume_from);
+    pipe.resume(snap);
+    resumed_ = true;
+    std::printf("resume: %s -> epoch %llu, %llu samples into the order, "
+                "batch %llu\n",
+                args_.resume_from.c_str(),
+                static_cast<unsigned long long>(snap.epoch),
+                static_cast<unsigned long long>(snap.cursor),
+                static_cast<unsigned long long>(snap.batch_index));
+    return static_cast<int>(snap.epoch);
+  }
+
+  [[nodiscard]] bool skip_epoch_reset(int epoch, int first_epoch) const {
+    return resumed_ && epoch == first_epoch;
+  }
+
+  /// Content CRC of a delivered batch: every tensor's shape, values, and
+  /// labels, chained. Two runs produce the same digest iff their delivered
+  /// batches are bit-identical (augmentations included).
+  static std::uint32_t batch_crc(const pipeline::Batch& batch) {
+    std::uint32_t crc = 0;
+    for (const auto& t : batch.samples) {
+      crc = crc32c(as_bytes(t.shape), crc);
+      crc = crc32c(as_bytes(t.values), crc);
+      crc = crc32c(as_bytes(t.float_labels), crc);
+      crc = crc32c(as_bytes(t.byte_labels), crc);
+    }
+    return crc;
+  }
+
+  /// Called once per delivered batch, before the train step: record the
+  /// digest, checkpoint if the cadence says so, and crash if asked to.
+  void on_batch(pipeline::DataPipeline& pipe, const pipeline::Batch& batch) {
+    ++delivered_;
+    digest_lines_.push_back(fmt("B {} {} {:08x}", batch.epoch,
+                                batch.index_in_epoch, batch_crc(batch)));
+    if (checkpointer_ && checkpointer_->due(delivered_)) {
+      checkpointer_->write(pipe.snapshot());
+    }
+    if (args_.kill_after_batches > 0 &&
+        delivered_ >= args_.kill_after_batches) {
+      // Simulated crash: no flushing, no destructors, no atexit — the next
+      // run has only the (atomically written) checkpoint to go on.
+      std::printf("kill: simulating crash after batch %llu\n",
+                  static_cast<unsigned long long>(delivered_));
+      std::fflush(stdout);
+      std::_Exit(42);
+    }
+  }
+
+  /// Write --digest-out and cross-check --expect-digest. Returns the number
+  /// of violations (0 = clean).
+  int finish(const pipeline::PipelineStats& stats,
+             const std::vector<std::size_t>& quarantine) {
+    const std::uint32_t qcrc = crc32c(as_bytes(quarantine));
+    // The footer excludes the live retry counter by contract: retries are
+    // spent wall clock, and a resumed run legitimately repeats some.
+    const std::string footer =
+        fmt("T samples {} batches {} bytes {} skipped {} fallbacks {} "
+            "qcrc {:08x}",
+            stats.samples, stats.batches, stats.bytes_at_rest,
+            stats.samples_skipped, stats.fallbacks, qcrc);
+    if (!args_.digest_out.empty()) {
+      std::ofstream out(args_.digest_out, std::ios::trunc);
+      if (!out) {
+        throw IoError(fmt("trainer: cannot write '{}'", args_.digest_out));
+      }
+      for (const std::string& line : digest_lines_) out << line << '\n';
+      out << footer << '\n';
+      std::printf("digest: %zu batches -> %s\n", digest_lines_.size(),
+                  args_.digest_out.c_str());
+    }
+    if (args_.expect_digest.empty()) return 0;
+
+    int failures = 0;
+    auto fail = [&](const std::string& what) {
+      std::fprintf(stderr, "digest: FAIL %s\n", what.c_str());
+      ++failures;
+    };
+    std::ifstream in(args_.expect_digest);
+    if (!in) {
+      fail(fmt("cannot read expected digest '{}'", args_.expect_digest));
+      return failures;
+    }
+    // Index the uninterrupted run's lines by (epoch, batch) key. A resumed
+    // run produces a suffix of them: every line it produced must match the
+    // full run's line exactly, and the final counters must agree.
+    std::vector<std::string> expected_lines;
+    std::string expected_footer;
+    for (std::string line; std::getline(in, line);) {
+      if (line.rfind("B ", 0) == 0) expected_lines.push_back(line);
+      if (line.rfind("T ", 0) == 0) expected_footer = line;
+    }
+    auto key_of = [](const std::string& line) {
+      return line.substr(0, line.rfind(' '));  // "B <epoch> <index>"
+    };
+    std::size_t matched = 0;
+    for (const std::string& line : digest_lines_) {
+      bool found = false;
+      for (const std::string& exp : expected_lines) {
+        if (key_of(exp) != key_of(line)) continue;
+        found = true;
+        if (exp != line) {
+          fail(fmt("batch digest mismatch: produced '{}', expected '{}'",
+                   line, exp));
+        } else {
+          ++matched;
+        }
+        break;
+      }
+      if (!found) fail(fmt("unexpected batch '{}'", key_of(line)));
+    }
+    if (footer != expected_footer) {
+      fail(fmt("final counters differ: produced '{}', expected '{}'", footer,
+               expected_footer));
+    }
+    if (failures == 0) {
+      std::printf("digest: OK — %zu batches bit-identical, counters agree\n",
+                  matched);
+    }
+    return failures;
+  }
+
+ private:
+  const TrainerArgs& args_;
+  std::optional<guard::Checkpointer> checkpointer_;
+  std::vector<std::string> digest_lines_;
+  std::uint64_t delivered_ = 0;
+  bool resumed_ = false;
+};
+
 /// Run the CosmoFlow arm: encoded dataset -> pipeline (with one augmentation
 /// op so the pipeline.ops stage is exercised) -> tiny 3D-conv model.
 void run_cosmo(const TrainerArgs& args, sim::SimGpu& gpu,
-               fault::Injector& injector, pipeline::PipelineStats& stats_out,
+               fault::Injector& injector, RunGuard& rg,
+               pipeline::PipelineStats& stats_out,
                std::vector<std::size_t>& quarantine_out) {
   data::CosmoGenConfig gen_cfg;
   gen_cfg.dim = args.dim;
@@ -192,6 +410,7 @@ void run_cosmo(const TrainerArgs& args, sim::SimGpu& gpu,
   pcfg.metrics = &obs::MetricsRegistry::global();
   pcfg.fault_policy = make_fault_policy(args);
   pcfg.injector = args.injecting() ? &injector : nullptr;
+  apply_guard_config(pcfg, args);
   pipeline::DataPipeline pipe(dataset, codec, pcfg,
                               pcfg.decode_placement == codec::Placement::kGpu
                                   ? &gpu
@@ -203,12 +422,16 @@ void run_cosmo(const TrainerArgs& args, sim::SimGpu& gpu,
                               .weight_decay = 0.0F, .warmup_steps = 4,
                               .decay_every = 0});
 
-  for (int epoch = 0; epoch < args.epochs; ++epoch) {
-    pipe.start_epoch(static_cast<std::uint64_t>(epoch));
+  const int first_epoch = rg.begin(pipe);
+  for (int epoch = first_epoch; epoch < args.epochs; ++epoch) {
+    if (!rg.skip_epoch_reset(epoch, first_epoch)) {
+      pipe.start_epoch(static_cast<std::uint64_t>(epoch));
+    }
     double epoch_loss = 0;
     std::size_t steps = 0;
     pipeline::Batch batch;
     while (pipe.next_batch(batch)) {
+      rg.on_batch(pipe, batch);
       double batch_loss = 0;
       for (const auto& tensor : batch.samples) {
         const dnn::Tensor input = apps::cosmo_input_from_fp16(tensor);
@@ -233,7 +456,8 @@ void run_cosmo(const TrainerArgs& args, sim::SimGpu& gpu,
 /// evaluation is loader-bound; the model step adds nothing to the
 /// observability surface being exercised here).
 void run_cam(const TrainerArgs& args, sim::SimGpu& gpu,
-             fault::Injector& injector, pipeline::PipelineStats& stats_out,
+             fault::Injector& injector, RunGuard& rg,
+             pipeline::PipelineStats& stats_out,
              std::vector<std::size_t>& quarantine_out) {
   data::CamGenConfig gen_cfg;
   gen_cfg.height = args.dim;
@@ -258,16 +482,23 @@ void run_cam(const TrainerArgs& args, sim::SimGpu& gpu,
   pcfg.metrics = &obs::MetricsRegistry::global();
   pcfg.fault_policy = make_fault_policy(args);
   pcfg.injector = args.injecting() ? &injector : nullptr;
+  apply_guard_config(pcfg, args);
   pipeline::DataPipeline pipe(dataset, codec, pcfg,
                               pcfg.decode_placement == codec::Placement::kGpu
                                   ? &gpu
                                   : nullptr);
 
-  for (int epoch = 0; epoch < args.epochs; ++epoch) {
-    pipe.start_epoch(static_cast<std::uint64_t>(epoch));
+  const int first_epoch = rg.begin(pipe);
+  for (int epoch = first_epoch; epoch < args.epochs; ++epoch) {
+    if (!rg.skip_epoch_reset(epoch, first_epoch)) {
+      pipe.start_epoch(static_cast<std::uint64_t>(epoch));
+    }
     pipeline::Batch batch;
     std::size_t steps = 0;
-    while (pipe.next_batch(batch)) ++steps;
+    while (pipe.next_batch(batch)) {
+      rg.on_batch(pipe, batch);
+      ++steps;
+    }
     std::printf("epoch %d: %zu batches decoded\n", epoch, steps);
   }
   stats_out = pipe.stats();
@@ -401,19 +632,22 @@ int main(int argc, char** argv) {
   configure_injector(injector, args);
   if (args.injecting()) {
     std::printf(
-        "fault injection: transient %.2f%% + corrupt %.2f%% (seed %llu), "
-        "policy %s\n",
+        "fault injection: transient %.2f%% + corrupt %.2f%% + truncate "
+        "%.2f%% + delay %.2f%% x %.1fms (seed %llu), policy %s\n",
         args.inject_transient * 100, args.inject_corrupt * 100,
+        args.inject_truncate * 100, args.inject_delay * 100,
+        args.inject_delay_ms,
         static_cast<unsigned long long>(args.inject_seed),
         args.fault_policy.c_str());
   }
   pipeline::PipelineStats stats;
   std::vector<std::size_t> quarantine;
+  RunGuard rg(args);
   try {
     if (args.workload == "cosmo") {
-      run_cosmo(args, gpu, injector, stats, quarantine);
+      run_cosmo(args, gpu, injector, rg, stats, quarantine);
     } else {
-      run_cam(args, gpu, injector, stats, quarantine);
+      run_cam(args, gpu, injector, rg, stats, quarantine);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "trainer: %s\n", e.what());
@@ -439,6 +673,7 @@ int main(int argc, char** argv) {
   std::printf("\n%s", obs::MetricsRegistry::global().human_dump().c_str());
 
   try {
+    int failures = rg.finish(stats, quarantine);
     if (!args.trace_out.empty()) {
       obs::Tracer::global().write_chrome_json(args.trace_out);
       std::printf("trace: %zu spans -> %s\n",
@@ -449,11 +684,11 @@ int main(int argc, char** argv) {
       std::printf("metrics: -> %s\n", args.metrics_out.c_str());
     }
     if (args.validate) {
-      return validate_outputs(args, stats, quarantine) == 0 ? 0 : 1;
+      failures += validate_outputs(args, stats, quarantine);
     }
+    return failures == 0 ? 0 : 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "trainer: %s\n", e.what());
     return 1;
   }
-  return 0;
 }

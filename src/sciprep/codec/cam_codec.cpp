@@ -5,6 +5,7 @@
 
 #include "sciprep/common/error.hpp"
 #include "sciprep/compress/deflate.hpp"
+#include "sciprep/guard/cancel.hpp"
 #include "sciprep/obs/obs.hpp"
 
 namespace sciprep::codec {
@@ -521,6 +522,7 @@ TensorF16 CamCodec::decode_sample_cpu(ByteSpan encoded) const {
   out.byte_labels = p.labels;
 
   for (int c = 0; c < p.channels; ++c) {
+    guard::poll_cancellation();  // cancellation point per channel
     const ChannelStats& cs = p.stats[static_cast<std::size_t>(c)];
     for (int y = 0; y < p.height; ++y) {
       const ParsedLine& line =

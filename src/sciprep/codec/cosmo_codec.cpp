@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "sciprep/common/error.hpp"
+#include "sciprep/guard/cancel.hpp"
 #include "sciprep/obs/obs.hpp"
 
 namespace sciprep::codec {
@@ -315,6 +316,7 @@ TensorF16 CosmoCodec::decode_sample_cpu(ByteSpan encoded) const {
   out.float_labels.assign(p.labels.begin(), p.labels.end());
 
   for (const ParsedBlock& b : p.blocks) {
+    guard::poll_cancellation();  // cancellation point per block
     const std::vector<Half> table = build_fp16_table(b, p.log1p);
     Half* dst = out.values.data() + b.voxel_begin * kR;
     if (b.rle) {
@@ -364,6 +366,7 @@ TensorF16 CosmoCodec::decode_sample_gpu(ByteSpan encoded,
   out.float_labels.assign(p.labels.begin(), p.labels.end());
 
   for (const ParsedBlock& b : p.blocks) {
+    guard::poll_cancellation();  // cancellation point per block
     // Table construction is itself a small kernel: one lane per table entry.
     std::vector<Half> table(static_cast<std::size_t>(b.group_count) * kR);
     const std::uint8_t* raw_table = b.table.data();

@@ -64,20 +64,55 @@ class TruncatedError : public IoError {
   std::uint64_t offset_ = 0;
 };
 
+/// The operation was cooperatively cancelled (sciprep::guard) — the caller
+/// tore down the epoch or the process is shutting down. Never recoverable:
+/// recovery policies re-throw so the pipeline unwinds promptly instead of
+/// retrying or skipping its way past an abort.
+class CancelledError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A guarded stage overran its deadline (the sciprep::guard watchdog).
+/// Derives TransientError deliberately: a hang on shared storage is expected
+/// to clear on a fresh attempt, so recovery policies treat deadline expiry
+/// exactly like a slow, retryable I/O fault. Carries the stage name and the
+/// elapsed time when the watchdog fired.
+class DeadlineError : public TransientError {
+ public:
+  DeadlineError(std::string msg, std::string stage, double elapsed_seconds)
+      : TransientError(std::move(msg)),
+        stage_(std::move(stage)),
+        elapsed_seconds_(elapsed_seconds) {}
+  [[nodiscard]] const std::string& stage() const noexcept { return stage_; }
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return elapsed_seconds_;
+  }
+
+ private:
+  std::string stage_;
+  double elapsed_seconds_ = 0;
+};
+
 /// Failure families as seen by recovery policies (sciprep::fault). The class
 /// decides which actions can possibly help: transients may clear on retry,
 /// corrupt data stays corrupt (skip or fall back), config errors are caller
-/// bugs and never recoverable, and everything else is fatal.
+/// bugs and never recoverable, cancellation must unwind, and everything else
+/// is fatal.
 enum class ErrorClass {
-  kTransient,  // expected to clear on retry
+  kTransient,  // expected to clear on retry (includes deadline expiry)
   kCorrupt,    // the bytes are bad and will stay bad
   kConfig,     // caller error; policies must re-throw
+  kCancelled,  // cooperative cancellation; policies must re-throw
   kFatal,      // unknown failure; policies must re-throw
 };
 
 inline ErrorClass classify(const std::exception& e) noexcept {
   if (dynamic_cast<const ConfigError*>(&e) != nullptr) {
     return ErrorClass::kConfig;
+  }
+  if (dynamic_cast<const CancelledError*>(&e) != nullptr) {
+    return ErrorClass::kCancelled;
   }
   if (dynamic_cast<const TransientError*>(&e) != nullptr) {
     return ErrorClass::kTransient;
@@ -97,6 +132,8 @@ inline const char* error_class_name(ErrorClass c) noexcept {
       return "corrupt";
     case ErrorClass::kConfig:
       return "config";
+    case ErrorClass::kCancelled:
+      return "cancelled";
     case ErrorClass::kFatal:
       return "fatal";
   }

@@ -41,7 +41,8 @@ void ThreadPool::submit(std::function<void()> task) {
   std::size_t depth = 0;
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
+    queue_.push_back({std::move(task), std::chrono::steady_clock::now(),
+                      guard::current_token()});
     depth = queue_.size();
   }
   cv_task_.notify_one();
@@ -94,6 +95,7 @@ void ThreadPool::worker_loop() {
     }
     const auto started = std::chrono::steady_clock::now();
     try {
+      const guard::CancelScope scope(std::move(task.token));
       task.fn();
     } catch (...) {
       std::lock_guard lock(mutex_);

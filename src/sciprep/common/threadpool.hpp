@@ -4,6 +4,12 @@
 // assigns "different samples to different threads" on the CPU) and by SimGpu
 // to back its warp engine. Exceptions thrown by work items are captured and
 // rethrown on the calling thread.
+//
+// Cancellation: submit() captures the submitter's ambient guard::CancelToken
+// and the worker re-installs it (guard::CancelScope) around the task, so
+// cancellation context flows through the pool transparently — a task that
+// calls guard::poll_cancellation() observes the cancellation state of
+// whoever submitted it, including through nested parallel_for fan-outs.
 #pragma once
 
 #include <atomic>
@@ -17,6 +23,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sciprep/guard/cancel.hpp"
 
 namespace sciprep {
 
@@ -76,6 +84,7 @@ class ThreadPool {
   struct QueuedTask {
     std::function<void()> fn;
     std::chrono::steady_clock::time_point enqueued_at;
+    guard::CancelToken token;  // submitter's ambient token (often null)
   };
 
   void worker_loop();

@@ -1,11 +1,10 @@
 #include "sciprep/fault/fault.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
 
 #include "sciprep/common/error.hpp"
 #include "sciprep/common/rng.hpp"
+#include "sciprep/guard/cancel.hpp"
 
 namespace sciprep::fault {
 
@@ -104,8 +103,10 @@ void Injector::on_operation(Site site, std::uint64_t op) const {
   if (cfg.delay_probability > 0 &&
       draw(site, op, kPurposeDelay) < cfg.delay_probability) {
     count(site);
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(cfg.delay_seconds));
+    // Interruptible: an injected stall must behave like a real one — the
+    // guard watchdog's deadline expiry (or an epoch cancellation) wakes the
+    // sleep and unwinds the stage instead of serving the stall to the end.
+    guard::interruptible_sleep(cfg.delay_seconds);
   }
   if (cfg.transient_probability > 0 &&
       draw(site, op, kPurposeTransient) < cfg.transient_probability) {

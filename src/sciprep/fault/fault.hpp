@@ -135,10 +135,12 @@ struct FaultPolicy {
   RetryPolicy retry;                    // used when on_transient == kRetry
   /// Escalation when retries are exhausted: kFail or kSkipSample.
   Action on_retry_exhausted = Action::kSkipSample;
-  /// Total recovery events (retries + skips + fallbacks) a pipeline may
-  /// absorb before degradation is judged unacceptable and every further
+  /// Recovery events (retries + skips + fallbacks) a pipeline may absorb
+  /// *per epoch* before degradation is judged unacceptable and every further
   /// failure escalates to kFail. Guards against e.g. a wholly-corrupt shard
-  /// silently skipping its way through an epoch.
+  /// silently skipping its way through an epoch; start_epoch() refills the
+  /// budget, so a persistent bad shard fails every epoch rather than only
+  /// the first.
   std::uint64_t error_budget = 256;
 
   [[nodiscard]] bool recovery_enabled() const noexcept {

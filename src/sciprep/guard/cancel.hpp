@@ -1,0 +1,221 @@
+// Cooperative cancellation for the preprocessing pipeline (sciprep::guard).
+//
+// A `CancelToken` is a cheap, copyable handle to shared cancellation state.
+// Tokens form a tree: `child()` creates a token that also observes every
+// ancestor, so cancelling an epoch token unwinds all of its per-batch and
+// per-stage descendants while a descendant's own cancellation (e.g. one
+// stage's deadline expiring) stays contained.
+//
+// The default-constructed token is *null*: every query on it is a no-op that
+// compiles down to a pointer test, so production pipelines with no
+// cancellation configured pay nothing on the hot path.
+//
+// Propagation is ambient: `CancelScope` installs a token as the calling
+// thread's current token (RAII, restores on exit), `ThreadPool::submit`
+// captures the submitter's current token and re-installs it around the task
+// on the worker, and long-running loops (codec decode, TFRecord iteration,
+// SimGpu warps) call `poll_cancellation()` at their natural boundaries.
+// Cancellation surfaces as `CancelledError` (caller abort) or
+// `DeadlineError` (watchdog expiry) — both routed through the ErrorClass
+// taxonomy so fault policies treat a hang exactly like a data fault.
+//
+// Header-only on purpose: sciprep::common (the thread pool) must see these
+// types without a link-time dependency on the guard library.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "sciprep/common/error.hpp"
+
+namespace sciprep::guard {
+
+/// Why a token was cancelled; decides which error type check() throws.
+enum class CancelKind : int {
+  kNone = 0,
+  kUser,      // explicit cancel(): check() throws CancelledError
+  kDeadline,  // watchdog expiry: check() throws DeadlineError
+};
+
+class CancelToken {
+ public:
+  /// Null token: never cancelled, cancel() is a no-op, child() of it roots a
+  /// fresh tree. This is the default everywhere cancellation is optional.
+  CancelToken() = default;
+
+  /// A fresh, independent cancellation root.
+  [[nodiscard]] static CancelToken make() {
+    CancelToken t;
+    t.state_ = std::make_shared<State>();
+    return t;
+  }
+
+  /// A token that is cancelled when either it or this token (or any further
+  /// ancestor) is cancelled. child() of a null token returns a fresh root.
+  [[nodiscard]] CancelToken child() const {
+    CancelToken t = make();
+    t.state_->parent = state_;
+    return t;
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Cancel this token (and thereby every descendant). The first cancel wins;
+  /// later calls are no-ops. Safe from any thread; no-op on a null token.
+  void cancel(std::string reason = "operation cancelled") const {
+    cancel_impl(CancelKind::kUser, std::move(reason), {}, 0);
+  }
+
+  /// Watchdog entry point: mark this token as expired for `stage` after
+  /// `elapsed_seconds`, so check() throws DeadlineError (a TransientError —
+  /// recovery policies may retry a hang).
+  void cancel_deadline(std::string stage, double elapsed_seconds) const {
+    std::string reason = fmt("deadline expired in stage '{}' after {:.3f}s",
+                             stage, elapsed_seconds);
+    cancel_impl(CancelKind::kDeadline, std::move(reason), std::move(stage),
+                elapsed_seconds);
+  }
+
+  /// True when this token or any ancestor has been cancelled. Lock-free: one
+  /// relaxed-ish atomic load per chain link.
+  [[nodiscard]] bool cancelled() const noexcept {
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      if (s->kind.load(std::memory_order_acquire) != 0) return true;
+    }
+    return false;
+  }
+
+  /// Throw the cancellation as a typed error (DeadlineError for deadline
+  /// expiry, CancelledError otherwise); returns if not cancelled.
+  void check() const {
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      const int kind = s->kind.load(std::memory_order_acquire);
+      if (kind == 0) continue;
+      std::string reason;
+      std::string stage;
+      double elapsed = 0;
+      {
+        std::lock_guard<std::mutex> lock(s->mutex);
+        reason = s->reason;
+        stage = s->stage;
+        elapsed = s->elapsed_seconds;
+      }
+      if (kind == static_cast<int>(CancelKind::kDeadline)) {
+        throw DeadlineError(std::move(reason), std::move(stage), elapsed);
+      }
+      throw CancelledError(std::move(reason));
+    }
+  }
+
+  /// Sleep for `seconds`, waking early when cancelled: cancellation of this
+  /// token wakes immediately via its condition variable; ancestor
+  /// cancellation is noticed within one 10ms poll slice. Throws via check()
+  /// when woken by cancellation. A null token sleeps plainly.
+  void sleep_for(double seconds) const {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds));
+    if (state_ == nullptr) {
+      std::this_thread::sleep_until(deadline);
+      return;
+    }
+    constexpr auto kSlice = std::chrono::milliseconds(10);
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    for (;;) {
+      if (cancelled()) {
+        lock.unlock();
+        check();
+        return;  // unreachable; check() throws when cancelled
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return;
+      state_->cv.wait_until(lock, std::min(deadline, now + kSlice));
+    }
+  }
+
+ private:
+  struct State {
+    std::atomic<int> kind{0};  // CancelKind; 0 = live
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::string reason;           // guarded by mutex
+    std::string stage;            // guarded by mutex (deadline only)
+    double elapsed_seconds = 0;   // guarded by mutex (deadline only)
+    std::shared_ptr<State> parent;
+  };
+
+  void cancel_impl(CancelKind kind, std::string reason, std::string stage,
+                   double elapsed_seconds) const {
+    if (state_ == nullptr) return;
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (state_->kind.load(std::memory_order_relaxed) != 0) return;
+      state_->reason = std::move(reason);
+      state_->stage = std::move(stage);
+      state_->elapsed_seconds = elapsed_seconds;
+      state_->kind.store(static_cast<int>(kind), std::memory_order_release);
+    }
+    state_->cv.notify_all();
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+namespace detail {
+inline CancelToken& ambient_token() noexcept {
+  thread_local CancelToken token;
+  return token;
+}
+}  // namespace detail
+
+/// The calling thread's current token (null unless a CancelScope is active).
+[[nodiscard]] inline const CancelToken& current_token() noexcept {
+  return detail::ambient_token();
+}
+
+/// RAII: installs `token` as the thread's current token for the scope.
+/// Installing a null token is a no-op (the enclosing token stays visible),
+/// so optional cancellation composes without special cases.
+class CancelScope {
+ public:
+  explicit CancelScope(CancelToken token) noexcept {
+    if (token.valid()) {
+      installed_ = true;
+      prev_ = std::exchange(detail::ambient_token(), std::move(token));
+    }
+  }
+  ~CancelScope() {
+    if (installed_) detail::ambient_token() = std::move(prev_);
+  }
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  bool installed_ = false;
+  CancelToken prev_;
+};
+
+/// Cooperative cancellation point for long-running loops: throws
+/// CancelledError / DeadlineError when the thread's current token (or an
+/// ancestor) is cancelled. Costs a thread-local load plus one atomic load
+/// per chain link when live; a single pointer test when no token is set.
+inline void poll_cancellation() {
+  const CancelToken& token = detail::ambient_token();
+  if (token.cancelled()) token.check();
+}
+
+/// Sleep that honors the thread's current token (plain sleep without one).
+/// Used by the fault injector's delay site so injected stalls unwind when a
+/// deadline or cancellation fires mid-stall.
+inline void interruptible_sleep(double seconds) {
+  detail::ambient_token().sleep_for(seconds);
+}
+
+}  // namespace sciprep::guard

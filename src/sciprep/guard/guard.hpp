@@ -1,0 +1,23 @@
+// sciprep::guard — deadlines, cooperative cancellation, and crash-consistent
+// checkpoint/resume for the preprocessing pipeline.
+//
+// Umbrella header. Three pieces, one contract:
+//
+//   * cancel.hpp   — CancelToken / CancelScope / poll_cancellation():
+//                    cooperative cancellation threaded through the pipeline,
+//                    the thread pool, SimGpu launches, and both codecs, so a
+//                    stuck or aborted epoch unwinds within one batch.
+//   * watchdog.hpp — per-stage deadlines (PipelineConfig::deadlines) armed
+//                    around io.read / gunzip / decode / prefetch-wait;
+//                    expiry cancels the stage's token as a DeadlineError,
+//                    which the FaultPolicy recovers like any transient fault.
+//   * snapshot.hpp — versioned, CRC-framed epoch checkpoints written
+//                    atomically; DataPipeline::snapshot() / resume() turn
+//                    them into a bit-identical continuation of the epoch.
+//
+// See DESIGN.md §9 for the architecture and the snapshot field table.
+#pragma once
+
+#include "sciprep/guard/cancel.hpp"
+#include "sciprep/guard/snapshot.hpp"
+#include "sciprep/guard/watchdog.hpp"

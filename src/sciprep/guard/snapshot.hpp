@@ -1,0 +1,102 @@
+// Crash-consistent pipeline checkpoints (sciprep::guard).
+//
+// A Snapshot records everything DataPipeline needs to continue an epoch from
+// a delivered-batch boundary and reproduce the bit-identical remaining batch
+// sequence: the epoch (the shuffle order is a pure function of pipeline seed
+// and epoch, so no raw RNG state needs persisting), the delivered-sample
+// cursor, the next batch index, the quarantine lists, the consumed error
+// budget, and the delivered-counter deltas so a resumed run's final metrics
+// match an uninterrupted run's.
+//
+// On-disk framing (little-endian, see DESIGN.md §9 for the field table):
+//
+//   u32 magic "SGPK" | u32 version | u32 payload_len | payload | u32 crc32c(payload)
+//
+// Parsing surfaces typed errors — TruncatedError for short input,
+// FormatError for bad magic / unsupported version / CRC mismatch / trailing
+// garbage — and write_snapshot() is atomic (tmp + rename), so a crash during
+// checkpointing leaves the previous snapshot intact: a reader sees either
+// the old complete file or the new complete file, never a torn one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sciprep/common/buffer.hpp"
+#include "sciprep/obs/metrics.hpp"
+
+namespace sciprep::guard {
+
+struct Snapshot {
+  static constexpr std::uint32_t kMagic = 0x4B504753;  // "SGPK" (LE)
+  static constexpr std::uint32_t kVersion = 1;
+
+  /// Hash of the (dataset, pipeline config, injector seed) the snapshot was
+  /// taken under; resume() rejects a snapshot with a different fingerprint.
+  std::uint64_t config_fingerprint = 0;
+
+  // Progress: where the next delivered batch comes from.
+  std::uint64_t epoch = 0;
+  std::uint64_t cursor = 0;       // samples of order_ already delivered
+  std::uint64_t batch_index = 0;  // next index_in_epoch
+  std::uint64_t recovery_events = 0;  // error budget consumed this epoch
+
+  // Delivered-counter deltas, restored so a resumed run's final stats match
+  // an uninterrupted run's (retry counters are deliberately absent: retries
+  // before the checkpoint were spent wall-clock, not delivered data).
+  std::uint64_t samples = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t bytes_at_rest = 0;
+  std::uint64_t samples_skipped = 0;
+  std::uint64_t fallbacks = 0;
+  bool degraded = false;
+
+  std::vector<std::uint64_t> quarantine;        // lifetime skip events, sorted
+  std::vector<std::uint64_t> epoch_quarantine;  // this epoch's skips, sorted
+
+  [[nodiscard]] Bytes serialize() const;
+  /// Inverse of serialize(). Throws TruncatedError / FormatError as
+  /// documented above; never reads past `data`.
+  [[nodiscard]] static Snapshot parse(ByteSpan data);
+
+  [[nodiscard]] bool operator==(const Snapshot&) const = default;
+};
+
+/// Serialize + write atomically: the bytes land in `path + ".tmp"` and are
+/// renamed over `path`. Throws IoError on filesystem failure.
+void write_snapshot(const std::string& path, const Snapshot& snapshot);
+
+/// Read + parse `path`. Throws IoError (unreadable) or parse errors.
+[[nodiscard]] Snapshot read_snapshot(const std::string& path);
+
+/// Periodic checkpoint driver for training loops: asks `due()` after every
+/// delivered batch, writes through `write()`. Exports
+/// guard.checkpoints_written_total and guard.checkpoint_write_seconds.
+class Checkpointer {
+ public:
+  /// Checkpoints to `path` every `every_n_batches` delivered batches
+  /// (0 disables). Metrics land in `metrics` (null = process-global).
+  Checkpointer(std::string path, std::uint64_t every_n_batches,
+               obs::MetricsRegistry* metrics = nullptr);
+
+  [[nodiscard]] bool due(std::uint64_t batches_delivered) const noexcept {
+    return every_ > 0 && batches_delivered > 0 &&
+           batches_delivered % every_ == 0;
+  }
+
+  void write(const Snapshot& snapshot);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::uint64_t written_total() const noexcept {
+    return written_->value();
+  }
+
+ private:
+  std::string path_;
+  std::uint64_t every_;
+  obs::Counter* written_;          // guard.checkpoints_written_total
+  obs::Histogram* write_seconds_;  // guard.checkpoint_write_seconds
+};
+
+}  // namespace sciprep::guard

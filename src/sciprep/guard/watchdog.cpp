@@ -1,0 +1,102 @@
+#include "sciprep/guard/watchdog.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sciprep::guard {
+
+namespace {
+
+constexpr auto kForever = std::chrono::steady_clock::time_point::max();
+
+}  // namespace
+
+Watchdog::Watchdog(obs::MetricsRegistry* metrics) {
+  obs::MetricsRegistry& registry =
+      metrics != nullptr ? *metrics : obs::MetricsRegistry::global();
+  expired_ = &registry.counter("guard.deadline_expired_total");
+  stall_seconds_ = &registry.histogram("guard.stall_seconds");
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_started_) thread_.join();
+}
+
+Watchdog::Armed Watchdog::arm(const char* stage, double deadline_seconds,
+                              CancelToken token) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto deadline =
+      now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(deadline_seconds));
+  std::uint64_t id = 0;
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!thread_started_) {
+      thread_started_ = true;
+      thread_ = std::thread([this] { loop(); });
+    }
+    id = next_id_++;
+    entries_.emplace(
+        id, Entry{stage, std::move(token), now, deadline, /*expired=*/false});
+    // Only prod the supervisor when this deadline is earlier than whatever
+    // it is currently sleeping toward — the common arm (a fresh deadline,
+    // later than the pending earliest) stays notification-free.
+    wake = sleeping_forever_ || deadline < wake_at_;
+  }
+  if (wake) cv_.notify_one();
+  return Armed(this, id);
+}
+
+void Watchdog::disarm(std::uint64_t id) {
+  std::optional<double> stall;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return;
+    if (it->second.expired) {
+      stall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            it->second.armed_at)
+                  .count();
+    }
+    entries_.erase(it);
+  }
+  if (stall) stall_seconds_->record(*stall);
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    auto next = kForever;
+    for (const auto& [id, entry] : entries_) {
+      if (!entry.expired) next = std::min(next, entry.deadline);
+    }
+    if (next == kForever) {
+      sleeping_forever_ = true;
+      cv_.wait(lock);
+      sleeping_forever_ = false;
+      continue;
+    }
+    wake_at_ = next;
+    sleeping_forever_ = false;
+    cv_.wait_until(lock, next);
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [id, entry] : entries_) {
+      if (entry.expired || entry.deadline > now) continue;
+      entry.expired = true;
+      expired_->add(1);
+      const double elapsed =
+          std::chrono::duration<double>(now - entry.armed_at).count();
+      // Token cancellation takes the token's own mutex; that lock never
+      // reaches back into the watchdog, so holding mutex_ here is safe.
+      entry.token.cancel_deadline(entry.stage, elapsed);
+    }
+  }
+}
+
+}  // namespace sciprep::guard

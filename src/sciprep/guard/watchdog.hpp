@@ -1,0 +1,155 @@
+// Deadline watchdog (sciprep::guard).
+//
+// One background thread supervises every armed stage. Arming registers a
+// (stage, deadline, CancelToken) entry; if the entry is still armed when its
+// deadline passes, the watchdog cancels the token with CancelKind::kDeadline
+// and the stuck stage unwinds at its next cancellation point as a
+// DeadlineError — which classifies as transient, so the pipeline's
+// FaultPolicy (retry / skip / fallback / budget) applies to hangs exactly as
+// it does to injected or real data faults.
+//
+// Expiries are exported through sciprep::obs as guard.deadline_expired_total
+// plus guard.stall_seconds, a histogram of how long tripped stages had been
+// running when they finally unwound (recorded at disarm time, i.e. the
+// *observed* stall, not the configured deadline).
+//
+// The supervisor thread starts lazily on the first arm() and wakes only for
+// the earliest pending deadline, so a pipeline that never arms a deadline
+// pays nothing and a healthy armed pipeline pays one mutex'd map insert and
+// erase per guarded stage.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "sciprep/guard/cancel.hpp"
+#include "sciprep/obs/metrics.hpp"
+
+namespace sciprep::guard {
+
+/// Per-stage deadlines (seconds), carried on PipelineConfig. Zero disables a
+/// stage's deadline; the all-zero default disables the watchdog entirely.
+struct StageDeadlines {
+  double io_read_seconds = 0;        // fetching a sample's stored bytes
+  double decode_seconds = 0;         // one sample's full decode attempt
+  double gunzip_seconds = 0;         // GZIP TFRecord inflate
+  double prefetch_wait_seconds = 0;  // waiting on the prefetched batch
+
+  [[nodiscard]] bool any() const noexcept {
+    return io_read_seconds > 0 || decode_seconds > 0 || gunzip_seconds > 0 ||
+           prefetch_wait_seconds > 0;
+  }
+};
+
+class Watchdog {
+ public:
+  /// Expiry metrics land in `metrics`; null means the process-global
+  /// registry. The registry must outlive the watchdog.
+  explicit Watchdog(obs::MetricsRegistry* metrics = nullptr);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// RAII handle for one armed deadline; disarming (destruction) removes the
+  /// entry and, if it expired, records the observed stall duration.
+  class Armed {
+   public:
+    Armed() = default;
+    Armed(Armed&& other) noexcept
+        : dog_(std::exchange(other.dog_, nullptr)),
+          id_(std::exchange(other.id_, 0)) {}
+    Armed& operator=(Armed&& other) noexcept {
+      if (this != &other) {
+        reset();
+        dog_ = std::exchange(other.dog_, nullptr);
+        id_ = std::exchange(other.id_, 0);
+      }
+      return *this;
+    }
+    ~Armed() { reset(); }
+
+    void reset() noexcept {
+      if (dog_ != nullptr) {
+        dog_->disarm(id_);
+        dog_ = nullptr;
+        id_ = 0;
+      }
+    }
+
+   private:
+    friend class Watchdog;
+    Armed(Watchdog* dog, std::uint64_t id) : dog_(dog), id_(id) {}
+
+    Watchdog* dog_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  /// Arm `token` to be cancelled (kind = deadline) if still armed after
+  /// `deadline_seconds`. `stage` must outlive the armed entry (string
+  /// literals in practice).
+  [[nodiscard]] Armed arm(const char* stage, double deadline_seconds,
+                          CancelToken token);
+
+  /// Total deadlines that have expired (guard.deadline_expired_total).
+  [[nodiscard]] std::uint64_t expired_total() const noexcept {
+    return expired_->value();
+  }
+
+ private:
+  struct Entry {
+    const char* stage = "";
+    CancelToken token;
+    std::chrono::steady_clock::time_point armed_at;
+    std::chrono::steady_clock::time_point deadline;
+    bool expired = false;
+  };
+
+  void disarm(std::uint64_t id);
+  void loop();
+
+  obs::Counter* expired_;        // guard.deadline_expired_total
+  obs::Histogram* stall_seconds_;  // guard.stall_seconds
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  std::chrono::steady_clock::time_point wake_at_{};  // loop's current sleep target
+  bool sleeping_forever_ = true;  // loop has no pending deadline to wait for
+  bool stopping_ = false;
+  bool thread_started_ = false;
+  std::thread thread_;  // lazily started by the first arm()
+};
+
+/// Arms `watchdog` for one stage *and* installs a fresh child of the
+/// thread's current token as the stage's cancellation context, so a deadline
+/// expiry cancels exactly this attempt — a retry gets a fresh token — while
+/// outer cancellation still propagates in. No-op when `watchdog` is null or
+/// the deadline is zero (the healthy production default).
+class StageGuard {
+ public:
+  StageGuard(Watchdog* watchdog, const char* stage, double deadline_seconds) {
+    if (watchdog == nullptr || deadline_seconds <= 0) return;
+    token_ = current_token().child();
+    armed_ = watchdog->arm(stage, deadline_seconds, token_);
+    scope_.emplace(token_);
+  }
+
+  StageGuard(const StageGuard&) = delete;
+  StageGuard& operator=(const StageGuard&) = delete;
+
+ private:
+  CancelToken token_;
+  Watchdog::Armed armed_;
+  // Declared last: the scope uninstalls the token before the entry disarms.
+  std::optional<CancelScope> scope_;
+};
+
+}  // namespace sciprep::guard

@@ -5,6 +5,7 @@
 
 #include "sciprep/common/crc.hpp"
 #include "sciprep/common/error.hpp"
+#include "sciprep/guard/cancel.hpp"
 
 namespace sciprep::io {
 
@@ -69,6 +70,7 @@ std::vector<Bytes> TfRecordReader::read_all(ByteSpan stream) {
   std::vector<Bytes> records;
   Bytes payload;
   while (reader.next(payload)) {
+    guard::poll_cancellation();  // cancellation point per record
     records.push_back(std::move(payload));
     payload.clear();
   }

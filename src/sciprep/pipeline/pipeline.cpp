@@ -4,7 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <numeric>
-#include <thread>
+#include <utility>
 
 #include "sciprep/common/error.hpp"
 #include "sciprep/io/tfrecord.hpp"
@@ -77,6 +77,9 @@ DataPipeline::DataPipeline(const InMemoryDataset& dataset,
       metrics_(config_.metrics != nullptr ? config_.metrics
                                           : owned_metrics_.get()),
       m_(*metrics_),
+      watchdog_(config_.deadlines.any()
+                    ? std::make_unique<guard::Watchdog>(metrics_)
+                    : nullptr),
       pool_metrics_(*metrics_, "pipeline.pool"),
       workers_(std::max<std::size_t>(1, config_.worker_threads)) {
   if (config_.batch_size < 1) {
@@ -98,25 +101,34 @@ DataPipeline::DataPipeline(const InMemoryDataset& dataset,
   start_epoch(0);
 }
 
-DataPipeline::~DataPipeline() {
-  if (pending_) {
-    pending_->wait();  // never abandon an in-flight prefetch
+DataPipeline::~DataPipeline() { abandon_pending(); }
+
+void DataPipeline::abandon_pending() {
+  if (!pending_) return;
+  Pending pending = std::move(*pending_);
+  pending_.reset();
+  pending.token.cancel("pipeline: prefetched batch abandoned");
+  try {
+    pending.future.get();  // never abandon a running future
+  } catch (...) {
+    // The abandoned range's failure belongs to the discarded work.
   }
 }
 
 void DataPipeline::start_epoch(std::uint64_t epoch) {
-  if (pending_) {
-    std::future<Batch> ready = std::move(*pending_);
-    pending_.reset();
-    try {
-      ready.get();
-    } catch (...) {
-      // The abandoned prefetch's failure belongs to the previous epoch.
-    }
-  }
+  abandon_pending();
+  ready_.reset();
   epoch_ = epoch;
   cursor_ = 0;
+  consumed_ = 0;
   batch_index_ = 0;
+  // Per-epoch recovery state resets with the epoch: the error budget
+  // refills, the epoch quarantine clears, and (via cursor_) every sample —
+  // including ones skipped last epoch — is re-attempted. The lifetime
+  // quarantine_ is deliberately kept: it records which ids ever skipped.
+  recovery_events_.store(0, std::memory_order_relaxed);
+  delivered_recovery_ = 0;
+  epoch_quarantine_.clear();
   std::iota(order_.begin(), order_.end(), 0);
   if (config_.shuffle) {
     SCIPREP_OBS_SPAN("pipeline.shuffle", "pipeline");
@@ -142,17 +154,27 @@ codec::TensorF16 DataPipeline::decode_sample(std::size_t index) const {
 codec::TensorF16 DataPipeline::decode_guarded(std::size_t index, int attempt,
                                               bool force_cpu) const {
   SCIPREP_OBS_SPAN("pipeline.decode", "pipeline");
-  ByteSpan stored = dataset_.sample(index);
+  guard::poll_cancellation();
+  // One deadline covers the whole decode attempt; a retry re-arms a fresh
+  // token, so an expiry poisons exactly one attempt.
+  const guard::StageGuard decode_deadline(watchdog_.get(), "decode",
+                                          config_.deadlines.decode_seconds);
+  ByteSpan stored;
   Bytes scratch;
   std::uint64_t op = index;
-  if (injector_ != nullptr) {
-    // Transient faults are keyed on (epoch, attempt, sample) so every retry
-    // is a fresh draw; at-rest corruption is keyed on the sample id alone,
-    // modelling a record that is bad on disk — the same sample fails the
-    // same way on every read, in every epoch, under any thread schedule.
-    op = (epoch_ << 40) ^ (static_cast<std::uint64_t>(attempt) << 32) ^ index;
-    injector_->on_operation(fault::Site::kIoRead, op);
-    stored = injector_->mutate(corrupt_site_, index, stored, scratch);
+  {
+    const guard::StageGuard io_deadline(watchdog_.get(), "io.read",
+                                        config_.deadlines.io_read_seconds);
+    stored = dataset_.sample(index);
+    if (injector_ != nullptr) {
+      // Transient faults are keyed on (epoch, attempt, sample) so every retry
+      // is a fresh draw; at-rest corruption is keyed on the sample id alone,
+      // modelling a record that is bad on disk — the same sample fails the
+      // same way on every read, in every epoch, under any thread schedule.
+      op = (epoch_ << 40) ^ (static_cast<std::uint64_t>(attempt) << 32) ^ index;
+      injector_->on_operation(fault::Site::kIoRead, op);
+      stored = injector_->mutate(corrupt_site_, index, stored, scratch);
+    }
   }
   switch (dataset_.format()) {
     case StorageFormat::kRawTfRecord: {
@@ -167,6 +189,8 @@ codec::TensorF16 DataPipeline::decode_guarded(std::size_t index, int attempt,
       Bytes plain;
       {
         SCIPREP_OBS_SPAN("pipeline.gunzip", "pipeline");
+        const guard::StageGuard gunzip_deadline(
+            watchdog_.get(), "gunzip", config_.deadlines.gunzip_seconds);
         plain = io::gunzip_tfrecord_stream(stored);
       }
       const auto records = io::TfRecordReader::read_all(plain);
@@ -195,13 +219,15 @@ bool DataPipeline::consume_budget() {
          config_.fault_policy.error_budget;
 }
 
-std::optional<codec::TensorF16> DataPipeline::decode_with_recovery(
+DataPipeline::SlotOutcome DataPipeline::decode_with_recovery(
     std::size_t index) {
   const fault::FaultPolicy& policy = config_.fault_policy;
+  SlotOutcome out;
   int attempt = 0;
   for (;;) {
     try {
-      return decode_guarded(index, attempt, /*force_cpu=*/false);
+      out.tensor = decode_guarded(index, attempt, /*force_cpu=*/false);
+      return out;
     } catch (const std::exception& e) {
       const ErrorClass cls = classify(e);
       fault::Action action = cls == ErrorClass::kTransient ? policy.on_transient
@@ -210,12 +236,16 @@ std::optional<codec::TensorF16> DataPipeline::decode_with_recovery(
       if (action == fault::Action::kRetry) {
         if (attempt + 1 < policy.retry.max_attempts) {
           if (!consume_budget()) throw;  // budget spent: escalate to failure
+          out.recovery_events += 1;
           const double backoff =
               policy.retry.backoff_seconds *
               std::pow(policy.retry.backoff_multiplier, attempt);
           if (backoff > 0) {
-            std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+            guard::interruptible_sleep(backoff);
           }
+          // Retries stay live (not delivery-time): they are spent wall
+          // clock, observable while the stall is happening, and exempt from
+          // the resume equivalence contract.
           m_.retry_backoff_seconds.record(backoff);
           m_.retries.add(1);
           m_.degraded.set(1);
@@ -233,10 +263,12 @@ std::optional<codec::TensorF16> DataPipeline::decode_with_recovery(
             config_.decode_placement == codec::Placement::kGpu;
         if (can_fallback) {
           if (!consume_budget()) throw;
-          m_.fallbacks.add(1);
+          out.recovery_events += 1;
+          out.fallbacks += 1;
           m_.degraded.set(1);
           try {
-            return decode_guarded(index, attempt, /*force_cpu=*/true);
+            out.tensor = decode_guarded(index, attempt, /*force_cpu=*/true);
+            return out;
           } catch (const std::exception&) {
             // The baseline path failed too (e.g. the record itself is
             // corrupt): quarantine below.
@@ -246,54 +278,55 @@ std::optional<codec::TensorF16> DataPipeline::decode_with_recovery(
       }
       if (action == fault::Action::kSkipSample) {
         if (!consume_budget()) throw;
-        m_.samples_skipped.add(1);
+        out.recovery_events += 1;
+        out.tensor.reset();
         m_.degraded.set(1);
-        {
-          const std::lock_guard<std::mutex> lock(quarantine_mutex_);
-          quarantine_.push_back(index);
-        }
-        return std::nullopt;
+        return out;  // skipped: quarantined at delivery time
       }
-      throw;  // kFail, config/fatal classes, or budget escalation
+      throw;  // kFail, config/cancelled/fatal classes, or budget escalation
     }
   }
 }
 
-Batch DataPipeline::assemble_batch(std::uint64_t first, std::uint64_t count) {
+DataPipeline::Assembled DataPipeline::assemble_batch(std::uint64_t first,
+                                                     std::uint64_t count) {
   SCIPREP_OBS_SPAN_NAMED(assemble_span, "pipeline.batch_assemble", "pipeline");
   if (assemble_span.active()) {
     assemble_span.set_args_json(
         fmt("{{\"first\": {}, \"count\": {}, \"epoch\": {}}}", first, count,
             epoch_));
   }
+  guard::poll_cancellation();
   const double assemble_t0 = now_seconds();
 
-  Batch batch;
-  batch.epoch = epoch_;
-  // Decode into per-slot optionals: a policy-skipped sample leaves a hole,
-  // and the batch is compacted afterwards preserving epoch order.
-  std::vector<std::optional<codec::TensorF16>> slots(count);
+  Assembled out;
+  out.first = first;
+  out.count = count;
+  out.batch.epoch = epoch_;
+  // Decode into per-slot outcomes: a policy-skipped sample leaves a hole and
+  // the batch is compacted afterwards preserving epoch order. Workers write
+  // only their own slot — delivered-data accounting happens in deliver(), on
+  // the consumer thread, so a crash-consistent snapshot never sees half a
+  // batch's counters.
+  std::vector<SlotOutcome> slots(count);
 
   auto decode_one = [&](std::size_t i) {
     const std::size_t index = order_[first + i];
     const double t0 = now_seconds();
-    std::optional<codec::TensorF16> tensor = decode_with_recovery(index);
+    SlotOutcome outcome = decode_with_recovery(index);
     const double t1 = now_seconds();
     m_.decode_seconds.record(t1 - t0);
-    if (!tensor) {
-      return;  // skipped: already counted and quarantined
-    }
     // Augmentations run on the decode worker, seeded per (epoch, position)
     // so reruns of an epoch are bit-identical.
-    if (!config_.ops.empty()) {
+    if (outcome.tensor && !config_.ops.empty()) {
       SCIPREP_OBS_SPAN("pipeline.ops", "pipeline");
       Rng rng = Rng(config_.seed).fork((epoch_ << 24) ^ (first + i));
       for (const auto& op : config_.ops) {
-        op->apply(*tensor, rng);
+        op->apply(*outcome.tensor, rng);
       }
       m_.ops_seconds.record(now_seconds() - t1);
     }
-    slots[i] = std::move(tensor);
+    slots[i] = std::move(outcome);
   };
 
   if (config_.decode_placement == codec::Placement::kGpu) {
@@ -314,29 +347,235 @@ Batch DataPipeline::assemble_batch(std::uint64_t first, std::uint64_t count) {
     workers_.parallel_for(count, decode_one);
   }
 
-  batch.samples.reserve(count);
+  out.batch.samples.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    if (!slots[i]) continue;
-    batch.samples.push_back(std::move(*slots[i]));
-    batch.bytes_at_rest += dataset_.sample_bytes(order_[first + i]);
+    SlotOutcome& slot = slots[i];
+    out.fallbacks += slot.fallbacks;
+    out.recovery_events += slot.recovery_events;
+    if (!slot.tensor) {
+      out.skipped.push_back(order_[first + i]);
+      continue;
+    }
+    out.batch.samples.push_back(std::move(*slot.tensor));
+    out.batch.bytes_at_rest += dataset_.sample_bytes(order_[first + i]);
   }
-  m_.samples.add(batch.samples.size());
-  m_.bytes_at_rest.add(batch.bytes_at_rest);
-  if (!batch.samples.empty()) {
+  m_.batch_assemble_seconds.record(now_seconds() - assemble_t0);
+  return out;
+}
+
+Batch DataPipeline::deliver(Assembled&& assembled) {
+  consumed_ = assembled.first + assembled.count;
+  m_.samples.add(assembled.batch.samples.size());
+  m_.bytes_at_rest.add(assembled.batch.bytes_at_rest);
+  if (!assembled.batch.samples.empty()) {
     // A fully-skipped range produces no batch; next_batch() rolls on to the
     // next range, so don't count a phantom one.
     m_.batches.add(1);
   }
-  m_.batch_assemble_seconds.record(now_seconds() - assemble_t0);
-  return batch;
+  if (!assembled.skipped.empty()) {
+    m_.samples_skipped.add(assembled.skipped.size());
+    quarantine_.insert(quarantine_.end(), assembled.skipped.begin(),
+                       assembled.skipped.end());
+    epoch_quarantine_.insert(epoch_quarantine_.end(),
+                             assembled.skipped.begin(),
+                             assembled.skipped.end());
+  }
+  if (assembled.fallbacks > 0) m_.fallbacks.add(assembled.fallbacks);
+  delivered_recovery_ += assembled.recovery_events;
+  return std::move(assembled.batch);
+}
+
+void DataPipeline::launch_prefetch() {
+  const std::uint64_t count = take_count(cursor_);
+  if (count == 0) return;
+  const std::uint64_t at = cursor_;
+  cursor_ += count;
+  // Each prefetch gets its own child token: the watchdog's prefetch-wait
+  // deadline (and abandon_pending) cancel this batch alone, while a
+  // config.cancel still unwinds it through the parent link.
+  guard::CancelToken token = config_.cancel.child();
+  Pending pending;
+  pending.first = at;
+  pending.count = count;
+  pending.token = token;
+  pending.future =
+      std::async(std::launch::async, [this, at, count, token]() mutable {
+        const guard::CancelScope scope(std::move(token));
+        return assemble_batch(at, count);
+      });
+  pending_ = std::move(pending);
+}
+
+std::uint64_t DataPipeline::take_count(std::uint64_t at) const {
+  const std::uint64_t n = dataset_.size();
+  const auto b = static_cast<std::uint64_t>(config_.batch_size);
+  if (at >= n) return 0;
+  const std::uint64_t remaining = n - at;
+  if (remaining < b && config_.drop_last) return 0;
+  return std::min(b, remaining);
+}
+
+bool DataPipeline::next_batch(Batch& batch) {
+  config_.cancel.check();
+
+  // Loop: a range whose samples were all skipped by policy yields an empty
+  // batch, which is dropped here and the next range pulled instead.
+  for (;;) {
+    Assembled assembled;
+    if (ready_) {
+      // A prefetch parked by snapshot(); deliver it now.
+      assembled = std::move(*ready_);
+      ready_.reset();
+    } else if (pending_) {
+      // Move the pending slot out before get(): if the prefetch worker
+      // threw, the exception rethrows here and the pipeline must not be left
+      // holding a consumed future — the failed range counts as consumed and
+      // the next call continues with the ranges after it.
+      Pending pending = std::move(*pending_);
+      pending_.reset();
+      SCIPREP_OBS_SPAN("pipeline.prefetch_wait", "pipeline");
+      // The prefetch-wait deadline cancels the *batch* token: the workers
+      // unwind cooperatively (DeadlineError through the per-sample recovery
+      // policy), the future completes, and get() returns the recovered —
+      // possibly partially skipped — batch. The future is never abandoned.
+      std::optional<guard::Watchdog::Armed> armed;
+      if (watchdog_ != nullptr && config_.deadlines.prefetch_wait_seconds > 0) {
+        armed.emplace(watchdog_->arm("prefetch_wait",
+                                     config_.deadlines.prefetch_wait_seconds,
+                                     pending.token));
+      }
+      const double t0 = now_seconds();
+      try {
+        assembled = pending.future.get();
+      } catch (...) {
+        consumed_ = pending.first + pending.count;
+        throw;
+      }
+      m_.prefetch_wait_seconds.record(now_seconds() - t0);
+    } else {
+      const std::uint64_t count = take_count(cursor_);
+      if (count == 0) return false;
+      const std::uint64_t at = cursor_;
+      // Claim the range before assembling (mirroring the prefetch path): if
+      // assemble_batch throws under a kFail policy, the bad range must not
+      // be retried forever on the next call.
+      cursor_ += count;
+      const guard::CancelScope scope(config_.cancel);
+      try {
+        assembled = assemble_batch(at, count);
+      } catch (...) {
+        consumed_ = at + count;
+        throw;
+      }
+    }
+
+    Batch result = deliver(std::move(assembled));
+
+    // Kick off the next batch's decode while the caller trains on this one.
+    if (config_.prefetch && !pending_) {
+      launch_prefetch();
+    }
+
+    if (result.samples.empty()) continue;  // fully-skipped range
+    result.index_in_epoch = batch_index_++;
+    batch = std::move(result);
+    return true;
+  }
+}
+
+guard::Snapshot DataPipeline::snapshot() {
+  // Quiesce: complete an in-flight prefetch and park it undelivered. Its
+  // accounting has not been applied, so the snapshot cuts cleanly at the
+  // last delivered batch and a resumed pipeline re-produces the parked
+  // batch from the same range.
+  if (pending_) {
+    Pending pending = std::move(*pending_);
+    pending_.reset();
+    try {
+      ready_ = pending.future.get();
+    } catch (...) {
+      consumed_ = pending.first + pending.count;
+      throw;
+    }
+  }
+  guard::Snapshot s;
+  s.config_fingerprint = config_fingerprint();
+  s.epoch = epoch_;
+  s.cursor = consumed_;
+  s.batch_index = batch_index_;
+  s.recovery_events = delivered_recovery_;
+  s.samples = m_.samples.value();
+  s.batches = m_.batches.value();
+  s.bytes_at_rest = m_.bytes_at_rest.value();
+  s.samples_skipped = m_.samples_skipped.value();
+  s.fallbacks = m_.fallbacks.value();
+  s.degraded = m_.degraded.value() != 0;
+  s.quarantine.assign(quarantine_.begin(), quarantine_.end());
+  std::sort(s.quarantine.begin(), s.quarantine.end());
+  s.epoch_quarantine.assign(epoch_quarantine_.begin(), epoch_quarantine_.end());
+  std::sort(s.epoch_quarantine.begin(), s.epoch_quarantine.end());
+  return s;
+}
+
+void DataPipeline::resume(const guard::Snapshot& s) {
+  if (s.config_fingerprint != config_fingerprint()) {
+    throw ConfigError(
+        "pipeline: snapshot was taken under a different dataset / pipeline "
+        "configuration / injector seed and cannot resume here");
+  }
+  if (s.cursor > dataset_.size()) {
+    throw ConfigError(
+        fmt("pipeline: snapshot cursor {} exceeds dataset size {}", s.cursor,
+            dataset_.size()));
+  }
+  // Rebuild the epoch's shuffle order (a pure function of seed and epoch),
+  // then fast-forward to the snapshot's delivered boundary.
+  start_epoch(s.epoch);
+  cursor_ = s.cursor;
+  consumed_ = s.cursor;
+  batch_index_ = s.batch_index;
+  recovery_events_.store(s.recovery_events, std::memory_order_relaxed);
+  delivered_recovery_ = s.recovery_events;
+  quarantine_.assign(s.quarantine.begin(), s.quarantine.end());
+  epoch_quarantine_.assign(s.epoch_quarantine.begin(),
+                           s.epoch_quarantine.end());
+  // Restore the delivered-counter deltas so the resumed run's final stats
+  // equal the uninterrupted run's (retry counters excepted by contract).
+  m_.samples.add(s.samples);
+  m_.batches.add(s.batches);
+  m_.bytes_at_rest.add(s.bytes_at_rest);
+  m_.samples_skipped.add(s.samples_skipped);
+  m_.fallbacks.add(s.fallbacks);
+  if (s.degraded) m_.degraded.set(1);
+}
+
+std::uint64_t DataPipeline::config_fingerprint() const {
+  std::uint64_t fp = 0x53474B5053455141ULL;
+  auto mix = [&fp](std::uint64_t v) {
+    std::uint64_t state = fp ^ v;
+    fp = splitmix64(state);
+  };
+  mix(dataset_.size());
+  mix(static_cast<std::uint64_t>(dataset_.format()));
+  mix(static_cast<std::uint64_t>(config_.batch_size));
+  mix(config_.seed);
+  mix(config_.shuffle ? 1 : 0);
+  mix(config_.drop_last ? 1 : 0);
+  mix(static_cast<std::uint64_t>(config_.decode_placement));
+  mix(config_.ops.size());
+  mix(injector_ != nullptr ? injector_->seed() : 0);
+  return fp;
 }
 
 std::vector<std::size_t> DataPipeline::quarantine() const {
-  std::vector<std::size_t> ids;
-  {
-    const std::lock_guard<std::mutex> lock(quarantine_mutex_);
-    ids = quarantine_;
-  }
+  std::vector<std::size_t> ids = quarantine_;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::vector<std::size_t> DataPipeline::epoch_quarantine() const {
+  std::vector<std::size_t> ids = epoch_quarantine_;
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   return ids;
@@ -365,62 +604,6 @@ PipelineStats DataPipeline::stats() const {
         m_.decode_seconds.sum() + m_.ops_seconds.sum();
   }
   return s;
-}
-
-bool DataPipeline::next_batch(Batch& batch) {
-  const std::uint64_t n = dataset_.size();
-  const auto b = static_cast<std::uint64_t>(config_.batch_size);
-
-  auto take_count = [&](std::uint64_t at) -> std::uint64_t {
-    if (at >= n) return 0;
-    const std::uint64_t remaining = n - at;
-    if (remaining < b && config_.drop_last) return 0;
-    return std::min(b, remaining);
-  };
-
-  // Loop: a range whose samples were all skipped by policy yields an empty
-  // batch, which is dropped here and the next range pulled instead.
-  for (;;) {
-    Batch result;
-    if (pending_) {
-      // Move the future out of the slot before get(): if the prefetch worker
-      // threw, the exception rethrows here and the pipeline must not be left
-      // holding a consumed future — the failed range counts as consumed and
-      // the next call continues with the ranges after it.
-      std::future<Batch> ready = std::move(*pending_);
-      pending_.reset();
-      SCIPREP_OBS_SPAN("pipeline.prefetch_wait", "pipeline");
-      const double t0 = now_seconds();
-      result = ready.get();
-      m_.prefetch_wait_seconds.record(now_seconds() - t0);
-    } else {
-      const std::uint64_t count = take_count(cursor_);
-      if (count == 0) return false;
-      const std::uint64_t at = cursor_;
-      // Claim the range before assembling (mirroring the prefetch path): if
-      // assemble_batch throws under a kFail policy, the bad range must not
-      // be retried forever on the next call.
-      cursor_ += count;
-      result = assemble_batch(at, count);
-    }
-
-    // Kick off the next batch's decode while the caller trains on this one.
-    if (config_.prefetch && !pending_) {
-      const std::uint64_t count = take_count(cursor_);
-      if (count > 0) {
-        const std::uint64_t at = cursor_;
-        cursor_ += count;
-        pending_ = std::async(std::launch::async, [this, at, count] {
-          return assemble_batch(at, count);
-        });
-      }
-    }
-
-    if (result.samples.empty()) continue;  // fully-skipped range
-    result.index_in_epoch = batch_index_++;
-    batch = std::move(result);
-    return true;
-  }
 }
 
 }  // namespace sciprep::pipeline

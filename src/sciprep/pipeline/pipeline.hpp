@@ -12,18 +12,27 @@
 // Per-stage wall time is accumulated in PipelineStats; the bench harness
 // combines those host-measured costs with the sim transfer model to produce
 // the per-platform step times of Figures 8-12.
+//
+// Robustness (sciprep::guard, DESIGN.md §9): a CancelToken on the config
+// unwinds a running epoch cooperatively within one batch; per-stage
+// deadlines (PipelineConfig::deadlines) surface hangs as DeadlineError
+// through the same FaultPolicy that handles data faults; and snapshot() /
+// resume() checkpoint epoch progress at delivered-batch boundaries so a
+// killed run continues with the bit-identical remaining batch sequence.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "sciprep/codec/codec.hpp"
 #include "sciprep/fault/fault.hpp"
+#include "sciprep/guard/cancel.hpp"
+#include "sciprep/guard/snapshot.hpp"
+#include "sciprep/guard/watchdog.hpp"
 #include "sciprep/obs/metrics.hpp"
 #include "sciprep/pipeline/dataset.hpp"
 #include "sciprep/pipeline/ops.hpp"
@@ -53,6 +62,16 @@ struct PipelineConfig {
   /// fault::Injector::global() applies (itself null outside tests/benches —
   /// production pays one pointer test per sample). Must outlive the pipeline.
   fault::Injector* injector = nullptr;
+  /// Cooperative cancellation root for this pipeline. Cancelling it (from
+  /// any thread) unwinds the current batch: workers stop at their next
+  /// cancellation point and next_batch() throws CancelledError. The default
+  /// null token disables cancellation at zero cost.
+  guard::CancelToken cancel;
+  /// Per-stage watchdog deadlines; all-zero (the default) disables the
+  /// watchdog. Expiry surfaces as DeadlineError — a TransientError, so
+  /// fault_policy.on_transient decides whether a hang retries, skips, or
+  /// fails, under the same error budget as data faults.
+  guard::StageDeadlines deadlines;
 };
 
 struct Batch {
@@ -66,13 +85,16 @@ struct Batch {
 
 /// Aggregate pipeline counters, assembled on demand from the metrics
 /// registry (stats() is a snapshot, not a live reference — every field is the
-/// corresponding pipeline.* metric's current value).
+/// corresponding pipeline.* metric's current value). Sample/batch/byte/skip/
+/// fallback counters advance when a batch is *delivered* by next_batch(), not
+/// while it is being assembled, so a stats() snapshot is always consistent
+/// with the delivered batch sequence even with a prefetch in flight.
 struct PipelineStats {
   std::uint64_t samples = 0;           // delivered (excludes skipped)
   std::uint64_t batches = 0;
   std::uint64_t bytes_at_rest = 0;     // stored bytes of delivered samples
   std::uint64_t samples_skipped = 0;   // quarantined by kSkipSample
-  std::uint64_t retries = 0;           // transient-failure re-attempts
+  std::uint64_t retries = 0;           // transient-failure re-attempts (live)
   std::uint64_t fallbacks = 0;         // GPU→CPU baseline re-decodes
   bool degraded = false;               // any recovery event has fired
   double decode_cpu_seconds = 0;   // baseline preprocess / gunzip / cpu decode
@@ -93,9 +115,14 @@ class DataPipeline {
   DataPipeline& operator=(const DataPipeline&) = delete;
 
   /// Reset to the start of `epoch` (reshuffles under the epoch-derived seed).
+  /// Per-epoch recovery state — the error budget, the epoch quarantine, and
+  /// the prefetch cursor — resets with it, so every epoch re-attempts every
+  /// sample with a full budget. An in-flight prefetch from the previous
+  /// epoch is cancelled and drained, never delivered.
   void start_epoch(std::uint64_t epoch);
 
-  /// Produce the next batch; false at epoch end.
+  /// Produce the next batch; false at epoch end. Throws CancelledError when
+  /// config.cancel is cancelled.
   bool next_batch(Batch& batch);
 
   /// Decode one sample through the configured path (exposed for benches that
@@ -103,19 +130,43 @@ class DataPipeline {
   /// policy does not — failures throw.
   [[nodiscard]] codec::TensorF16 decode_sample(std::size_t index) const;
 
+  /// Crash-consistent progress snapshot at a delivered-batch boundary. An
+  /// in-flight prefetch is completed and parked (the next next_batch() call
+  /// delivers it); its work is NOT part of the snapshot, so a pipeline
+  /// resumed from it re-produces that batch bit-identically. Pair with
+  /// guard::write_snapshot / guard::Checkpointer for atomic persistence.
+  [[nodiscard]] guard::Snapshot snapshot();
+
+  /// Restore progress from `snapshot` (taken by a pipeline with the same
+  /// dataset, config, and injector seed — enforced via the snapshot's config
+  /// fingerprint; mismatch throws ConfigError). After resume() the pipeline
+  /// delivers the bit-identical remaining batch sequence an uninterrupted
+  /// run would have, and its delivered counters (minus live retry counters)
+  /// end the run equal to the uninterrupted run's. Call on a freshly
+  /// constructed pipeline: the snapshot's counter deltas are *added* to the
+  /// backing registry.
+  void resume(const guard::Snapshot& snapshot);
+
   /// Snapshot of the aggregate counters, assembled from the registry.
   [[nodiscard]] PipelineStats stats() const;
   [[nodiscard]] std::size_t batches_per_epoch() const;
 
   /// Sample ids quarantined by the kSkipSample policy, sorted ascending and
-  /// de-duplicated across epochs. Deterministic for a fixed (pipeline seed,
-  /// injector seed) pair regardless of worker count or prefetch.
+  /// de-duplicated, accumulated across the pipeline's lifetime (the same
+  /// at-rest-corrupt record re-skips every epoch without growing this list).
+  /// Deterministic for a fixed (pipeline seed, injector seed) pair
+  /// regardless of worker count or prefetch.
   [[nodiscard]] std::vector<std::size_t> quarantine() const;
+
+  /// Sample ids quarantined in the current epoch only (sorted, de-duplicated;
+  /// cleared by start_epoch). Lets callers verify that an epoch restart
+  /// really re-attempted previously skipped samples.
+  [[nodiscard]] std::vector<std::size_t> epoch_quarantine() const;
 
   /// The registry backing stats(): per-stage latency histograms
   /// (pipeline.stage.*), sample/byte counters (pipeline.*_total), simulated
-  /// GPU kernel counters (pipeline.gpu.*) and worker-pool telemetry
-  /// (pipeline.pool.*).
+  /// GPU kernel counters (pipeline.gpu.*), worker-pool telemetry
+  /// (pipeline.pool.*), and watchdog counters (guard.*).
   [[nodiscard]] obs::MetricsRegistry& metrics() const noexcept {
     return *metrics_;
   }
@@ -147,18 +198,60 @@ class DataPipeline {
     obs::Histogram& retry_backoff_seconds;
   };
 
-  Batch assemble_batch(std::uint64_t first, std::uint64_t count);
+  /// Result of one decode attempt under the recovery policy. Workers report
+  /// outcomes here instead of bumping shared counters, so all delivered-data
+  /// accounting happens on the consumer thread at delivery time.
+  struct SlotOutcome {
+    std::optional<codec::TensorF16> tensor;  // empty = skipped
+    std::uint64_t fallbacks = 0;
+    std::uint64_t recovery_events = 0;  // budget units consumed
+  };
+
+  /// An assembled range of the epoch order plus its pending accounting,
+  /// applied by deliver() when (and only when) the batch reaches the caller.
+  struct Assembled {
+    Batch batch;
+    std::uint64_t first = 0;
+    std::uint64_t count = 0;
+    std::vector<std::size_t> skipped;  // sample ids skipped in this range
+    std::uint64_t fallbacks = 0;
+    std::uint64_t recovery_events = 0;
+  };
+
+  /// An in-flight prefetch: the claimed range, its cancellation token
+  /// (child of config.cancel), and the future computing it.
+  struct Pending {
+    std::uint64_t first = 0;
+    std::uint64_t count = 0;
+    guard::CancelToken token;
+    std::future<Assembled> future;
+  };
+
+  Assembled assemble_batch(std::uint64_t first, std::uint64_t count);
+  /// Apply an assembled range's accounting (counters, quarantine, consumed
+  /// cursor) and hand its batch out. Runs on the consumer thread only.
+  Batch deliver(Assembled&& assembled);
+  /// Claim the next range (if any) and launch its assembly on a background
+  /// thread under a fresh child token.
+  void launch_prefetch();
+  /// Cancel and drain an in-flight prefetch, discarding its result. The
+  /// abandoned range's failure (if any) is swallowed.
+  void abandon_pending();
+  /// Samples of the next range starting at `at`; 0 at epoch end.
+  [[nodiscard]] std::uint64_t take_count(std::uint64_t at) const;
   /// Fetch + decode `index` through the configured path, with fault-injection
-  /// gates applied. `attempt` distinguishes retry draws; `force_cpu` routes an
-  /// encoded sample through the CPU decoder (the kFallback path).
+  /// gates and stage deadlines applied. `attempt` distinguishes retry draws;
+  /// `force_cpu` routes an encoded sample through the CPU decoder (the
+  /// kFallback path).
   [[nodiscard]] codec::TensorF16 decode_guarded(std::size_t index, int attempt,
                                                 bool force_cpu) const;
-  /// decode_guarded wrapped in the fault-policy dispatch; nullopt means the
-  /// sample was skipped (already counted and quarantined).
-  [[nodiscard]] std::optional<codec::TensorF16> decode_with_recovery(
-      std::size_t index);
+  /// decode_guarded wrapped in the fault-policy dispatch.
+  [[nodiscard]] SlotOutcome decode_with_recovery(std::size_t index);
   /// Claims one recovery event against the error budget; false = spent.
   [[nodiscard]] bool consume_budget();
+  /// Hash of everything that determines the delivered batch sequence;
+  /// stamped into snapshots and checked by resume().
+  [[nodiscard]] std::uint64_t config_fingerprint() const;
 
   const InMemoryDataset& dataset_;
   const codec::SampleCodec& codec_;
@@ -169,6 +262,9 @@ class DataPipeline {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when none injected
   obs::MetricsRegistry* metrics_;
   Handles m_;
+  // Lazily constructed when config.deadlines.any(); declared before the
+  // workers so armed stages on worker threads disarm before it dies.
+  std::unique_ptr<guard::Watchdog> watchdog_;
   obs::PoolMetrics pool_metrics_;
   // Declared after pool_metrics_ so the workers (who call the observer) are
   // joined before the observer is destroyed.
@@ -176,13 +272,18 @@ class DataPipeline {
 
   std::vector<std::size_t> order_;
   std::uint64_t epoch_ = 0;
-  std::uint64_t cursor_ = 0;       // next sample position in order_
+  std::uint64_t cursor_ = 0;       // next undelivered+unclaimed position in order_
+  std::uint64_t consumed_ = 0;     // positions delivered (or failed) so far
   std::uint64_t batch_index_ = 0;
-  std::optional<std::future<Batch>> pending_;
+  std::optional<Pending> pending_;
+  // A prefetch completed by snapshot() but not yet delivered; its accounting
+  // is still pending, so it is invisible to snapshots.
+  std::optional<Assembled> ready_;
 
   std::atomic<std::uint64_t> recovery_events_{0};  // vs fault_policy.error_budget
-  mutable std::mutex quarantine_mutex_;
-  std::vector<std::size_t> quarantine_;  // raw skip events; dedup on read
+  std::uint64_t delivered_recovery_ = 0;  // recovery events in delivered batches
+  std::vector<std::size_t> quarantine_;        // lifetime skip events
+  std::vector<std::size_t> epoch_quarantine_;  // this epoch's skip events
 };
 
 }  // namespace sciprep::pipeline

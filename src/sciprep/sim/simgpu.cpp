@@ -6,6 +6,7 @@
 
 #include "sciprep/common/error.hpp"
 #include "sciprep/common/format.hpp"
+#include "sciprep/guard/cancel.hpp"
 #include "sciprep/obs/obs.hpp"
 
 namespace sciprep::sim {
@@ -31,6 +32,7 @@ KernelStats SimGpu::launch(std::size_t warp_count,
   if (warp_count == 0) return stats;
 
   SCIPREP_OBS_SPAN_NAMED(kernel_span, "sim.kernel", "sim");
+  guard::poll_cancellation();
   const auto start = std::chrono::steady_clock::now();
 
   std::mutex merge_mutex;
@@ -42,6 +44,10 @@ KernelStats SimGpu::launch(std::size_t warp_count,
   pool_->parallel_for(
       warp_count,
       [&](std::size_t warp_id) {
+        // Cancellation point per warp: a cancelled/deadline-expired launch
+        // unwinds within one warp body instead of running the grid dry. The
+        // pool propagates the submitter's ambient token to its workers.
+        guard::poll_cancellation();
         Warp warp(warp_id);
         kernel(warp);
         std::lock_guard lock(merge_mutex);

@@ -242,6 +242,51 @@ TEST(FaultPolicy, CorruptionIsAtRestSoTheSameSamplesSkipEveryEpoch) {
   EXPECT_EQ(pipe.stats().samples_skipped, 2 * skipped_first);
 }
 
+TEST(FaultPolicy, EpochRestartResetsPerEpochRecoveryState) {
+  // Learn how many skips one epoch of this (dataset, injector seed) costs.
+  std::uint64_t skips_per_epoch = 0;
+  {
+    Rig probe_rig(24);
+    fault::Injector inj(99, &probe_rig.registry);
+    inj.configure(fault::Site::kCodecDecode, {.corrupt_probability = 0.3});
+    fault::FaultPolicy generous;
+    generous.on_corrupt = fault::Action::kSkipSample;
+    generous.error_budget = 1u << 20;
+    DataPipeline probe = probe_rig.make(&inj, generous);
+    const std::uint64_t delivered = drain_epoch(probe, 0);
+    skips_per_epoch = probe.stats().samples_skipped;
+    ASSERT_GT(skips_per_epoch, 0u);
+    ASSERT_EQ(delivered + skips_per_epoch, 24u);
+  }
+
+  // Now give the pipeline an *exact* budget: enough for one epoch's skips
+  // and not one more. Epoch 1 only survives if start_epoch() refills the
+  // budget, clears the epoch quarantine, and rewinds the prefetch cursor —
+  // i.e. if per-epoch recovery state really resets on restart.
+  Rig rig(24);
+  fault::Injector inj(99, &rig.registry);
+  inj.configure(fault::Site::kCodecDecode, {.corrupt_probability = 0.3});
+  fault::FaultPolicy exact;
+  exact.on_corrupt = fault::Action::kSkipSample;
+  exact.error_budget = skips_per_epoch;
+  DataPipeline pipe = rig.make(&inj, exact);
+
+  const std::uint64_t epoch0 = drain_epoch(pipe, 0);
+  const auto epoch0_quarantine = pipe.epoch_quarantine();
+  ASSERT_EQ(epoch0 + skips_per_epoch, 24u);
+  ASSERT_EQ(epoch0_quarantine.size(), skips_per_epoch);
+
+  const std::uint64_t epoch1 = drain_epoch(pipe, 1);
+  // Epoch 1 saw the full dataset again: every sample was re-attempted, the
+  // same at-rest-corrupt records re-skipped under a refilled budget, and the
+  // per-epoch quarantine rebuilt from scratch to the same ids.
+  EXPECT_EQ(epoch1, epoch0);
+  EXPECT_EQ(pipe.epoch_quarantine(), epoch0_quarantine);
+  EXPECT_EQ(pipe.stats().samples_skipped, 2 * skips_per_epoch);
+  // The lifetime quarantine de-duplicates re-skips.
+  EXPECT_EQ(pipe.quarantine(), epoch0_quarantine);
+}
+
 TEST(FaultPolicy, RunsAreBitIdenticalUnderAFixedSeedPair) {
   Rig rig(40);
   fault::FaultPolicy policy;

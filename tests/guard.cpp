@@ -1,0 +1,559 @@
+// Tests for sciprep::guard: cooperative cancellation (token tree, ambient
+// scopes, interruptible sleep), the deadline watchdog, snapshot framing
+// robustness (truncation / bit flips / versioning), and the pipeline-level
+// guard contracts — cancel-mid-epoch, deadline-trip-recovered-by-policy, and
+// the kill-and-resume property (a resumed pipeline delivers the bit-identical
+// remaining batch sequence and ends with the same final counters).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sciprep/codec/cosmo_codec.hpp"
+#include "sciprep/common/crc.hpp"
+#include "sciprep/common/error.hpp"
+#include "sciprep/data/cosmo_gen.hpp"
+#include "sciprep/fault/fault.hpp"
+#include "sciprep/guard/guard.hpp"
+#include "sciprep/pipeline/pipeline.hpp"
+
+namespace sciprep::guard {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TEST(CancelToken, NullTokenIsInertAndFree) {
+  const CancelToken null_token;
+  EXPECT_FALSE(null_token.valid());
+  EXPECT_FALSE(null_token.cancelled());
+  EXPECT_NO_THROW(null_token.check());
+  EXPECT_NO_THROW(null_token.cancel());  // no-op, not an error
+  EXPECT_NO_THROW(poll_cancellation());  // no ambient token installed
+}
+
+TEST(CancelToken, CancelPropagatesDownTheTreeNotUp) {
+  const CancelToken root = CancelToken::make();
+  const CancelToken child = root.child();
+  const CancelToken grandchild = child.child();
+  const CancelToken sibling = root.child();
+
+  child.cancel("stop this branch");
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(grandchild.cancelled());
+  EXPECT_FALSE(root.cancelled());
+  EXPECT_FALSE(sibling.cancelled());
+
+  // A child created under an already-cancelled parent is born cancelled.
+  EXPECT_TRUE(child.child().cancelled());
+}
+
+TEST(CancelToken, CheckThrowsTypedErrorsThatClassify) {
+  const CancelToken user = CancelToken::make();
+  user.cancel("caller aborted");
+  try {
+    user.check();
+    FAIL() << "check() must throw";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(classify(e), ErrorClass::kCancelled);
+  }
+
+  const CancelToken hung = CancelToken::make();
+  hung.cancel_deadline("decode", 1.5);
+  try {
+    hung.check();
+    FAIL() << "check() must throw";
+  } catch (const DeadlineError& e) {
+    // A hang is transient by taxonomy: the fault policy may retry it.
+    EXPECT_EQ(classify(e), ErrorClass::kTransient);
+    EXPECT_EQ(e.stage(), "decode");
+    EXPECT_DOUBLE_EQ(e.elapsed_seconds(), 1.5);
+  }
+}
+
+TEST(CancelToken, FirstCancelWins) {
+  const CancelToken token = CancelToken::make();
+  token.cancel_deadline("io.read", 0.2);
+  token.cancel("late user cancel must not overwrite the deadline");
+  EXPECT_THROW(token.check(), DeadlineError);
+}
+
+TEST(CancelToken, ScopesNestAndRestore) {
+  EXPECT_FALSE(current_token().valid());
+  const CancelToken outer = CancelToken::make();
+  {
+    const CancelScope outer_scope(outer);
+    EXPECT_TRUE(current_token().valid());
+    {
+      // Installing a null token keeps the enclosing one visible.
+      const CancelScope noop_scope{CancelToken()};
+      EXPECT_TRUE(current_token().valid());
+    }
+    outer.cancel("epoch abandoned");
+    EXPECT_THROW(poll_cancellation(), CancelledError);
+  }
+  EXPECT_FALSE(current_token().valid());
+  EXPECT_NO_THROW(poll_cancellation());
+}
+
+TEST(CancelToken, SleepWakesPromptlyOnCancel) {
+  const CancelToken token = CancelToken::make();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.cancel("wake up");
+  });
+  EXPECT_THROW(token.sleep_for(5.0), CancelledError);
+  canceller.join();
+  EXPECT_LT(seconds_since(t0), 2.0);  // woke early, not after 5s
+}
+
+TEST(CancelToken, SleepSeesAncestorCancellationWithinAPollSlice) {
+  const CancelToken parent = CancelToken::make();
+  const CancelToken token = parent.child();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread canceller([&parent] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    parent.cancel();  // wakes the child via the 10ms poll slice
+  });
+  EXPECT_THROW(token.sleep_for(5.0), CancelledError);
+  canceller.join();
+  EXPECT_LT(seconds_since(t0), 2.0);
+}
+
+TEST(Watchdog, ExpiryCancelsTheTokenAndExportsMetrics) {
+  obs::MetricsRegistry registry;
+  Watchdog dog(&registry);
+  const CancelToken token = CancelToken::make();
+  {
+    Watchdog::Armed armed = dog.arm("decode", 0.02, token);
+    const auto t0 = std::chrono::steady_clock::now();
+    while (!token.cancelled() && seconds_since(t0) < 5.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_THROW(token.check(), DeadlineError);
+    EXPECT_EQ(dog.expired_total(), 1u);
+    // The observed stall is recorded when the tripped stage disarms.
+    EXPECT_EQ(registry.histogram("guard.stall_seconds").count(), 0u);
+  }
+  EXPECT_EQ(registry.counter_value("guard.deadline_expired_total"), 1u);
+  EXPECT_EQ(registry.histogram("guard.stall_seconds").count(), 1u);
+}
+
+TEST(Watchdog, DisarmBeforeTheDeadlineIsANoOp) {
+  obs::MetricsRegistry registry;
+  Watchdog dog(&registry);
+  const CancelToken token = CancelToken::make();
+  { Watchdog::Armed armed = dog.arm("io.read", 30.0, token); }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(dog.expired_total(), 0u);
+  EXPECT_EQ(registry.histogram("guard.stall_seconds").count(), 0u);
+}
+
+TEST(Watchdog, ManyArmsExpireIndependently) {
+  obs::MetricsRegistry registry;
+  Watchdog dog(&registry);
+  std::vector<CancelToken> tokens;
+  std::vector<Watchdog::Armed> armed;
+  for (int i = 0; i < 8; ++i) {
+    tokens.push_back(CancelToken::make());
+    // Alternate between deadlines that will expire and ones that won't.
+    armed.push_back(dog.arm("decode", i % 2 == 0 ? 0.01 : 60.0, tokens.back()));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  while (dog.expired_total() < 4 && seconds_since(t0) < 5.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(dog.expired_total(), 4u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(tokens[static_cast<std::size_t>(i)].cancelled(), i % 2 == 0)
+        << "token " << i;
+  }
+}
+
+Snapshot sample_snapshot() {
+  Snapshot s;
+  s.config_fingerprint = 0xDEADBEEFCAFEF00DULL;
+  s.epoch = 3;
+  s.cursor = 40;
+  s.batch_index = 10;
+  s.recovery_events = 7;
+  s.samples = 120;
+  s.batches = 30;
+  s.bytes_at_rest = 1u << 20;
+  s.samples_skipped = 4;
+  s.fallbacks = 2;
+  s.degraded = true;
+  s.quarantine = {3, 9, 17, 31};
+  s.epoch_quarantine = {9, 31};
+  return s;
+}
+
+TEST(Snapshot, SerializeParseRoundTrips) {
+  const Snapshot s = sample_snapshot();
+  const Bytes wire = s.serialize();
+  EXPECT_EQ(Snapshot::parse(ByteSpan(wire)), s);
+
+  // Empty lists and zero fields round-trip too.
+  const Snapshot zero;
+  EXPECT_EQ(Snapshot::parse(ByteSpan(zero.serialize())), zero);
+}
+
+TEST(Snapshot, ZeroLengthInputIsTruncated) {
+  EXPECT_THROW(Snapshot::parse(ByteSpan()), TruncatedError);
+}
+
+TEST(Snapshot, EveryStrictPrefixIsRejectedWithATypedError) {
+  const Bytes wire = sample_snapshot().serialize();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    try {
+      (void)Snapshot::parse(ByteSpan(wire.data(), len));
+      FAIL() << "prefix of length " << len << " must not parse";
+    } catch (const TruncatedError&) {
+    } catch (const FormatError&) {
+    }
+  }
+}
+
+TEST(Snapshot, EveryBitFlipIsDetected) {
+  const Bytes wire = sample_snapshot().serialize();
+  for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = wire;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      try {
+        (void)Snapshot::parse(ByteSpan(mutated));
+        FAIL() << "flip at byte " << byte << " bit " << bit
+               << " must not parse";
+      } catch (const TruncatedError&) {
+      } catch (const FormatError&) {
+      }
+    }
+  }
+}
+
+TEST(Snapshot, UnsupportedVersionIsRejected) {
+  Bytes wire = sample_snapshot().serialize();
+  wire[4] = 0x7F;  // version field (bytes 4..7, little-endian)
+  EXPECT_THROW((void)Snapshot::parse(ByteSpan(wire)), FormatError);
+}
+
+TEST(Snapshot, CheckpointerWritesAtomicallyOnItsCadence) {
+  const std::string path = "guard_test_checkpoint.bin";
+  obs::MetricsRegistry registry;
+  Checkpointer checkpointer(path, 4, &registry);
+  EXPECT_FALSE(checkpointer.due(0));
+  EXPECT_FALSE(checkpointer.due(3));
+  EXPECT_TRUE(checkpointer.due(4));
+  EXPECT_FALSE(checkpointer.due(5));
+  EXPECT_TRUE(checkpointer.due(8));
+
+  const Snapshot s = sample_snapshot();
+  checkpointer.write(s);
+  EXPECT_EQ(checkpointer.written_total(), 1u);
+  EXPECT_EQ(registry.counter_value("guard.checkpoints_written_total"), 1u);
+  EXPECT_EQ(read_snapshot(path), s);
+  // The temporary staging file must not survive a successful rename.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, ReadOfMissingFileIsIoError) {
+  EXPECT_THROW((void)read_snapshot("guard_test_no_such_file.bin"), IoError);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline-level guard contracts.
+
+using pipeline::Batch;
+using pipeline::DataPipeline;
+using pipeline::InMemoryDataset;
+using pipeline::PipelineConfig;
+using pipeline::PipelineStats;
+using pipeline::StorageFormat;
+
+/// A pipeline over a small encoded cosmo dataset, with its own registry and
+/// injector so concurrent tests never share counters.
+struct GuardRig {
+  explicit GuardRig(std::size_t n, std::uint64_t injector_seed = 77)
+      : injector(injector_seed, &registry) {
+    data::CosmoGenConfig cfg;
+    cfg.dim = 16;
+    cfg.seed = 11;
+    gen.emplace(cfg);
+    dataset.emplace(
+        InMemoryDataset::make_cosmo(*gen, n, StorageFormat::kEncoded, &codec));
+  }
+
+  DataPipeline make(PipelineConfig base, bool inject = false) {
+    base.seed = 5;
+    base.metrics = &registry;
+    base.injector = inject ? &injector : nullptr;
+    return DataPipeline(*dataset, codec, base);
+  }
+
+  std::optional<data::CosmoGenerator> gen;
+  codec::CosmoCodec codec;
+  obs::MetricsRegistry registry;
+  fault::Injector injector;
+  std::optional<InMemoryDataset> dataset;
+};
+
+std::uint32_t batch_crc(const Batch& batch) {
+  std::uint32_t crc = 0;
+  for (const auto& t : batch.samples) {
+    crc = crc32c(as_bytes(t.shape), crc);
+    crc = crc32c(as_bytes(t.values), crc);
+    crc = crc32c(as_bytes(t.float_labels), crc);
+    crc = crc32c(as_bytes(t.byte_labels), crc);
+  }
+  return crc;
+}
+
+TEST(PipelineGuard, CancelUnwindsTheEpochAsCancelledError) {
+  GuardRig rig(16);
+  PipelineConfig base;
+  base.batch_size = 4;
+  base.cancel = CancelToken::make();
+  DataPipeline pipe = rig.make(base);
+
+  Batch batch;
+  ASSERT_TRUE(pipe.next_batch(batch));
+  base.cancel.cancel("user hit ^C");
+  EXPECT_THROW(pipe.next_batch(batch), CancelledError);
+  // The pipeline survives: a new epoch under the same (cancelled) token
+  // still refuses, which is the documented contract for a root cancel.
+  EXPECT_THROW(pipe.next_batch(batch), CancelledError);
+}
+
+TEST(PipelineGuard, InjectedStallTripsTheDeadlineAndThePolicyRecoversIt) {
+  GuardRig rig(12);
+  // Every read stalls 0.5s; the io.read deadline is 25ms. Without the
+  // watchdog this epoch costs >= 6s of stalls; with it, each stall unwinds
+  // at deadline expiry and the skip policy quarantines the sample.
+  rig.injector.configure(fault::Site::kIoRead,
+                         {.delay_probability = 1.0, .delay_seconds = 0.5});
+  PipelineConfig base;
+  base.batch_size = 4;
+  base.worker_threads = 2;
+  base.fault_policy.on_transient = fault::Action::kSkipSample;
+  base.fault_policy.error_budget = 1u << 20;
+  base.deadlines.io_read_seconds = 0.025;
+  DataPipeline pipe = rig.make(base, /*inject=*/true);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Batch batch;
+  std::uint64_t delivered = 0;
+  while (pipe.next_batch(batch)) delivered += batch.samples.size();
+  const double wall = seconds_since(t0);
+
+  const PipelineStats stats = pipe.stats();
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(stats.samples_skipped, 12u);
+  EXPECT_EQ(pipe.quarantine().size(), 12u);
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_GE(rig.registry.counter_value("guard.deadline_expired_total"), 12u);
+  EXPECT_GE(rig.registry.histogram("guard.stall_seconds").count(), 12u);
+  // Generous bound: 12 samples x 25ms deadlines, not 12 x 0.5s stalls.
+  EXPECT_LT(wall, 4.0);
+}
+
+TEST(PipelineGuard, DeadlineExpiryRetriesLikeAnyTransient) {
+  GuardRig rig(12);
+  // Half the reads stall (keyed per attempt), so a retry usually clears.
+  rig.injector.configure(fault::Site::kIoRead,
+                         {.delay_probability = 0.5, .delay_seconds = 0.5});
+  PipelineConfig base;
+  base.batch_size = 4;
+  base.fault_policy.on_transient = fault::Action::kRetry;
+  base.fault_policy.retry = {.max_attempts = 4, .backoff_seconds = 0,
+                             .backoff_multiplier = 1};
+  base.fault_policy.on_retry_exhausted = fault::Action::kSkipSample;
+  base.fault_policy.error_budget = 1u << 20;
+  base.deadlines.io_read_seconds = 0.025;
+  DataPipeline pipe = rig.make(base, /*inject=*/true);
+
+  Batch batch;
+  std::uint64_t delivered = 0;
+  while (pipe.next_batch(batch)) delivered += batch.samples.size();
+
+  const PipelineStats stats = pipe.stats();
+  EXPECT_EQ(delivered + stats.samples_skipped, 12u);
+  EXPECT_GT(delivered, 0u);       // retries rescued some stalled samples
+  EXPECT_GT(stats.retries, 0u);   // and were counted doing it
+  EXPECT_GT(rig.registry.counter_value("guard.deadline_expired_total"), 0u);
+}
+
+/// Everything the kill-and-resume property compares between runs.
+struct RunRecord {
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> digests;
+  PipelineStats stats;
+  std::vector<std::size_t> quarantine;
+};
+
+PipelineConfig property_config(std::size_t workers, bool prefetch) {
+  PipelineConfig base;
+  base.batch_size = 4;
+  base.worker_threads = workers;
+  base.prefetch = prefetch;
+  base.fault_policy.on_corrupt = fault::Action::kSkipSample;
+  base.fault_policy.error_budget = 1u << 20;
+  return base;
+}
+
+constexpr int kEpochs = 2;
+constexpr double kCorruptProbability = 0.25;
+
+void arm_corruption(GuardRig& rig) {
+  rig.injector.configure(fault::Site::kCodecDecode,
+                         {.corrupt_probability = kCorruptProbability});
+}
+
+TEST(PipelineGuard, KillAndResumeReproducesTheRemainingBatchesBitIdentically) {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    for (const bool prefetch : {false, true}) {
+      SCOPED_TRACE(fmt("workers={} prefetch={}", workers, prefetch));
+      const std::size_t n = 24;
+      const std::uint64_t kill_after = 4;  // batches; mid-epoch-0
+
+      // Uninterrupted reference run.
+      GuardRig full_rig(n);
+      arm_corruption(full_rig);
+      RunRecord full;
+      {
+        DataPipeline pipe =
+            full_rig.make(property_config(workers, prefetch), true);
+        Batch batch;
+        for (int epoch = 0; epoch < kEpochs; ++epoch) {
+          pipe.start_epoch(static_cast<std::uint64_t>(epoch));
+          while (pipe.next_batch(batch)) {
+            full.digests[{batch.epoch, batch.index_in_epoch}] =
+                batch_crc(batch);
+          }
+        }
+        full.stats = pipe.stats();
+        full.quarantine = pipe.quarantine();
+      }
+      ASSERT_GT(full.stats.samples_skipped, 0u)
+          << "property run must exercise the quarantine path";
+
+      // Killed run: snapshot at a delivered-batch boundary, then destroy the
+      // pipeline mid-epoch (an in-flight prefetch is abandoned, exactly as a
+      // crash would).
+      Snapshot snap;
+      {
+        GuardRig killed_rig(n);
+        arm_corruption(killed_rig);
+        DataPipeline pipe =
+            killed_rig.make(property_config(workers, prefetch), true);
+        Batch batch;
+        std::uint64_t delivered = 0;
+        pipe.start_epoch(0);
+        while (pipe.next_batch(batch)) {
+          if (++delivered == kill_after) {
+            snap = pipe.snapshot();
+            break;
+          }
+        }
+        ASSERT_EQ(delivered, kill_after);
+      }
+      // The snapshot round-trips through its wire format, like a real file.
+      snap = Snapshot::parse(ByteSpan(snap.serialize()));
+
+      // Resumed run: fresh pipeline, fresh registry, restore, finish.
+      GuardRig resumed_rig(n);
+      arm_corruption(resumed_rig);
+      RunRecord resumed;
+      {
+        DataPipeline pipe =
+            resumed_rig.make(property_config(workers, prefetch), true);
+        pipe.resume(snap);
+        Batch batch;
+        for (int epoch = static_cast<int>(snap.epoch); epoch < kEpochs;
+             ++epoch) {
+          if (epoch != static_cast<int>(snap.epoch)) {
+            pipe.start_epoch(static_cast<std::uint64_t>(epoch));
+          }
+          while (pipe.next_batch(batch)) {
+            resumed.digests[{batch.epoch, batch.index_in_epoch}] =
+                batch_crc(batch);
+          }
+        }
+        resumed.stats = pipe.stats();
+        resumed.quarantine = pipe.quarantine();
+      }
+
+      // The resumed run delivered exactly the remaining batches...
+      EXPECT_EQ(resumed.digests.size() + kill_after, full.digests.size());
+      // ...each bit-identical to the uninterrupted run's same batch...
+      for (const auto& [key, crc] : resumed.digests) {
+        const auto it = full.digests.find(key);
+        ASSERT_NE(it, full.digests.end())
+            << "unexpected batch epoch=" << key.first
+            << " index=" << key.second;
+        EXPECT_EQ(crc, it->second) << "batch epoch=" << key.first
+                                   << " index=" << key.second;
+      }
+      // ...and the final counters agree (retries are exempt by contract:
+      // they measure spent wall clock, not delivered data).
+      EXPECT_EQ(resumed.stats.samples, full.stats.samples);
+      EXPECT_EQ(resumed.stats.batches, full.stats.batches);
+      EXPECT_EQ(resumed.stats.bytes_at_rest, full.stats.bytes_at_rest);
+      EXPECT_EQ(resumed.stats.samples_skipped, full.stats.samples_skipped);
+      EXPECT_EQ(resumed.stats.fallbacks, full.stats.fallbacks);
+      EXPECT_EQ(resumed.stats.degraded, full.stats.degraded);
+      EXPECT_EQ(resumed.quarantine, full.quarantine);
+    }
+  }
+}
+
+TEST(PipelineGuard, SnapshotWithAPrefetchInFlightStaysDeliveryConsistent) {
+  GuardRig rig(24);
+  PipelineConfig base;
+  base.batch_size = 4;
+  base.prefetch = true;
+  DataPipeline pipe = rig.make(base);
+
+  Batch batch;
+  ASSERT_TRUE(pipe.next_batch(batch));  // a prefetch is now in flight
+  const Snapshot snap = pipe.snapshot();
+  // The parked prefetched batch is NOT part of the snapshot: only one batch
+  // (4 samples) has been delivered.
+  EXPECT_EQ(snap.cursor, 4u);
+  EXPECT_EQ(snap.batch_index, 1u);
+  EXPECT_EQ(snap.samples, 4u);
+  // ...and it is still delivered to this pipeline afterwards, in order.
+  ASSERT_TRUE(pipe.next_batch(batch));
+  EXPECT_EQ(batch.index_in_epoch, 1u);
+}
+
+TEST(PipelineGuard, ResumeRejectsAForeignSnapshot) {
+  GuardRig rig(16);
+  Snapshot snap;
+  {
+    PipelineConfig base;
+    base.batch_size = 4;
+    DataPipeline pipe = rig.make(base);
+    Batch batch;
+    ASSERT_TRUE(pipe.next_batch(batch));
+    snap = pipe.snapshot();
+  }
+  PipelineConfig other;
+  other.batch_size = 8;  // different batching => different batch sequence
+  DataPipeline pipe = rig.make(other);
+  EXPECT_THROW(pipe.resume(snap), ConfigError);
+}
+
+}  // namespace
+}  // namespace sciprep::guard
