@@ -30,9 +30,23 @@
 //   delivered batch); --stage-deadline-ms arms the pipeline watchdog so
 //   injected stalls (--inject-delay/--inject-delay-ms) trip deadlines and
 //   flow through the fault policy like any other transient.
+//
+// Insight (sciprep::insight, DESIGN.md §10):
+//   --metrics-jsonl FILE [--metrics-interval-ms N] streams delta-aware
+//   metrics ticks (totals + per-second rates) to a JSONL time-series while
+//   the run is live; --metrics-prom FILE additionally maintains a
+//   Prometheus-style text file. --report-out FILE runs the critical-path
+//   analyzer after the epoch loop and writes a ranked BottleneckReport (the
+//   human table is printed too). --flightrec-dir DIR attaches the flight
+//   recorder: every recovery/guard event dumps a rate-limited incident file
+//   with the last spans, a metrics snapshot, the recovery-decision log, and
+//   the pipeline's config fingerprint. --validate extends to these files.
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -48,12 +62,14 @@
 #include "sciprep/codec/cosmo_codec.hpp"
 #include "sciprep/common/log.hpp"
 #include "sciprep/common/stats.hpp"
+#include "sciprep/common/threadpool.hpp"
 #include "sciprep/guard/guard.hpp"
 #include "sciprep/data/cam_gen.hpp"
 #include "sciprep/data/cosmo_gen.hpp"
 #include "sciprep/dnn/loss.hpp"
 #include "sciprep/dnn/optimizer.hpp"
 #include "sciprep/fault/fault.hpp"
+#include "sciprep/insight/insight.hpp"
 #include "sciprep/obs/obs.hpp"
 #include "sciprep/pipeline/pipeline.hpp"
 
@@ -89,6 +105,12 @@ struct TrainerArgs {
   std::string digest_out;           // per-batch content CRC log
   std::string expect_digest;        // digest file to cross-check against
   std::uint64_t kill_after_batches = 0;  // simulate a crash (exit 42)
+  // Insight: continuous export, bottleneck report, flight recorder.
+  double metrics_interval_ms = 100;  // exporter sampling interval
+  std::string metrics_jsonl;         // JSONL time-series ("" = off)
+  std::string metrics_prom;          // Prometheus text file ("" = off)
+  std::string report_out;            // BottleneckReport JSON ("" = off)
+  std::string flightrec_dir;         // incident files directory ("" = off)
 
   [[nodiscard]] bool injecting() const {
     return inject_transient > 0 || inject_corrupt > 0 || inject_truncate > 0 ||
@@ -109,7 +131,10 @@ struct TrainerArgs {
       "          [--checkpoint-out FILE] [--checkpoint-every N]\n"
       "          [--resume-from FILE] [--stage-deadline-ms MS]\n"
       "          [--digest-out FILE] [--expect-digest FILE]\n"
-      "          [--kill-after-batches N]\n",
+      "          [--kill-after-batches N]\n"
+      "          [--metrics-interval-ms N] [--metrics-jsonl FILE]\n"
+      "          [--metrics-prom FILE] [--report-out FILE]\n"
+      "          [--flightrec-dir DIR]\n",
       argv0);
   std::exit(2);
 }
@@ -172,6 +197,16 @@ TrainerArgs parse_args(int argc, char** argv) {
       args.expect_digest = value();
     } else if (a == "--kill-after-batches") {
       args.kill_after_batches = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (a == "--metrics-interval-ms") {
+      args.metrics_interval_ms = std::atof(value());
+    } else if (a == "--metrics-jsonl") {
+      args.metrics_jsonl = value();
+    } else if (a == "--metrics-prom") {
+      args.metrics_prom = value();
+    } else if (a == "--report-out") {
+      args.report_out = value();
+    } else if (a == "--flightrec-dir") {
+      args.flightrec_dir = value();
     } else {
       std::fprintf(stderr, "trainer: unknown flag '%s'\n", argv[i]);
       usage(argv[0]);
@@ -387,8 +422,10 @@ struct RunGuard {
 /// op so the pipeline.ops stage is exercised) -> tiny 3D-conv model.
 void run_cosmo(const TrainerArgs& args, sim::SimGpu& gpu,
                fault::Injector& injector, RunGuard& rg,
+               insight::FlightRecorder* recorder,
                pipeline::PipelineStats& stats_out,
-               std::vector<std::size_t>& quarantine_out) {
+               std::vector<std::size_t>& quarantine_out,
+               std::uint64_t& fingerprint_out) {
   data::CosmoGenConfig gen_cfg;
   gen_cfg.dim = args.dim;
   gen_cfg.seed = 2022;
@@ -411,10 +448,13 @@ void run_cosmo(const TrainerArgs& args, sim::SimGpu& gpu,
   pcfg.fault_policy = make_fault_policy(args);
   pcfg.injector = args.injecting() ? &injector : nullptr;
   apply_guard_config(pcfg, args);
+  if (recorder != nullptr) pcfg.on_recovery_event = recorder->listener();
   pipeline::DataPipeline pipe(dataset, codec, pcfg,
                               pcfg.decode_placement == codec::Placement::kGpu
                                   ? &gpu
                                   : nullptr);
+  fingerprint_out = pipe.config_fingerprint();
+  if (recorder != nullptr) recorder->set_config_fingerprint(fingerprint_out);
 
   Rng rng(11);
   auto model = apps::build_cosmoflow_model(args.dim, rng);
@@ -457,8 +497,10 @@ void run_cosmo(const TrainerArgs& args, sim::SimGpu& gpu,
 /// observability surface being exercised here).
 void run_cam(const TrainerArgs& args, sim::SimGpu& gpu,
              fault::Injector& injector, RunGuard& rg,
+             insight::FlightRecorder* recorder,
              pipeline::PipelineStats& stats_out,
-             std::vector<std::size_t>& quarantine_out) {
+             std::vector<std::size_t>& quarantine_out,
+             std::uint64_t& fingerprint_out) {
   data::CamGenConfig gen_cfg;
   gen_cfg.height = args.dim;
   gen_cfg.width = args.dim;
@@ -483,10 +525,13 @@ void run_cam(const TrainerArgs& args, sim::SimGpu& gpu,
   pcfg.fault_policy = make_fault_policy(args);
   pcfg.injector = args.injecting() ? &injector : nullptr;
   apply_guard_config(pcfg, args);
+  if (recorder != nullptr) pcfg.on_recovery_event = recorder->listener();
   pipeline::DataPipeline pipe(dataset, codec, pcfg,
                               pcfg.decode_placement == codec::Placement::kGpu
                                   ? &gpu
                                   : nullptr);
+  fingerprint_out = pipe.config_fingerprint();
+  if (recorder != nullptr) recorder->set_config_fingerprint(fingerprint_out);
 
   const int first_epoch = rg.begin(pipe);
   for (int epoch = first_epoch; epoch < args.epochs; ++epoch) {
@@ -619,10 +664,125 @@ int validate_outputs(const TrainerArgs& args,
   return failures;
 }
 
+/// Scan one JSONL metrics tick for `"<key>":{"total":..,"delta":D,..}` and
+/// return D (0 when the counter is absent from the line).
+double jsonl_counter_delta(const std::string& line, const std::string& key) {
+  const std::size_t at = line.find(fmt("\"{}\":{{", key));
+  if (at == std::string::npos) return 0;
+  const std::size_t d = line.find("\"delta\":", at);
+  if (d == std::string::npos) return 0;
+  return std::strtod(line.c_str() + d + 8, nullptr);
+}
+
+/// --validate for the insight artifacts: the bottleneck report, the JSONL
+/// time-series, and the flight-recorder incidents. Returns the number of
+/// violations (0 = clean).
+int validate_insight(const TrainerArgs& args, std::uint64_t fingerprint) {
+  int failures = 0;
+  auto check = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      std::fprintf(stderr, "validate: FAIL %s\n", what.c_str());
+      ++failures;
+    }
+  };
+
+  if (!args.report_out.empty()) {
+    const std::string report = read_file(args.report_out);
+    check(obs::json_valid(report), "bottleneck report is valid JSON");
+    check(report.find("\"schema\":\"sciprep.insight.bottleneck.v1\"") !=
+              std::string::npos,
+          "bottleneck report carries its schema tag");
+    // Instrumentation drift: a pipeline.stage.* histogram the analyzer does
+    // not recognise means a stage was added without teaching the analyzer.
+    check(report.find("\"unattributed_histograms\":[]") != std::string::npos,
+          "analyzer attributes every pipeline.stage.* histogram");
+    if (args.inject_delay > 0) {
+      check(report.find("\"dominant_stage\":\"io.read\"") != std::string::npos,
+            "injected IO stalls make io.read the dominant stage");
+    }
+    // Cross-check the analyzer against the histogram it summarizes: the
+    // report's io.read busy-seconds must equal the registry's
+    // pipeline.stage.io_read_seconds sum (io.read is exclusive as recorded,
+    // so no subtraction is involved on either side).
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+    const auto hist = snap.histograms.find("pipeline.stage.io_read_seconds");
+    const std::size_t name_at = report.find("\"name\":\"io.read\"");
+    const std::size_t busy_at =
+        name_at == std::string::npos
+            ? std::string::npos
+            : report.find("\"busy_seconds\":", name_at);
+    if (hist != snap.histograms.end() && busy_at != std::string::npos) {
+      const double reported =
+          std::strtod(report.c_str() + busy_at + 15, nullptr);
+      const double actual = hist->second.sum;
+      check(std::fabs(reported - actual) <=
+                std::max(1e-6, 0.01 * std::fabs(actual)),
+            fmt("report io.read busy {:.6f}s matches histogram sum {:.6f}s",
+                reported, actual));
+    } else {
+      check(false, "report and registry both account for io.read");
+    }
+  }
+
+  if (!args.metrics_jsonl.empty()) {
+    std::ifstream in(args.metrics_jsonl);
+    check(static_cast<bool>(in), "metrics JSONL is readable");
+    std::size_t lines = 0;
+    bool retried = false;
+    for (std::string line; std::getline(in, line);) {
+      if (line.empty()) continue;
+      ++lines;
+      check(obs::json_valid(line),
+            fmt("metrics JSONL line {} is valid JSON", lines));
+      if (jsonl_counter_delta(line, "pipeline.retries_total") > 0) {
+        retried = true;
+      }
+    }
+    check(lines > 0, "metrics JSONL contains at least one tick");
+    if (args.inject_transient > 0 && args.fault_policy == "retry-skip") {
+      check(retried,
+            "JSONL time-series shows a non-zero retry rate under injection");
+    }
+  }
+
+  if (!args.flightrec_dir.empty()) {
+    std::size_t incidents = 0;
+    bool saw_deadline = false;
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(args.flightrec_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("incident-", 0) != 0) continue;
+      ++incidents;
+      const std::string body = read_file(entry.path().string());
+      check(obs::json_valid(body), fmt("incident '{}' is valid JSON", name));
+      if (!args.trace_out.empty()) {
+        check(body.find("\"t_start_ns\"") != std::string::npos,
+              fmt("incident '{}' embeds at least one span", name));
+      }
+      check(body.find(fmt("\"config_fingerprint\":\"{:x}\"", fingerprint)) !=
+                std::string::npos,
+            fmt("incident '{}' names this run's config fingerprint", name));
+      if (name.find("-deadline_expired.json") != std::string::npos) {
+        saw_deadline = true;
+      }
+    }
+    check(!ec, fmt("flight-recorder dir '{}' is listable", args.flightrec_dir));
+    check(incidents > 0, "flight recorder wrote at least one incident");
+    if (args.stage_deadline_ms > 0 && args.inject_delay > 0) {
+      check(saw_deadline, "a deadline-expiry incident was recorded");
+    }
+  }
+
+  if (failures == 0) std::printf("validate(insight): OK\n");
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const TrainerArgs args = parse_args(argc, argv);
+  set_thread_name("consumer");  // labels the training loop in traces/incidents
   if (!args.trace_out.empty()) {
     obs::Tracer::global().set_enabled(true);
   }
@@ -642,17 +802,42 @@ int main(int argc, char** argv) {
   }
   pipeline::PipelineStats stats;
   std::vector<std::size_t> quarantine;
+  std::uint64_t fingerprint = 0;
   RunGuard rg(args);
+
+  std::optional<insight::FlightRecorder> recorder;
+  if (!args.flightrec_dir.empty()) {
+    insight::FlightRecorderConfig fcfg;
+    fcfg.dir = args.flightrec_dir;
+    recorder.emplace(std::move(fcfg));
+  }
+  std::optional<insight::ContinuousExporter> exporter;
+  if (!args.metrics_jsonl.empty() || !args.metrics_prom.empty()) {
+    insight::ExporterConfig ecfg;
+    ecfg.interval_seconds = args.metrics_interval_ms / 1e3;
+    ecfg.jsonl_path = args.metrics_jsonl;
+    ecfg.prom_path = args.metrics_prom;
+    exporter.emplace(std::move(ecfg));
+    exporter->start();
+  }
+
+  const auto wall_t0 = std::chrono::steady_clock::now();
   try {
     if (args.workload == "cosmo") {
-      run_cosmo(args, gpu, injector, rg, stats, quarantine);
+      run_cosmo(args, gpu, injector, rg, recorder ? &*recorder : nullptr,
+                stats, quarantine, fingerprint);
     } else {
-      run_cam(args, gpu, injector, rg, stats, quarantine);
+      run_cam(args, gpu, injector, rg, recorder ? &*recorder : nullptr,
+              stats, quarantine, fingerprint);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "trainer: %s\n", e.what());
     return 1;
   }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_t0)
+          .count();
+  if (exporter) exporter->stop();  // final flush covers the partial interval
 
   std::printf(
       "\npipeline: %llu samples in %llu batches (%s at rest), "
@@ -683,8 +868,33 @@ int main(int argc, char** argv) {
       obs::MetricsRegistry::global().write_json(args.metrics_out);
       std::printf("metrics: -> %s\n", args.metrics_out.c_str());
     }
+    if (!args.report_out.empty()) {
+      insight::AnalyzerInput input;
+      input.wall_seconds = wall_seconds;
+      input.workers = args.workers;
+      const insight::BottleneckReport report =
+          insight::analyze_critical_path(input);
+      insight::write_report(args.report_out, report);
+      std::printf("\n%s", report.human_table().c_str());
+      std::printf("report: -> %s\n", args.report_out.c_str());
+    }
+    if (exporter) {
+      std::printf("metrics ticks: %llu -> %s\n",
+                  static_cast<unsigned long long>(exporter->ticks_total()),
+                  (args.metrics_jsonl.empty() ? args.metrics_prom
+                                              : args.metrics_jsonl)
+                      .c_str());
+    }
+    if (recorder) {
+      std::printf(
+          "flightrec: %llu incidents written, %llu suppressed -> %s\n",
+          static_cast<unsigned long long>(recorder->incidents_written()),
+          static_cast<unsigned long long>(recorder->incidents_suppressed()),
+          args.flightrec_dir.c_str());
+    }
     if (args.validate) {
       failures += validate_outputs(args, stats, quarantine);
+      failures += validate_insight(args, fingerprint);
     }
     return failures == 0 ? 0 : 1;
   } catch (const Error& e) {

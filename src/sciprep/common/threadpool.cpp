@@ -1,7 +1,10 @@
 #include "sciprep/common/threadpool.hpp"
 
 #include <algorithm>
+#include <map>
 #include <utility>
+
+#include "sciprep/common/format.hpp"
 
 namespace sciprep {
 
@@ -11,13 +14,45 @@ std::uint32_t thread_index() noexcept {
   return index;
 }
 
+namespace {
+
+// Function-local statics: usable from other static-storage objects (the
+// global tracer's exporter) regardless of initialization order.
+std::mutex& thread_names_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::uint32_t, std::string>& thread_names_map() {
+  static std::map<std::uint32_t, std::string> names;
+  return names;
+}
+
+}  // namespace
+
+void set_thread_name(std::string name) {
+  const std::uint32_t index = thread_index();
+  std::lock_guard lock(thread_names_mutex());
+  thread_names_map()[index] = std::move(name);
+}
+
+std::string thread_name(std::uint32_t index) {
+  std::lock_guard lock(thread_names_mutex());
+  const auto& names = thread_names_map();
+  const auto it = names.find(index);
+  return it == names.end() ? std::string() : it->second;
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      set_thread_name(fmt("pool.worker-{}", i));
+      worker_loop();
+    });
   }
 }
 

@@ -21,6 +21,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -31,6 +32,17 @@ namespace sciprep {
 /// Small dense id for the calling thread (0 for the first thread that asks).
 /// Stable for the thread's lifetime; used for log lines and trace spans.
 std::uint32_t thread_index() noexcept;
+
+/// Register a human-readable role name for the calling thread, keyed by its
+/// thread_index(). Pool workers, the guard watchdog, and the insight exporter
+/// name themselves; apps may name their consumer thread. The name shows up as
+/// Perfetto `thread_name` metadata in exported traces and in flight-recorder
+/// incident files. Re-naming overwrites.
+void set_thread_name(std::string name);
+
+/// The registered name for a thread_index(), or "" when the thread never
+/// named itself.
+[[nodiscard]] std::string thread_name(std::uint32_t index);
 
 /// Observation hook for ThreadPool queue/task telemetry. Implementations
 /// must be thread-safe; callbacks run on submitter and worker threads.

@@ -59,6 +59,26 @@ const char* action_name(Action action) noexcept {
   return "?";
 }
 
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kRetry:
+      return "retry";
+    case EventKind::kRetryExhausted:
+      return "retry_exhausted";
+    case EventKind::kSkipSample:
+      return "skip_sample";
+    case EventKind::kFallback:
+      return "fallback";
+    case EventKind::kBudgetExhausted:
+      return "budget_exhausted";
+    case EventKind::kDeadlineExpired:
+      return "deadline_expired";
+    case EventKind::kResumeReject:
+      return "resume_reject";
+  }
+  return "?";
+}
+
 Injector::Injector(std::uint64_t seed, obs::MetricsRegistry* metrics)
     : seed_(seed) {
   obs::MetricsRegistry& registry =

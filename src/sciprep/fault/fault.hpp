@@ -28,6 +28,8 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <string>
 
 #include "sciprep/common/buffer.hpp"
 #include "sciprep/obs/metrics.hpp"
@@ -147,5 +149,34 @@ struct FaultPolicy {
     return on_transient != Action::kFail || on_corrupt != Action::kFail;
   }
 };
+
+/// Kinds of recovery/guard incidents a pipeline reports to an installed
+/// RecoveryListener (PipelineConfig::on_recovery_event). These are the
+/// moments the insight flight recorder treats as evidence-dump triggers.
+enum class EventKind : int {
+  kRetry = 0,        // a transient failure is about to be retried
+  kRetryExhausted,   // retries ran out; the escalation action applied
+  kSkipSample,       // a sample was quarantined for the rest of the epoch
+  kFallback,         // a sample re-decoded through the CPU baseline path
+  kBudgetExhausted,  // the per-epoch error budget is spent; failures escalate
+  kDeadlineExpired,  // a guard watchdog deadline fired on a stage
+  kResumeReject,     // checkpoint resume rejected (config mismatch)
+};
+
+const char* event_kind_name(EventKind kind) noexcept;
+
+/// One recovery/guard incident, as reported to a RecoveryListener.
+struct RecoveryEvent {
+  EventKind kind = EventKind::kRetry;
+  std::string stage;   // stage or site name, e.g. "io.read", "decode"
+  std::string detail;  // human-readable context (the error message, etc.)
+  std::uint64_t sample_index = 0;  // sample being processed (0 if n/a)
+  int attempt = 0;                 // retry attempt number (0 if n/a)
+};
+
+/// Incident callback. Implementations must be thread-safe — events fire
+/// concurrently from pool workers and the guard watchdog thread — and must
+/// not throw (a throwing listener would turn recovery into failure).
+using RecoveryListener = std::function<void(const RecoveryEvent&)>;
 
 }  // namespace sciprep::fault

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
+
+#include "sciprep/common/threadpool.hpp"
 
 namespace sciprep::guard {
 
@@ -69,7 +72,14 @@ void Watchdog::disarm(std::uint64_t id) {
   if (stall) stall_seconds_->record(*stall);
 }
 
+void Watchdog::set_expiry_callback(
+    std::function<void(const char* stage, double elapsed_seconds)> cb) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_expiry_ = std::move(cb);
+}
+
 void Watchdog::loop() {
+  set_thread_name("guard.watchdog");
   std::unique_lock<std::mutex> lock(mutex_);
   while (!stopping_) {
     auto next = kForever;
@@ -86,6 +96,7 @@ void Watchdog::loop() {
     sleeping_forever_ = false;
     cv_.wait_until(lock, next);
     const auto now = std::chrono::steady_clock::now();
+    std::vector<std::pair<const char*, double>> fired;
     for (auto& [id, entry] : entries_) {
       if (entry.expired || entry.deadline > now) continue;
       entry.expired = true;
@@ -95,6 +106,15 @@ void Watchdog::loop() {
       // Token cancellation takes the token's own mutex; that lock never
       // reaches back into the watchdog, so holding mutex_ here is safe.
       entry.token.cancel_deadline(entry.stage, elapsed);
+      if (on_expiry_) fired.emplace_back(entry.stage, elapsed);
+    }
+    if (!fired.empty()) {
+      // Fire outside the lock: the callback (flight recorder) does file IO
+      // and must not stall arm/disarm on the worker threads.
+      const auto cb = on_expiry_;
+      lock.unlock();
+      for (const auto& [stage, elapsed] : fired) cb(stage, elapsed);
+      lock.lock();
     }
   }
 }

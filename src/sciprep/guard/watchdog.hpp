@@ -22,6 +22,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -102,6 +103,13 @@ class Watchdog {
     return expired_->value();
   }
 
+  /// Install a callback fired (on the watchdog thread, outside the watchdog
+  /// lock) for every deadline expiry, with the stage name and how long the
+  /// stage had been running. Must be thread-safe and must not throw. Install
+  /// before the first arm(); pass nullptr to remove.
+  void set_expiry_callback(
+      std::function<void(const char* stage, double elapsed_seconds)> cb);
+
  private:
   struct Entry {
     const char* stage = "";
@@ -116,6 +124,7 @@ class Watchdog {
 
   obs::Counter* expired_;        // guard.deadline_expired_total
   obs::Histogram* stall_seconds_;  // guard.stall_seconds
+  std::function<void(const char*, double)> on_expiry_;  // see setter
 
   std::mutex mutex_;
   std::condition_variable cv_;

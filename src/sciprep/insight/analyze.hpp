@@ -1,0 +1,98 @@
+// Critical-path bottleneck analyzer (sciprep::insight).
+//
+// Turns the raw telemetry the pipeline already produces — the span ring and
+// the pipeline.stage.* latency histograms — into the paper's Fig. 12-style
+// verdict: how much wall time each stage burned, which stage dominates, and
+// an Amdahl-style estimate of the end-to-end speedup if a stage were free.
+//
+// Two independent sources are reconciled:
+//
+//   * Histograms are the authoritative busy-seconds accounting (they survive
+//     ring wrap and record on exception unwind). Exclusive stage costs are
+//     derived by subtraction: the decode histogram covers io.read, gunzip,
+//     and retry backoff, so "decode" in the report is decode minus those.
+//   * Spans give an independent per-stage sum. When the span ring did not
+//     wrap, the two are cross-checked and the report carries the maximum
+//     relative drift — a drifting stage means instrumentation was added to
+//     one layer but not the other.
+//
+// The report also lists every pipeline.stage.*_seconds histogram it did NOT
+// recognise (`unattributed_histograms`): a stage added to the pipeline
+// without teaching the analyzer shows up there, and `trainer --validate`
+// fails on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sciprep/obs/metrics.hpp"
+#include "sciprep/obs/trace.hpp"
+
+namespace sciprep::insight {
+
+/// One stage's share of the pipeline's busy time.
+struct StageCost {
+  std::string name;         // "io.read", "gunzip", "decode", "ops", ...
+  double busy_seconds = 0;  // histogram-derived, exclusive (authoritative)
+  double span_seconds = 0;  // span-derived exclusive sum (0 when unavailable)
+  std::uint64_t events = 0;  // histogram sample count
+  /// busy_seconds / (workers * wall): the fraction of total worker capacity
+  /// this stage consumed. Fractions over a report sum to <= 1 (+epsilon).
+  double occupancy = 0;
+  /// Estimated end-to-end speedup if this stage cost nothing (>= 1).
+  double whatif_speedup = 1;
+};
+
+struct BottleneckReport {
+  double wall_seconds = 0;
+  std::size_t workers = 1;
+
+  /// The stage with the largest exclusive busy time.
+  std::string dominant_stage;
+  /// "io-bound", "decode-bound", or "consumer-bound" — whether epoch time is
+  /// limited by the pipeline (and which side of it) or by the training step.
+  std::string verdict;
+
+  double prefetch_stall_seconds = 0;   // consumer-visible batch-wait time
+  double prefetch_stall_fraction = 0;  // of wall_seconds
+
+  /// True when the span ring held every recorded span (no wrap, no drops);
+  /// only then is the span-vs-histogram drift check meaningful.
+  bool spans_complete = false;
+  /// Max relative |span - histogram| / histogram across checked stages
+  /// (0 when spans_complete is false or every stage is below the floor).
+  double max_drift_fraction = 0;
+
+  std::vector<StageCost> stages;  // ranked by busy_seconds, descending
+
+  /// pipeline.stage.*_seconds histograms the analyzer consumed.
+  std::vector<std::string> consumed_histograms;
+  /// pipeline.stage.*_seconds histograms it does not know — instrumentation
+  /// drift; --validate fails when this is non-empty.
+  std::vector<std::string> unattributed_histograms;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string human_table() const;
+};
+
+struct AnalyzerInput {
+  /// Registry holding the pipeline.stage.* histograms; null means the
+  /// process-global registry.
+  const obs::MetricsRegistry* metrics = nullptr;
+  /// Span source for the cross-check; null means Tracer::global().
+  const obs::Tracer* tracer = nullptr;
+  /// End-to-end wall time of the analyzed run (epoch loop), in seconds.
+  double wall_seconds = 0;
+  /// Decode worker count (PipelineConfig::worker_threads).
+  std::size_t workers = 1;
+};
+
+/// Build the report. Pure read: consumes snapshots, mutates nothing. Under
+/// SCIPREP_OBS_DISABLED returns a default-constructed report.
+[[nodiscard]] BottleneckReport analyze_critical_path(const AnalyzerInput& input);
+
+/// Write report.to_json() to `path` atomically; throws IoError on failure.
+void write_report(const std::string& path, const BottleneckReport& report);
+
+}  // namespace sciprep::insight

@@ -1,0 +1,148 @@
+#include "sciprep/insight/flightrec.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "sciprep/common/error.hpp"
+#include "sciprep/common/log.hpp"
+#include "sciprep/common/threadpool.hpp"
+#include "sciprep/insight/internal.hpp"
+#include "sciprep/obs/json.hpp"
+
+namespace sciprep::insight {
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(std::move(config)),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : &obs::MetricsRegistry::global()),
+      tracer_(config_.tracer != nullptr ? config_.tracer
+                                        : &obs::Tracer::global()) {
+#if !defined(SCIPREP_OBS_DISABLED)
+  if (!config_.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.dir, ec);
+    if (ec) {
+      log_warn("insight: cannot create flight-recorder dir '{}': {}",
+               config_.dir, ec.message());
+    }
+  }
+#endif
+}
+
+std::uint64_t FlightRecorder::incidents_written() const noexcept {
+  std::lock_guard lock(mutex_);
+  return written_;
+}
+
+std::uint64_t FlightRecorder::incidents_suppressed() const noexcept {
+  std::lock_guard lock(mutex_);
+  return suppressed_;
+}
+
+#if defined(SCIPREP_OBS_DISABLED)
+
+void FlightRecorder::record_incident(const fault::RecoveryEvent&) noexcept {}
+void FlightRecorder::dump_locked(const LoggedEvent&) {}
+fault::RecoveryListener FlightRecorder::listener() { return {}; }
+
+#else
+
+fault::RecoveryListener FlightRecorder::listener() {
+  return [this](const fault::RecoveryEvent& event) { record_incident(event); };
+}
+
+void FlightRecorder::record_incident(
+    const fault::RecoveryEvent& event) noexcept {
+  try {
+    std::lock_guard lock(mutex_);
+    LoggedEvent logged{event, tracer_->now_ns()};
+    decision_log_.push_back(logged);
+    while (decision_log_.size() > config_.max_decision_log) {
+      decision_log_.pop_front();
+    }
+    if (config_.dir.empty()) return;
+
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint32_t kind_bit = 1u
+                                   << static_cast<unsigned>(logged.event.kind);
+    const bool under_cap = written_ < config_.max_incidents;
+    const bool interval_ok =
+        written_ == 0 || (dumped_kinds_ & kind_bit) == 0 ||
+        config_.min_interval_seconds <= 0 ||
+        std::chrono::duration<double>(now - last_dump_at_).count() >=
+            config_.min_interval_seconds;
+    if (!under_cap || !interval_ok) {
+      suppressed_ += 1;
+      metrics_->counter("insight.incidents_suppressed_total").add(1);
+      return;
+    }
+    dump_locked(logged);
+    dumped_kinds_ |= kind_bit;
+    written_ += 1;
+    last_dump_at_ = now;
+    metrics_->counter("insight.incidents_written_total").add(1);
+  } catch (const std::exception& e) {
+    // Incident capture must never escalate the incident.
+    suppressed_ += 1;
+    log_warn("insight: incident dump failed: {}", e.what());
+  }
+}
+
+void FlightRecorder::dump_locked(const LoggedEvent& logged) {
+  std::string body;
+  body.reserve(4096);
+  body += fmt(
+      "{{\"schema\":\"sciprep.insight.incident.v1\",\"seq\":{},"
+      "\"kind\":\"{}\",\"stage\":\"{}\",\"detail\":\"{}\","
+      "\"sample_index\":{},\"attempt\":{},\"t_ns\":{},"
+      "\"config_fingerprint\":\"{:x}\",",
+      written_, fault::event_kind_name(logged.event.kind),
+      obs::json_escape(logged.event.stage),
+      obs::json_escape(logged.event.detail), logged.event.sample_index,
+      logged.event.attempt, logged.t_ns, config_.config_fingerprint);
+
+  // Last-K spans, oldest first, with role names resolved so the timeline
+  // reads without a separate thread table.
+  body += "\"spans\":[";
+  bool first = true;
+  for (const obs::TraceSpan& span : tracer_->snapshot_tail(config_.max_spans)) {
+    if (!first) body += ',';
+    first = false;
+    body += fmt(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"thread\":{},"
+        "\"thread_name\":\"{}\",\"t_start_ns\":{},\"t_end_ns\":{}}}",
+        obs::json_escape(span.name), obs::json_escape(span.category),
+        span.thread, obs::json_escape(thread_name(span.thread)),
+        span.t_start_ns, span.t_end_ns);
+  }
+  body += "],";
+
+  // Recent recovery decisions, including rate-limited ones.
+  body += "\"decision_log\":[";
+  first = true;
+  for (const LoggedEvent& entry : decision_log_) {
+    if (!first) body += ',';
+    first = false;
+    body += fmt(
+        "{{\"kind\":\"{}\",\"stage\":\"{}\",\"detail\":\"{}\","
+        "\"sample_index\":{},\"attempt\":{},\"t_ns\":{}}}",
+        fault::event_kind_name(entry.event.kind),
+        obs::json_escape(entry.event.stage),
+        obs::json_escape(entry.event.detail), entry.event.sample_index,
+        entry.event.attempt, entry.t_ns);
+  }
+  body += "],";
+
+  body += "\"metrics\":";
+  body += metrics_->to_json();
+  body += "}\n";
+
+  const std::string path =
+      fmt("{}/incident-{}-{}.json", config_.dir, written_,
+          fault::event_kind_name(logged.event.kind));
+  detail::write_file_atomic(path, body);
+}
+
+#endif  // SCIPREP_OBS_DISABLED
+
+}  // namespace sciprep::insight

@@ -1,0 +1,106 @@
+// Incident flight recorder (sciprep::insight).
+//
+// When the fault/guard machinery fires — a retry escalates, a watchdog
+// deadline expires, a sample is quarantined, the error budget runs out, a
+// checkpoint resume is rejected — the flight recorder dumps an incident file
+// with the evidence a human needs *afterwards*: the last-K spans from the
+// trace ring, a full metrics snapshot, the recent recovery-decision log, and
+// the pipeline's config fingerprint, so the incident names the exact run
+// configuration it happened under.
+//
+// Dumps are crash-safe (tmp + rename, like guard snapshots) and rate-limited
+// two ways: a minimum interval between dumps and a per-recorder incident
+// cap, so a wholly-corrupt shard produces a handful of files, not one per
+// sample. Every event — dumped or suppressed — still lands in the in-memory
+// decision log, so the next dump carries the full recent history.
+//
+// record_incident() never throws: it is called from pool workers and the
+// watchdog thread in the middle of recovery, where an exception would turn a
+// recovered fault into a failed run. Under SCIPREP_OBS_DISABLED the recorder
+// compiles to a no-op and listener() returns a null callback.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "sciprep/fault/fault.hpp"
+#include "sciprep/obs/metrics.hpp"
+#include "sciprep/obs/trace.hpp"
+
+namespace sciprep::insight {
+
+struct FlightRecorderConfig {
+  /// Directory incident files land in (created if missing). Files are named
+  /// incident-<seq>-<kind>.json.
+  std::string dir;
+  /// Newest spans from the trace ring embedded per incident.
+  std::size_t max_spans = 256;
+  /// Recovery events retained in the rolling decision log.
+  std::size_t max_decision_log = 64;
+  /// Hard cap on incident files this recorder will ever write.
+  std::uint64_t max_incidents = 16;
+  /// Minimum spacing between dumps; events inside the window are logged but
+  /// not dumped. Zero disables the interval limit (the cap still applies).
+  /// The first occurrence of each event kind bypasses the interval — a rare
+  /// deadline expiry arriving mid-retry-storm still produces its incident.
+  double min_interval_seconds = 1.0;
+  /// Metrics snapshot source; null means the process-global registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Span source; null means Tracer::global().
+  const obs::Tracer* tracer = nullptr;
+  /// The pipeline's config fingerprint, stamped into every incident.
+  std::uint64_t config_fingerprint = 0;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Log `event` and, unless rate-limited, dump an incident file. Never
+  /// throws; a failed dump is counted and logged as a warning.
+  void record_incident(const fault::RecoveryEvent& event) noexcept;
+
+  /// Adapter for PipelineConfig::on_recovery_event. The recorder must
+  /// outlive the pipeline. Returns a null callback under
+  /// SCIPREP_OBS_DISABLED (the pipeline skips null listeners).
+  [[nodiscard]] fault::RecoveryListener listener();
+
+  [[nodiscard]] std::uint64_t incidents_written() const noexcept;
+  /// Events that did not produce a file (rate limit, cap, or write failure).
+  [[nodiscard]] std::uint64_t incidents_suppressed() const noexcept;
+
+  /// Stamp the fingerprint after the fact — the recorder is typically built
+  /// (and its listener wired into PipelineConfig) before the pipeline whose
+  /// fingerprint it reports exists.
+  void set_config_fingerprint(std::uint64_t fingerprint) noexcept {
+    std::lock_guard lock(mutex_);
+    config_.config_fingerprint = fingerprint;
+  }
+
+ private:
+  struct LoggedEvent {
+    fault::RecoveryEvent event;
+    std::uint64_t t_ns = 0;  // tracer timebase
+  };
+
+  void dump_locked(const LoggedEvent& logged);
+
+  FlightRecorderConfig config_;
+  obs::MetricsRegistry* metrics_;
+  const obs::Tracer* tracer_;
+
+  mutable std::mutex mutex_;
+  std::deque<LoggedEvent> decision_log_;
+  std::uint32_t dumped_kinds_ = 0;  // bitmask of EventKind values dumped
+  std::uint64_t written_ = 0;
+  std::uint64_t suppressed_ = 0;
+  std::chrono::steady_clock::time_point last_dump_at_{};
+};
+
+}  // namespace sciprep::insight

@@ -1,0 +1,18 @@
+// Shared file-IO helpers for the insight writers. Internal to the library —
+// not part of the sciprep::insight API surface.
+#pragma once
+
+#include <string>
+
+namespace sciprep::insight::detail {
+
+/// Write `body` to `path + ".tmp"` and rename over `path`, so readers see
+/// either the old complete file or the new one, never a torn write. Throws
+/// IoError on filesystem failure.
+void write_file_atomic(const std::string& path, const std::string& body);
+
+/// Append `line` to `path` (creating it), one open/write/close per call.
+/// Throws IoError on filesystem failure.
+void append_file(const std::string& path, const std::string& line);
+
+}  // namespace sciprep::insight::detail

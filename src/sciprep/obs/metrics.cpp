@@ -51,6 +51,23 @@ std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second.value();
 }
 
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace(name, c.value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace(
+        name, MetricsSnapshot::GaugeValue{g.value(), g.high_watermark()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace(
+        name, MetricsSnapshot::HistogramSummary{h.count(), h.sum()});
+  }
+  return snap;
+}
+
 std::string MetricsRegistry::to_json() const {
   std::lock_guard lock(mutex_);
   std::string out = "{\"counters\":{";

@@ -108,6 +108,24 @@ class Histogram {
   LogHistogram hist_;
 };
 
+/// Point-in-time copy of every metric's value — the unit the insight
+/// exporter diffs between ticks and the flight recorder embeds in incident
+/// files. Histograms carry count/sum only: enough for rate and mean-latency
+/// deltas without copying bucket arrays on every sampling tick.
+struct MetricsSnapshot {
+  struct GaugeValue {
+    std::int64_t value = 0;
+    std::int64_t high_watermark = 0;
+  };
+  struct HistogramSummary {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeValue> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -126,6 +144,9 @@ class MetricsRegistry {
 
   /// Value of a counter, 0 when it does not exist (never creates).
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+
+  /// Consistent point-in-time copy of every metric (one lock hold).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
 
   [[nodiscard]] std::string to_json() const;
   [[nodiscard]] std::string human_dump() const;

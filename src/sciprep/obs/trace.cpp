@@ -7,12 +7,19 @@
 #include "sciprep/common/error.hpp"
 #include "sciprep/common/threadpool.hpp"
 #include "sciprep/obs/json.hpp"
+#include "sciprep/obs/metrics.hpp"
 
 namespace sciprep::obs {
 
 Tracer::Tracer(std::size_t capacity)
     : ring_(capacity > 0 ? capacity : 1),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_(std::chrono::steady_clock::now()),
+      // Every tracer mirrors its drops into the one process-wide counter:
+      // drops mean "the exported trace is missing spans", which is a
+      // process-level observability defect wherever the ring lives.
+      dropped_counter_(
+          &MetricsRegistry::global().counter("obs.trace.spans_dropped_total")) {
+}
 
 Tracer& Tracer::global() {
   static Tracer tracer;
@@ -34,6 +41,11 @@ void Tracer::record(std::string_view name, std::string_view category,
   // exclusive and therefore see fully-written spans.
   std::shared_lock lock(mutex_);
   const std::uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= ring_.size()) {
+    // This write overwrites the ring's oldest retained span.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    dropped_counter_->add(1);
+  }
   TraceSpan& span = ring_[slot % ring_.size()];
   span.name.assign(name);
   span.category.assign(category);
@@ -53,24 +65,35 @@ std::uint64_t Tracer::total_recorded() const { return next_.load(); }
 void Tracer::clear() {
   std::unique_lock lock(mutex_);
   next_.store(0);
+  dropped_.store(0);
   for (TraceSpan& span : ring_) {
     span = TraceSpan{};
   }
 }
 
-std::vector<TraceSpan> Tracer::snapshot() const {
-  std::unique_lock lock(mutex_);
+std::vector<TraceSpan> Tracer::snapshot_locked(std::size_t max_spans) const {
   const std::uint64_t total = next_.load();
   std::vector<TraceSpan> out;
-  if (total == 0) return out;
-  const std::uint64_t n = std::min<std::uint64_t>(total, ring_.size());
+  if (total == 0 || max_spans == 0) return out;
+  std::uint64_t n = std::min<std::uint64_t>(total, ring_.size());
+  n = std::min<std::uint64_t>(n, max_spans);
   out.reserve(static_cast<std::size_t>(n));
-  // Oldest retained span first.
+  // Oldest returned span first.
   const std::uint64_t first = total - n;
   for (std::uint64_t i = 0; i < n; ++i) {
     out.push_back(ring_[(first + i) % ring_.size()]);
   }
   return out;
+}
+
+std::vector<TraceSpan> Tracer::snapshot() const {
+  std::unique_lock lock(mutex_);
+  return snapshot_locked(ring_.size());
+}
+
+std::vector<TraceSpan> Tracer::snapshot_tail(std::size_t max_spans) const {
+  std::unique_lock lock(mutex_);
+  return snapshot_locked(max_spans);
 }
 
 std::string Tracer::to_chrome_json() const {
@@ -79,6 +102,27 @@ std::string Tracer::to_chrome_json() const {
   out.reserve(spans.size() * 96 + 64);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
+  // Perfetto "M" metadata events: label each tid that registered a role name
+  // (pool workers, watchdog, consumer) so the timeline rows are readable.
+  {
+    std::vector<std::uint32_t> tids;
+    for (const TraceSpan& span : spans) {
+      if (std::find(tids.begin(), tids.end(), span.thread) == tids.end()) {
+        tids.push_back(span.thread);
+      }
+    }
+    std::sort(tids.begin(), tids.end());
+    for (const std::uint32_t tid : tids) {
+      const std::string name = thread_name(tid);
+      if (name.empty()) continue;
+      if (!first) out += ',';
+      first = false;
+      out += fmt(
+          "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},"
+          "\"args\":{{\"name\":\"{}\"}}}}",
+          tid, json_escape(name));
+    }
+  }
   for (const TraceSpan& span : spans) {
     if (!first) out += ',';
     first = false;

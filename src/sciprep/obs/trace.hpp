@@ -26,6 +26,8 @@
 
 namespace sciprep::obs {
 
+class Counter;  // metrics.hpp; trace avoids the include to stay cycle-free
+
 struct TraceSpan {
   std::string name;
   std::string category;
@@ -65,21 +67,37 @@ class Tracer {
   [[nodiscard]] std::size_t size() const;
   /// Spans ever recorded (recorded - retained were overwritten).
   [[nodiscard]] std::uint64_t total_recorded() const;
+  /// Spans overwritten by ring wrap since construction (or clear()). Also
+  /// mirrored into the process registry as obs.trace.spans_dropped_total, so
+  /// a metrics dump reveals when an exported trace is incomplete.
+  [[nodiscard]] std::uint64_t dropped_total() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
   void clear();
 
   /// Retained spans, oldest first.
   [[nodiscard]] std::vector<TraceSpan> snapshot() const;
+  /// The newest `max_spans` retained spans, oldest of them first. The
+  /// flight-recorder drain: an incident dump wants the last-K timeline, not
+  /// a copy of the whole ring.
+  [[nodiscard]] std::vector<TraceSpan> snapshot_tail(
+      std::size_t max_spans) const;
   /// Full Chrome `trace_event` JSON document.
   [[nodiscard]] std::string to_chrome_json() const;
   /// Write to_chrome_json() to `path`; throws IoError on failure.
   void write_chrome_json(const std::string& path) const;
 
  private:
+  [[nodiscard]] std::vector<TraceSpan> snapshot_locked(
+      std::size_t max_spans) const;
+
   std::vector<TraceSpan> ring_;
   std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> dropped_{0};
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
   mutable std::shared_mutex mutex_;
+  Counter* dropped_counter_;  // obs.trace.spans_dropped_total (global)
 };
 
 /// RAII span: measures construction-to-destruction and records it into the

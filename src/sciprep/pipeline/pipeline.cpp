@@ -20,6 +20,23 @@ double now_seconds() {
       .count();
 }
 
+// Records elapsed time into a histogram on destruction — including exception
+// unwind, which matters for the bottleneck analyzer: a stalled io.read that a
+// watchdog deadline cancels mid-sleep must still charge its wall time to the
+// io.read stage, or the dominant stage would vanish from the report exactly
+// when it misbehaves worst.
+class StageTimer {
+ public:
+  explicit StageTimer(obs::Histogram& hist) : hist_(hist), t0_(now_seconds()) {}
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() { hist_.record(now_seconds() - t0_); }
+
+ private:
+  obs::Histogram& hist_;
+  double t0_;
+};
+
 fault::Site corrupt_site_for(StorageFormat format) {
   switch (format) {
     case StorageFormat::kRawTfRecord:
@@ -51,6 +68,8 @@ DataPipeline::Handles::Handles(obs::MetricsRegistry& registry)
           registry.counter("pipeline.gpu.divergent_branches_total")),
       shuffle_seconds(registry.histogram("pipeline.stage.shuffle_seconds")),
       decode_seconds(registry.histogram("pipeline.stage.decode_seconds")),
+      io_read_seconds(registry.histogram("pipeline.stage.io_read_seconds")),
+      gunzip_seconds(registry.histogram("pipeline.stage.gunzip_seconds")),
       ops_seconds(registry.histogram("pipeline.stage.ops_seconds")),
       batch_assemble_seconds(
           registry.histogram("pipeline.stage.batch_assemble_seconds")),
@@ -86,6 +105,22 @@ DataPipeline::DataPipeline(const InMemoryDataset& dataset,
     throw ConfigError("pipeline: batch_size must be >= 1");
   }
   workers_.set_observer(&pool_metrics_);
+  if (watchdog_ != nullptr && config_.on_recovery_event) {
+    // Deadline expiries are reported here, from the watchdog thread, and
+    // nowhere else: the unwinding stage also surfaces them as a retried/
+    // skipped TransientError, and reporting both would double-count one
+    // incident.
+    fault::RecoveryListener listener = config_.on_recovery_event;
+    watchdog_->set_expiry_callback(
+        [listener](const char* stage, double elapsed_seconds) {
+          fault::RecoveryEvent event;
+          event.kind = fault::EventKind::kDeadlineExpired;
+          event.stage = stage;
+          event.detail =
+              fmt("stage deadline expired after {:.3f}s", elapsed_seconds);
+          listener(event);
+        });
+  }
   if (config_.decode_placement == codec::Placement::kGpu) {
     if (gpu_ == nullptr) {
       throw ConfigError("pipeline: GPU placement requires a SimGpu");
@@ -163,6 +198,8 @@ codec::TensorF16 DataPipeline::decode_guarded(std::size_t index, int attempt,
   Bytes scratch;
   std::uint64_t op = index;
   {
+    SCIPREP_OBS_SPAN("pipeline.io_read", "pipeline");
+    const StageTimer io_timer(m_.io_read_seconds);
     const guard::StageGuard io_deadline(watchdog_.get(), "io.read",
                                         config_.deadlines.io_read_seconds);
     stored = dataset_.sample(index);
@@ -189,6 +226,7 @@ codec::TensorF16 DataPipeline::decode_guarded(std::size_t index, int attempt,
       Bytes plain;
       {
         SCIPREP_OBS_SPAN("pipeline.gunzip", "pipeline");
+        const StageTimer gunzip_timer(m_.gunzip_seconds);
         const guard::StageGuard gunzip_deadline(
             watchdog_.get(), "gunzip", config_.deadlines.gunzip_seconds);
         plain = io::gunzip_tfrecord_stream(stored);
@@ -219,6 +257,19 @@ bool DataPipeline::consume_budget() {
          config_.fault_policy.error_budget;
 }
 
+void DataPipeline::emit_event(fault::EventKind kind, const char* stage,
+                              std::string detail, std::uint64_t sample_index,
+                              int attempt) const {
+  if (!config_.on_recovery_event) return;
+  fault::RecoveryEvent event;
+  event.kind = kind;
+  event.stage = stage;
+  event.detail = std::move(detail);
+  event.sample_index = sample_index;
+  event.attempt = attempt;
+  config_.on_recovery_event(event);
+}
+
 DataPipeline::SlotOutcome DataPipeline::decode_with_recovery(
     std::size_t index) {
   const fault::FaultPolicy& policy = config_.fault_policy;
@@ -235,8 +286,15 @@ DataPipeline::SlotOutcome DataPipeline::decode_with_recovery(
                                                            : fault::Action::kFail;
       if (action == fault::Action::kRetry) {
         if (attempt + 1 < policy.retry.max_attempts) {
-          if (!consume_budget()) throw;  // budget spent: escalate to failure
+          if (!consume_budget()) {
+            // Budget spent: escalate to failure.
+            emit_event(fault::EventKind::kBudgetExhausted, "decode", e.what(),
+                       index, attempt);
+            throw;
+          }
           out.recovery_events += 1;
+          emit_event(fault::EventKind::kRetry, "decode", e.what(), index,
+                     attempt + 1);
           const double backoff =
               policy.retry.backoff_seconds *
               std::pow(policy.retry.backoff_multiplier, attempt);
@@ -252,6 +310,8 @@ DataPipeline::SlotOutcome DataPipeline::decode_with_recovery(
           ++attempt;
           continue;
         }
+        emit_event(fault::EventKind::kRetryExhausted, "decode", e.what(),
+                   index, attempt);
         action = policy.on_retry_exhausted;
       }
       if (action == fault::Action::kFallback) {
@@ -262,9 +322,15 @@ DataPipeline::SlotOutcome DataPipeline::decode_with_recovery(
             dataset_.format() == StorageFormat::kEncoded &&
             config_.decode_placement == codec::Placement::kGpu;
         if (can_fallback) {
-          if (!consume_budget()) throw;
+          if (!consume_budget()) {
+            emit_event(fault::EventKind::kBudgetExhausted, "decode", e.what(),
+                       index, attempt);
+            throw;
+          }
           out.recovery_events += 1;
           out.fallbacks += 1;
+          emit_event(fault::EventKind::kFallback, "decode", e.what(), index,
+                     attempt);
           m_.degraded.set(1);
           try {
             out.tensor = decode_guarded(index, attempt, /*force_cpu=*/true);
@@ -277,9 +343,15 @@ DataPipeline::SlotOutcome DataPipeline::decode_with_recovery(
         action = fault::Action::kSkipSample;
       }
       if (action == fault::Action::kSkipSample) {
-        if (!consume_budget()) throw;
+        if (!consume_budget()) {
+          emit_event(fault::EventKind::kBudgetExhausted, "decode", e.what(),
+                     index, attempt);
+          throw;
+        }
         out.recovery_events += 1;
         out.tensor.reset();
+        emit_event(fault::EventKind::kSkipSample, "decode", e.what(), index,
+                   attempt);
         m_.degraded.set(1);
         return out;  // skipped: quarantined at delivery time
       }
@@ -519,6 +591,10 @@ guard::Snapshot DataPipeline::snapshot() {
 
 void DataPipeline::resume(const guard::Snapshot& s) {
   if (s.config_fingerprint != config_fingerprint()) {
+    emit_event(fault::EventKind::kResumeReject, "resume",
+               fmt("snapshot fingerprint {:x} != pipeline fingerprint {:x}",
+                   s.config_fingerprint, config_fingerprint()),
+               /*sample_index=*/0, /*attempt=*/0);
     throw ConfigError(
         "pipeline: snapshot was taken under a different dataset / pipeline "
         "configuration / injector seed and cannot resume here");

@@ -72,6 +72,12 @@ struct PipelineConfig {
   /// fault_policy.on_transient decides whether a hang retries, skips, or
   /// fails, under the same error budget as data faults.
   guard::StageDeadlines deadlines;
+  /// Incident callback fired on every recovery/guard event (retry, skip,
+  /// fallback, budget exhaustion, deadline expiry, resume-reject) — the hook
+  /// the insight flight recorder attaches to. Fires on pool workers and the
+  /// watchdog thread; must be thread-safe and must not throw. Null (the
+  /// default) costs one branch per event.
+  fault::RecoveryListener on_recovery_event;
 };
 
 struct Batch {
@@ -171,6 +177,12 @@ class DataPipeline {
     return *metrics_;
   }
 
+  /// Hash of everything that determines the delivered batch sequence;
+  /// stamped into snapshots, checked by resume(), and embedded in
+  /// flight-recorder incident files so an incident names the exact run
+  /// configuration it happened under.
+  [[nodiscard]] std::uint64_t config_fingerprint() const;
+
  private:
   // Metric handles resolved once at construction; hot paths pay one atomic
   // (counters) or one short critical section (histograms) per event.
@@ -191,6 +203,8 @@ class DataPipeline {
     obs::Counter& gpu_divergent_branches;
     obs::Histogram& shuffle_seconds;
     obs::Histogram& decode_seconds;
+    obs::Histogram& io_read_seconds;
+    obs::Histogram& gunzip_seconds;
     obs::Histogram& ops_seconds;
     obs::Histogram& batch_assemble_seconds;
     obs::Histogram& prefetch_wait_seconds;
@@ -249,9 +263,9 @@ class DataPipeline {
   [[nodiscard]] SlotOutcome decode_with_recovery(std::size_t index);
   /// Claims one recovery event against the error budget; false = spent.
   [[nodiscard]] bool consume_budget();
-  /// Hash of everything that determines the delivered batch sequence;
-  /// stamped into snapshots and checked by resume().
-  [[nodiscard]] std::uint64_t config_fingerprint() const;
+  /// Report one incident to config.on_recovery_event (no-op when unset).
+  void emit_event(fault::EventKind kind, const char* stage, std::string detail,
+                  std::uint64_t sample_index, int attempt) const;
 
   const InMemoryDataset& dataset_;
   const codec::SampleCodec& codec_;
