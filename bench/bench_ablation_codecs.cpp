@@ -32,7 +32,10 @@ double timed_ms(F&& f, int repeat = 3) {
 
 int main(int argc, char** argv) {
   using namespace sciprep;
-  const int dim = argc > 1 ? std::atoi(argv[1]) : 64;
+  const auto args = benchutil::parse_bench_args(argc, argv);
+  const int dim = args.pos_int(0, 64);
+  perfscope::BenchReporter reporter("ablation_codecs");
+  reporter.set_config(fmt("dim={}", dim));
 
   benchutil::print_header("Ablation — CosmoFlow codec design choices");
   {
@@ -78,6 +81,11 @@ int main(int argc, char** argv) {
         "\nfused log1p on table vs full-volume preprocessing: %.2f ms vs "
         "%.2f ms (%.1fx)\n",
         plugin_dec, full_prep, full_prep / plugin_dec);
+    reporter.add_metric("cosmo.decode_ms.fused", plugin_dec, "ms", "measured",
+                        /*better_higher=*/false, /*noise_floor=*/0.05);
+    reporter.add_metric("cosmo.fused_log1p_speedup", full_prep / plugin_dec,
+                        "x", "measured", /*better_higher=*/true,
+                        /*noise_floor=*/1.0);
   }
 
   benchutil::print_header("Ablation — DeepCAM codec design choices");
@@ -143,6 +151,9 @@ int main(int argc, char** argv) {
         t_chw, t_hwc,
         static_cast<unsigned long long>(g1.lifetime_stats().divergent_branches),
         static_cast<unsigned long long>(g2.lifetime_stats().divergent_branches));
+    reporter.add_metric("cam.decode_ms.chw", t_chw, "ms", "measured",
+                        /*better_higher=*/false, /*noise_floor=*/0.5);
   }
+  benchutil::finish(args, reporter);
   return 0;
 }

@@ -11,6 +11,7 @@
 // the full pipeline loop.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
 #include "sciprep/codec/cosmo_codec.hpp"
 #include "sciprep/data/cosmo_gen.hpp"
 #include "sciprep/fault/fault.hpp"
@@ -123,4 +124,6 @@ BENCHMARK(BM_DecodeSample_ZeroFaultInjector);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return benchutil::gbench_main(argc, argv, "fault_overhead");
+}

@@ -13,7 +13,10 @@
 int main(int argc, char** argv) {
   using namespace sciprep;
   using apps::LoaderConfig;
-  const int dim = argc > 1 ? std::atoi(argv[1]) : 128;
+  const auto args = benchutil::parse_bench_args(argc, argv);
+  const int dim = args.pos_int(0, 128);
+  perfscope::BenchReporter reporter("fig10_cosmo_small");
+  reporter.set_config(fmt("dim={}", dim));
 
   benchutil::print_header(
       fmt("Figure 10 — CosmoFlow throughput, small set (128 samples/GPU), "
@@ -62,5 +65,16 @@ int main(int argc, char** argv) {
       summit, sim::model_step(summit, plug.profile));
   std::printf("paper: Summit speedup 5-8x (largest at batch 1) -> measured "
               "%.1fx at batch 1\n", s_plug / s_base);
+
+  reporter.add_metric("compression_ratio.plugin", plug.compression_ratio, "x",
+                      "measured");
+  reporter.add_metric("samples_per_s.summit.baseline", s_base, "samples/s",
+                      "modeled");
+  reporter.add_metric("samples_per_s.summit.plugin", s_plug, "samples/s",
+                      "modeled");
+  reporter.add_metric("speedup.summit.plugin_vs_base", s_plug / s_base, "x",
+                      "modeled");
+  reporter.charge_sim_seconds(128.0 * 6 / s_base + 128.0 * 6 / s_plug);
+  benchutil::finish(args, reporter);
   return 0;
 }

@@ -13,7 +13,10 @@
 int main(int argc, char** argv) {
   using namespace sciprep;
   using apps::LoaderConfig;
-  const int dim = argc > 1 ? std::atoi(argv[1]) : 128;
+  const auto args = benchutil::parse_bench_args(argc, argv);
+  const int dim = args.pos_int(0, 128);
+  perfscope::BenchReporter reporter("fig11_cosmo_large");
+  reporter.set_config(fmt("dim={}", dim));
 
   benchutil::print_header(
       fmt("Figure 11 — CosmoFlow throughput, large set (2048 samples/GPU), "
@@ -55,5 +58,24 @@ int main(int argc, char** argv) {
   std::printf(
       "('base@'/'plug@' show where each dataset resides in steady state —\n"
       "the encoded dataset fitting a faster level is the core mechanism.)\n");
+
+  const std::uint64_t headline_samples =
+      2048ull * static_cast<std::uint64_t>(sim::cori_v100().gpus_per_node);
+  const auto headline = benchutil::make_scenario(
+      sim::cori_v100(), headline_samples, /*staged=*/true, 1,
+      /*deepcam=*/false);
+  const double h_base = sim::node_samples_per_second(
+      headline, sim::model_step(headline, base.profile));
+  const double h_plug = sim::node_samples_per_second(
+      headline, sim::model_step(headline, plug.profile));
+  reporter.add_metric("samples_per_s.cori_v100.baseline", h_base, "samples/s",
+                      "modeled");
+  reporter.add_metric("samples_per_s.cori_v100.plugin", h_plug, "samples/s",
+                      "modeled");
+  reporter.add_metric("speedup.cori_v100.plugin_vs_base", h_plug / h_base,
+                      "x", "modeled");
+  const double headline_n = static_cast<double>(headline_samples);
+  reporter.charge_sim_seconds(headline_n / h_base + headline_n / h_plug);
+  benchutil::finish(args, reporter);
   return 0;
 }

@@ -14,7 +14,9 @@
 int main(int argc, char** argv) {
   using namespace sciprep;
   using apps::LoaderConfig;
-  const auto obs_flags = benchutil::parse_obs_flags(argc, argv);
+  const auto args = benchutil::parse_bench_args(argc, argv);
+  perfscope::BenchReporter reporter("fig12_cosmo_breakdown");
+  reporter.set_config("small-set batch=4");
 
   benchutil::print_header(
       "Figure 12 — CosmoFlow time breakdown (ms/sample), small set, batch 4");
@@ -57,6 +59,22 @@ int main(int argc, char** argv) {
   std::printf(
       "paper: decode overhead < 1%% of per-sample processing for CosmoFlow;\n"
       "see the gpuDecode column vs the step total above.\n");
-  benchutil::write_obs_outputs(obs_flags);
+
+  const auto v100 = benchutil::make_scenario(
+      sim::cori_v100(),
+      128ull * static_cast<std::uint64_t>(sim::cori_v100().gpus_per_node),
+      true, 4, /*deepcam=*/false);
+  const auto b_base = sim::model_step(v100, base.profile);
+  const auto b_plug = sim::model_step(v100, plug.profile);
+  reporter.add_metric("step_seconds.cori_v100.baseline",
+                      b_base.step_seconds(), "seconds", "modeled",
+                      /*better_higher=*/false);
+  reporter.add_metric("step_seconds.cori_v100.plugin", b_plug.step_seconds(),
+                      "seconds", "modeled", /*better_higher=*/false);
+  reporter.add_metric("decode_fraction.plugin", decode_pct / 100.0,
+                      "fraction", "measured", /*better_higher=*/false,
+                      /*noise_floor=*/0.01);
+  reporter.charge_sim_seconds(b_base.step_seconds() + b_plug.step_seconds());
+  benchutil::finish(args, reporter);
   return 0;
 }

@@ -14,8 +14,11 @@
 
 int main(int argc, char** argv) {
   using namespace sciprep;
-  const int dim = argc > 1 ? std::atoi(argv[1]) : 128;
-  const int nsamples = argc > 2 ? std::atoi(argv[2]) : 4;
+  const auto args = benchutil::parse_bench_args(argc, argv);
+  const int dim = args.pos_int(0, 128);
+  const int nsamples = args.pos_int(1, 4);
+  perfscope::BenchReporter reporter("fig5_cosmo_stats");
+  reporter.set_config(fmt("dim={} nsamples={}", dim, nsamples));
 
   data::CosmoGenConfig cfg;
   cfg.dim = dim;
@@ -66,5 +69,14 @@ int main(int argc, char** argv) {
                 static_cast<long long>(ranked[r].first),
                 static_cast<unsigned long long>(ranked[r].second));
   }
+
+  std::set<std::int32_t> unique0(sample.counts.begin(), sample.counts.end());
+  reporter.add_metric("unique_values.sample0",
+                      static_cast<double>(unique0.size()), "count",
+                      "measured");
+  reporter.add_metric("power_law_slope.sample0", freq.power_law_slope(64),
+                      "slope", "measured", /*better_higher=*/false,
+                      /*noise_floor=*/0.5);
+  benchutil::finish(args, reporter);
   return 0;
 }

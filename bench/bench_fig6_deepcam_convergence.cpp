@@ -14,8 +14,11 @@
 
 int main(int argc, char** argv) {
   using namespace sciprep;
-  const int nsamples = argc > 1 ? std::atoi(argv[1]) : 24;
-  const int epochs = argc > 2 ? std::atoi(argv[2]) : 6;
+  const auto args = benchutil::parse_bench_args(argc, argv);
+  const int nsamples = args.pos_int(0, 24);
+  const int epochs = args.pos_int(1, 6);
+  perfscope::BenchReporter reporter("fig6_deepcam_convergence");
+  reporter.set_config(fmt("nsamples={} epochs={}", nsamples, epochs));
 
   data::CamGenConfig cfg;
   cfg.height = 48;
@@ -80,10 +83,16 @@ int main(int argc, char** argv) {
     std::printf("%-8zu %-14.5f %-14.5f\n", e, base.epoch_losses[e],
                 dec.epoch_losses[e]);
   }
+  const double final_gap =
+      std::abs(dec.epoch_losses.back() - base.epoch_losses.back()) /
+      std::max(1e-9, base.epoch_losses.back());
   std::printf(
       "\npaper: identical convergence; measured final-epoch gap %.1f%%\n",
-      100.0 *
-          std::abs(dec.epoch_losses.back() - base.epoch_losses.back()) /
-          std::max(1e-9, base.epoch_losses.back()));
+      100.0 * final_gap);
+  reporter.add_metric("final_epoch_loss.base", base.epoch_losses.back(),
+                      "loss", "measured", /*better_higher=*/false);
+  reporter.add_metric("final_epoch_gap", final_gap, "fraction", "measured",
+                      /*better_higher=*/false, /*noise_floor=*/0.02);
+  benchutil::finish(args, reporter);
   return 0;
 }

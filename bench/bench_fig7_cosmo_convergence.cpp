@@ -15,10 +15,14 @@
 
 int main(int argc, char** argv) {
   using namespace sciprep;
-  const int runs = argc > 1 ? std::atoi(argv[1]) : 16;  // paper: 16 repetitions
-  const int nsamples = argc > 2 ? std::atoi(argv[2]) : 16;
-  const int epochs = argc > 3 ? std::atoi(argv[3]) : 5;
+  const auto args = benchutil::parse_bench_args(argc, argv);
+  const int runs = args.pos_int(0, 16);  // paper: 16 repetitions
+  const int nsamples = args.pos_int(1, 16);
+  const int epochs = args.pos_int(2, 5);
   const int dim = 16;
+  perfscope::BenchReporter reporter("fig7_cosmo_convergence");
+  reporter.set_config(
+      fmt("runs={} nsamples={} epochs={} dim={}", runs, nsamples, epochs, dim));
 
   data::CosmoGenConfig cfg;
   cfg.dim = dim;
@@ -95,5 +99,12 @@ int main(int argc, char** argv) {
       "variability ratio = %.3f\n",
       final_dec.mean() / std::max(1e-12, final_base.mean()),
       final_dec.stddev() / std::max(1e-12, final_base.stddev()));
+  reporter.add_metric("final_loss_ratio.dec_vs_base",
+                      final_dec.mean() / std::max(1e-12, final_base.mean()),
+                      "ratio", "measured", /*better_higher=*/false,
+                      /*noise_floor=*/0.05);
+  reporter.add_metric("final_loss.base_mean", final_base.mean(), "loss",
+                      "measured", /*better_higher=*/false);
+  benchutil::finish(args, reporter);
   return 0;
 }

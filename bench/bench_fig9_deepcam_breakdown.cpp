@@ -13,7 +13,9 @@
 int main(int argc, char** argv) {
   using namespace sciprep;
   using apps::LoaderConfig;
-  const auto obs_flags = benchutil::parse_obs_flags(argc, argv);
+  const auto args = benchutil::parse_bench_args(argc, argv);
+  perfscope::BenchReporter reporter("fig9_deepcam_breakdown");
+  reporter.set_config("small-set batch=4");
 
   benchutil::print_header(
       "Figure 9 — DeepCAM time breakdown (ms/sample), small set, batch 4");
@@ -50,6 +52,20 @@ int main(int argc, char** argv) {
       "the A100; the plugin exposes the accelerator's raw speed and reduces\n"
       "allreduce contention (contention term visible in the allreduce "
       "column).\n");
-  benchutil::write_obs_outputs(obs_flags);
+
+  const auto v100 = benchutil::make_scenario(sim::cori_v100(), 1536, true, 4,
+                                             /*deepcam=*/true);
+  const auto b_base = sim::model_step(v100, base.profile);
+  const auto b_gpu = sim::model_step(v100, gpu.profile);
+  reporter.add_metric("step_seconds.cori_v100.baseline",
+                      b_base.step_seconds(), "seconds", "modeled",
+                      /*better_higher=*/false);
+  reporter.add_metric("step_seconds.cori_v100.gpu_plugin",
+                      b_gpu.step_seconds(), "seconds", "modeled",
+                      /*better_higher=*/false);
+  reporter.add_metric("host_prep_seconds.baseline", base.profile.host_seconds,
+                      "seconds", "measured", /*better_higher=*/false);
+  reporter.charge_sim_seconds(b_base.step_seconds() + b_gpu.step_seconds());
+  benchutil::finish(args, reporter);
   return 0;
 }

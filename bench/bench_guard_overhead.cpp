@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "bench_gbench.hpp"
 #include "sciprep/codec/cosmo_codec.hpp"
 #include "sciprep/data/cosmo_gen.hpp"
 #include "sciprep/guard/guard.hpp"
@@ -179,4 +180,6 @@ BENCHMARK(BM_SnapshotWrite);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return benchutil::gbench_main(argc, argv, "guard_overhead");
+}

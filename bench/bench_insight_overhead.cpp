@@ -10,8 +10,13 @@
 //   - ExporterPlusRecorder: the same, plus an attached FlightRecorder. With
 //     no faults injected, no recovery event ever fires: the healthy-path
 //     cost is one std::function null-check per event site, i.e. nothing.
-// The acceptance bar is <1% process-CPU delta between NoInsight and
-// ExporterPlusRecorder at the 100 ms interval.
+//   - ExporterPlusResources: the same exporter with a perfscope
+//     ResourceSampler on its pre_tick hook — every tick reads getrusage and
+//     /proc/self/{status,io,stat} and republishes the proc.* gauges. The
+//     reads cost tens of microseconds once per 100 ms, on the exporter
+//     thread.
+// The acceptance bar is <1% process-CPU delta between NoInsight and the
+// instrumented tiers at the 100 ms interval.
 //
 // A standalone benchmark also prices one analyze_critical_path() call — it
 // runs once per epoch at most, so milliseconds are acceptable; it must not
@@ -20,9 +25,11 @@
 
 #include <cstdio>
 
+#include "bench_gbench.hpp"
 #include "sciprep/codec/cosmo_codec.hpp"
 #include "sciprep/data/cosmo_gen.hpp"
 #include "sciprep/insight/insight.hpp"
+#include "sciprep/perfscope/resource.hpp"
 #include "sciprep/pipeline/pipeline.hpp"
 
 namespace {
@@ -47,7 +54,12 @@ const codec::CosmoCodec& shared_codec() {
   return codec;
 }
 
-enum class Tier { kNoInsight, kExporter100ms, kExporterPlusRecorder };
+enum class Tier {
+  kNoInsight,
+  kExporter100ms,
+  kExporterPlusRecorder,
+  kExporterPlusResources
+};
 
 void run_pipeline_epochs(benchmark::State& state, Tier tier) {
   obs::MetricsRegistry registry;
@@ -65,11 +77,15 @@ void run_pipeline_epochs(benchmark::State& state, Tier tier) {
     cfg.on_recovery_event = recorder.listener();
   }
 
+  perfscope::ResourceSampler sampler(&registry);
   insight::ExporterConfig ecfg;
   ecfg.interval_seconds = 0.1;
   ecfg.jsonl_path = "bench_insight_series.jsonl";
   ecfg.prom_path = "bench_insight_metrics.prom";
   ecfg.metrics = &registry;
+  if (tier == Tier::kExporterPlusResources) {
+    ecfg.pre_tick = sampler.exporter_hook();
+  }
   insight::ContinuousExporter exporter(ecfg);
   if (tier != Tier::kNoInsight) exporter.start();
 
@@ -118,6 +134,25 @@ BENCHMARK(BM_PipelineEpoch_ExporterPlusRecorder)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime();
 
+void BM_PipelineEpoch_ExporterPlusResources(benchmark::State& state) {
+  run_pipeline_epochs(state, Tier::kExporterPlusResources);
+}
+BENCHMARK(BM_PipelineEpoch_ExporterPlusResources)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();
+
+// One bare ResourceSampler::publish() — the cost each exporter tick adds
+// when the proc.* gauges are wired in (paid once per interval, not per
+// sample).
+void BM_ResourcePublish(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  perfscope::ResourceSampler sampler(&registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.publish());
+  }
+}
+BENCHMARK(BM_ResourcePublish)->Unit(benchmark::kMicrosecond);
+
 // One full report build over a populated registry + span ring: the per-epoch
 // analysis cost a --report-out run pays once.
 void BM_AnalyzeCriticalPath(benchmark::State& state) {
@@ -142,4 +177,6 @@ BENCHMARK(BM_AnalyzeCriticalPath)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return benchutil::gbench_main(argc, argv, "insight_overhead");
+}

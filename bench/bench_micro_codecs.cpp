@@ -4,6 +4,7 @@
 // EXPERIMENTS.md and let regressions in the decoders show up as numbers.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
 #include "sciprep/codec/cam_codec.hpp"
 #include "sciprep/codec/cosmo_codec.hpp"
 #include "sciprep/compress/gzip.hpp"
@@ -201,4 +202,6 @@ BENCHMARK(BM_PipelineBatch);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return benchutil::gbench_main(argc, argv, "micro_codecs");
+}

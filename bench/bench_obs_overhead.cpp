@@ -11,6 +11,7 @@
 // (the *_TracerOff and *_SpanDisabled numbers collapse to zero overhead).
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
 #include "sciprep/codec/cosmo_codec.hpp"
 #include "sciprep/data/cosmo_gen.hpp"
 #include "sciprep/obs/obs.hpp"
@@ -98,4 +99,6 @@ BENCHMARK(BM_HistogramRecord);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return benchutil::gbench_main(argc, argv, "obs_overhead");
+}

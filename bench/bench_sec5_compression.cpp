@@ -18,9 +18,13 @@
 
 int main(int argc, char** argv) {
   using namespace sciprep;
-  const int cosmo_dim = argc > 1 ? std::atoi(argv[1]) : 128;
-  const int cam_h = argc > 2 ? std::atoi(argv[2]) : 768;
-  const int cam_w = argc > 3 ? std::atoi(argv[3]) : 1152;
+  const auto args = benchutil::parse_bench_args(argc, argv);
+  const int cosmo_dim = args.pos_int(0, 128);
+  const int cam_h = args.pos_int(1, 768);
+  const int cam_w = args.pos_int(2, 1152);
+  perfscope::BenchReporter reporter("sec5_compression");
+  reporter.set_config(
+      fmt("cosmo_dim={} cam_h={} cam_w={}", cosmo_dim, cam_h, cam_w));
 
   benchutil::print_header("Section V.B — CosmoFlow compressibility");
   {
@@ -38,6 +42,14 @@ int main(int argc, char** argv) {
       const Bytes encoded = codec.encode_sample(sample);
       const Bytes zipped = compress::gzip_compress(raw);
       const auto info = codec::CosmoCodec::inspect(encoded);
+      if (s == 0) {
+        reporter.add_metric("cosmo.lut_ratio",
+                            static_cast<double>(raw.size()) / encoded.size(),
+                            "x", "measured");
+        reporter.add_metric("cosmo.gzip_ratio",
+                            static_cast<double>(raw.size()) / zipped.size(),
+                            "x", "measured");
+      }
       std::printf("%-8d %-10.2f %-10.2f %-10.2f %-10.2f %-10.2f %-10u %-10llu\n",
                   s, raw.size() / 1048576.0, encoded.size() / 1048576.0,
                   static_cast<double>(raw.size()) / encoded.size(),
@@ -102,6 +114,14 @@ int main(int argc, char** argv) {
       }
       const double bad =
           codec::fraction_above_rel_error(reference, decoded.values, 0.10);
+      if (s == 0) {
+        reporter.add_metric("cam.diff_ratio",
+                            static_cast<double>(raw.size()) / encoded.size(),
+                            "x", "measured");
+        reporter.add_metric("cam.error_tail_gt10pct", bad, "fraction",
+                            "measured", /*better_higher=*/false,
+                            /*noise_floor=*/0.005);
+      }
       std::printf(
           "%-8d %-10.2f %-10.2f %-8.2f %-9llu %-8llu %-8llu %-10.2f %-12.4f\n",
           s, raw.size() / 1048576.0, encoded.size() / 1048576.0,
@@ -117,5 +137,6 @@ int main(int argc, char** argv) {
         "paper: ~3%% of values with >10%% error (near-zero values); the "
         ">10%%err column is the measured tail.\n");
   }
+  benchutil::finish(args, reporter);
   return 0;
 }

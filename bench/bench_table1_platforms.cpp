@@ -8,8 +8,11 @@
 #include "sciprep/codec/cosmo_codec.hpp"
 #include "sciprep/pipeline/dataset.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sciprep;
+  const auto args = benchutil::parse_bench_args(argc, argv);
+  perfscope::BenchReporter reporter("table1_platforms");
+  reporter.set_config("presets");
 
   benchutil::print_header(
       "Table I — System architecture for evaluated systems (model presets)");
@@ -58,5 +61,8 @@ int main() {
   const codec::CamCodec cam;
   std::printf("\nregistered codec plugins: %s, %s\n", cosmo.name().c_str(),
               cam.name().c_str());
+  reporter.add_metric("platform_presets", static_cast<double>(platforms.size()),
+                      "count", "measured");
+  benchutil::finish(args, reporter);
   return 0;
 }

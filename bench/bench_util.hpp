@@ -1,55 +1,82 @@
-// Shared helpers for the figure/table reproduction benches: aligned table
-// printing and the standard platform/scenario knobs (loader workers and
-// per-batch framework overhead per platform, see DESIGN.md §5).
+// Shared helpers for the figure/table reproduction benches: one flag parser
+// for every bench main (positional knobs + --trace-out/--metrics-out/
+// --json-out), aligned table printing, and the standard platform/scenario
+// knobs (loader workers and per-batch framework overhead per platform, see
+// DESIGN.md §5).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "sciprep/common/format.hpp"
 #include "sciprep/obs/obs.hpp"
+#include "sciprep/perfscope/benchreport.hpp"
 #include "sciprep/sim/platform.hpp"
 #include "sciprep/sim/stepmodel.hpp"
 
 namespace benchutil {
 
-/// Observability outputs shared by the bench mains.
-struct ObsFlags {
+/// The command line every bench main shares. Flags take a value argument;
+/// anything that is not a recognised flag stays a positional knob, so the
+/// historic `bench_figN <dim> <samples>` invocations are unchanged and
+/// `--json-out` lands in exactly one place instead of sixteen.
+struct BenchArgs {
+  std::vector<std::string> positional;
   std::string trace_out;    // --trace-out FILE: span timeline (Chrome JSON)
   std::string metrics_out;  // --metrics-out FILE: metrics registry dump
+  std::string json_out;     // --json-out FILE: sciprep.perf.bench.v1 record
+
+  /// Positional knob `index` as int, or `fallback` when absent.
+  [[nodiscard]] int pos_int(std::size_t index, int fallback) const {
+    return index < positional.size() ? std::atoi(positional[index].c_str())
+                                     : fallback;
+  }
 };
 
-/// Parse --trace-out / --metrics-out and enable the global tracer when a
-/// trace was requested. Unknown flags are ignored (benches keep their own
-/// positional arguments).
-inline ObsFlags parse_obs_flags(int argc, char** argv) {
-  ObsFlags flags;
-  for (int i = 1; i + 1 < argc; ++i) {
+/// Parse the shared flags and enable the global tracer when a trace was
+/// requested. Unknown `--flags` are ignored (forward compatibility); bare
+/// words are collected as positional knobs.
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--trace-out") {
-      flags.trace_out = argv[++i];
-    } else if (a == "--metrics-out") {
-      flags.metrics_out = argv[++i];
+    if (a == "--trace-out" && i + 1 < argc) {
+      args.trace_out = argv[++i];
+    } else if (a == "--metrics-out" && i + 1 < argc) {
+      args.metrics_out = argv[++i];
+    } else if (a == "--json-out" && i + 1 < argc) {
+      args.json_out = argv[++i];
+    } else if (a.rfind("--", 0) == 0) {
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) ++i;
+    } else {
+      args.positional.push_back(a);
     }
   }
-  if (!flags.trace_out.empty()) {
+  if (!args.trace_out.empty()) {
     sciprep::obs::Tracer::global().set_enabled(true);
   }
-  return flags;
+  return args;
 }
 
-/// Write whichever outputs were requested (call at the end of main).
-inline void write_obs_outputs(const ObsFlags& flags) {
-  if (!flags.trace_out.empty()) {
-    sciprep::obs::Tracer::global().write_chrome_json(flags.trace_out);
+/// Write whichever outputs were requested — call once at the end of main.
+/// The reporter is written only when --json-out was given, so benches build
+/// their record unconditionally and stay branch-free.
+inline void finish(const BenchArgs& args,
+                   const sciprep::perfscope::BenchReporter& reporter) {
+  if (!args.trace_out.empty()) {
+    sciprep::obs::Tracer::global().write_chrome_json(args.trace_out);
     std::printf("trace: %zu spans -> %s\n",
-                sciprep::obs::Tracer::global().size(),
-                flags.trace_out.c_str());
+                sciprep::obs::Tracer::global().size(), args.trace_out.c_str());
   }
-  if (!flags.metrics_out.empty()) {
-    sciprep::obs::MetricsRegistry::global().write_json(flags.metrics_out);
-    std::printf("metrics: -> %s\n", flags.metrics_out.c_str());
+  if (!args.metrics_out.empty()) {
+    sciprep::obs::MetricsRegistry::global().write_json(args.metrics_out);
+    std::printf("metrics: -> %s\n", args.metrics_out.c_str());
+  }
+  if (!args.json_out.empty()) {
+    reporter.write(args.json_out);
+    std::printf("bench record: -> %s\n", args.json_out.c_str());
   }
 }
 

@@ -1,0 +1,119 @@
+// perfcompare — the noise-aware performance regression gate.
+//
+// Two modes:
+//   perfcompare --trajectory BENCH_current.json
+//     latest run vs everything before it in the same file (the
+//     perf_regression_smoke ctest drives this after two perfbench runs);
+//   perfcompare --baseline BENCH_baseline.json --current BENCH_current.json
+//     the current file's latest run vs the baseline file's full history
+//     (CI comparing a PR against the main-branch trajectory).
+//
+// Prints the per-bench verdict table (perfscope::CompareReport::human_table)
+// and exits nonzero when any metric regressed or disappeared — the culprit
+// bench + metric are named in the table, not just a boolean.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "sciprep/perfscope/perfscope.hpp"
+
+namespace {
+
+using namespace sciprep;
+
+struct Args {
+  std::string trajectory;
+  std::string baseline;
+  std::string current;
+  perfscope::CompareOptions options;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  auto val = [&](int& i) -> const char* {
+    return i + 1 < argc ? argv[++i] : "";
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string f = argv[i];
+    if (f == "--trajectory") {
+      a.trajectory = val(i);
+    } else if (f == "--baseline") {
+      a.baseline = val(i);
+    } else if (f == "--current") {
+      a.current = val(i);
+    } else if (f == "--rel-tol") {
+      a.options.rel_tol = std::atof(val(i));
+    } else if (f == "--mad-k") {
+      a.options.mad_k = std::atof(val(i));
+    } else if (f == "--min-history") {
+      a.options.min_history = static_cast<std::size_t>(std::atoi(val(i)));
+    } else if (f == "--max-history") {
+      a.options.max_history = static_cast<std::size_t>(std::atoi(val(i)));
+    } else if (f == "--no-fail-on-missing") {
+      a.options.fail_on_missing = false;
+    } else if (f == "--help" || f == "-h") {
+      std::printf(
+          "usage: perfcompare --trajectory FILE\n"
+          "       perfcompare --baseline FILE --current FILE\n"
+          "       [--rel-tol X] [--mad-k X] [--min-history N]\n"
+          "       [--max-history N] [--no-fail-on-missing]\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "perfcompare: unknown flag %s\n", f.c_str());
+      std::exit(2);
+    }
+  }
+  const bool self_mode = !a.trajectory.empty();
+  const bool pair_mode = !a.baseline.empty() && !a.current.empty();
+  if (self_mode == pair_mode) {
+    std::fprintf(stderr,
+                 "perfcompare: pass either --trajectory FILE or both "
+                 "--baseline and --current\n");
+    std::exit(2);
+  }
+  return a;
+}
+
+perfscope::Trajectory load_or_die(const std::string& path) {
+  perfscope::Trajectory t;
+  if (!perfscope::load_trajectory(path, t)) {
+    std::fprintf(stderr, "perfcompare: cannot read trajectory %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    perfscope::CompareReport report;
+    if (!args.trajectory.empty()) {
+      const perfscope::Trajectory t = load_or_die(args.trajectory);
+      if (t.runs.size() < 2) {
+        std::printf(
+            "perfcompare: %s holds %zu run(s); nothing to compare yet\n",
+            args.trajectory.c_str(), t.runs.size());
+        return 0;
+      }
+      report = perfscope::compare_latest(t, args.options);
+    } else {
+      const perfscope::Trajectory baseline = load_or_die(args.baseline);
+      const perfscope::Trajectory current = load_or_die(args.current);
+      if (baseline.empty() || current.empty()) {
+        std::fprintf(stderr, "perfcompare: empty trajectory\n");
+        return 2;
+      }
+      report = perfscope::compare_trajectories(baseline, current,
+                                               args.options);
+    }
+    std::fputs(report.human_table().c_str(), stdout);
+    return report.regressions() > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perfcompare: %s\n", e.what());
+    return 2;
+  }
+}

@@ -71,6 +71,7 @@
 #include "sciprep/fault/fault.hpp"
 #include "sciprep/insight/insight.hpp"
 #include "sciprep/obs/obs.hpp"
+#include "sciprep/perfscope/resource.hpp"
 #include "sciprep/pipeline/pipeline.hpp"
 
 namespace {
@@ -107,6 +108,7 @@ struct TrainerArgs {
   std::uint64_t kill_after_batches = 0;  // simulate a crash (exit 42)
   // Insight: continuous export, bottleneck report, flight recorder.
   double metrics_interval_ms = 100;  // exporter sampling interval
+  bool resource_sampling = true;     // proc.* gauges on the exporter cadence
   std::string metrics_jsonl;         // JSONL time-series ("" = off)
   std::string metrics_prom;          // Prometheus text file ("" = off)
   std::string report_out;            // BottleneckReport JSON ("" = off)
@@ -134,7 +136,7 @@ struct TrainerArgs {
       "          [--kill-after-batches N]\n"
       "          [--metrics-interval-ms N] [--metrics-jsonl FILE]\n"
       "          [--metrics-prom FILE] [--report-out FILE]\n"
-      "          [--flightrec-dir DIR]\n",
+      "          [--flightrec-dir DIR] [--no-resource-sampling]\n",
       argv0);
   std::exit(2);
 }
@@ -207,6 +209,8 @@ TrainerArgs parse_args(int argc, char** argv) {
       args.report_out = value();
     } else if (a == "--flightrec-dir") {
       args.flightrec_dir = value();
+    } else if (a == "--no-resource-sampling") {
+      args.resource_sampling = false;
     } else {
       std::fprintf(stderr, "trainer: unknown flag '%s'\n", argv[i]);
       usage(argv[0]);
@@ -729,6 +733,8 @@ int validate_insight(const TrainerArgs& args, std::uint64_t fingerprint) {
     check(static_cast<bool>(in), "metrics JSONL is readable");
     std::size_t lines = 0;
     bool retried = false;
+    bool saw_rss = false;
+    bool saw_cpu = false;
     for (std::string line; std::getline(in, line);) {
       if (line.empty()) continue;
       ++lines;
@@ -737,12 +743,28 @@ int validate_insight(const TrainerArgs& args, std::uint64_t fingerprint) {
       if (jsonl_counter_delta(line, "pipeline.retries_total") > 0) {
         retried = true;
       }
+      if (line.find("\"proc.rss_bytes\"") != std::string::npos) saw_rss = true;
+      if (line.find("\"proc.cpu_utime_ms\"") != std::string::npos) {
+        saw_cpu = true;
+      }
     }
     check(lines > 0, "metrics JSONL contains at least one tick");
     if (args.inject_transient > 0 && args.fault_policy == "retry-skip") {
       check(retried,
             "JSONL time-series shows a non-zero retry rate under injection");
     }
+#if !defined(SCIPREP_OBS_DISABLED)
+    // The ResourceSampler publishes on the exporter cadence unless it was
+    // turned off, so every run's time-series must carry the proc.* gauges —
+    // a missing key means the pre_tick hook fell off the exporter.
+    if (args.resource_sampling) {
+      check(saw_rss, "JSONL time-series carries the proc.rss_bytes gauge");
+      check(saw_cpu, "JSONL time-series carries the proc.cpu_utime_ms gauge");
+    }
+#else
+    (void)saw_rss;
+    (void)saw_cpu;
+#endif
   }
 
   if (!args.flightrec_dir.empty()) {
@@ -811,12 +833,19 @@ int main(int argc, char** argv) {
     fcfg.dir = args.flightrec_dir;
     recorder.emplace(std::move(fcfg));
   }
+  // Declared before the exporter: the pre_tick hook runs on the exporter
+  // thread, so the sampler must outlive it.
+  std::optional<perfscope::ResourceSampler> sampler;
   std::optional<insight::ContinuousExporter> exporter;
   if (!args.metrics_jsonl.empty() || !args.metrics_prom.empty()) {
     insight::ExporterConfig ecfg;
     ecfg.interval_seconds = args.metrics_interval_ms / 1e3;
     ecfg.jsonl_path = args.metrics_jsonl;
     ecfg.prom_path = args.metrics_prom;
+    if (args.resource_sampling) {
+      sampler.emplace();
+      ecfg.pre_tick = sampler->exporter_hook();
+    }
     exporter.emplace(std::move(ecfg));
     exporter->start();
   }

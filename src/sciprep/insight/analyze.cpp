@@ -88,7 +88,8 @@ BottleneckReport analyze_critical_path(const AnalyzerInput& input) {
   double span_decode = 0;
   double span_ops = 0;
   const std::uint64_t recorded = tracer.total_recorded();
-  report.spans_complete = recorded > 0 && tracer.dropped_total() == 0;
+  report.ring_wrapped = tracer.dropped_total() > 0;
+  report.spans_complete = recorded > 0 && !report.ring_wrapped;
   if (report.spans_complete) {
     for (const obs::TraceSpan& span : tracer.snapshot()) {
       const double dur =
@@ -213,10 +214,11 @@ std::string BottleneckReport::to_json() const {
       "{{\"schema\":\"sciprep.insight.bottleneck.v1\",\"wall_seconds\":{},"
       "\"workers\":{},\"dominant_stage\":\"{}\",\"verdict\":\"{}\","
       "\"prefetch_stall_seconds\":{},\"prefetch_stall_fraction\":{},"
-      "\"spans_complete\":{},\"max_drift_fraction\":{},\"stages\":[",
+      "\"spans_complete\":{},\"ring_wrapped\":{},\"max_drift_fraction\":{},"
+      "\"stages\":[",
       obs::json_number(wall_seconds), workers, obs::json_escape(dominant_stage),
       obs::json_escape(verdict), obs::json_number(prefetch_stall_seconds),
-      obs::json_number(prefetch_stall_fraction), spans_complete,
+      obs::json_number(prefetch_stall_fraction), spans_complete, ring_wrapped,
       obs::json_number(max_drift_fraction));
   bool first = true;
   for (const StageCost& stage : stages) {
@@ -264,7 +266,10 @@ std::string BottleneckReport::human_table() const {
                stage.events, stage.occupancy * 100, stage.whatif_speedup);
   }
   if (!spans_complete) {
-    out += "  (span ring wrapped or empty: span column unverified)\n";
+    out += ring_wrapped
+               ? "  (span ring wrapped: span column unverified — size the "
+                 "ring up)\n"
+               : "  (no spans recorded: span column unverified)\n";
   } else {
     out += fmt("  span-vs-histogram drift: {:.1f}% max\n",
                max_drift_fraction * 100);

@@ -60,6 +60,11 @@ struct BottleneckReport {
   /// True when the span ring held every recorded span (no wrap, no drops);
   /// only then is the span-vs-histogram drift check meaningful.
   bool spans_complete = false;
+  /// True when the tracer dropped spans (ring wrap). Distinguishes "the
+  /// drift cross-check was skipped because the ring overflowed" (size the
+  /// ring up) from "no spans were recorded at all" (tracing off) — both of
+  /// which leave spans_complete false.
+  bool ring_wrapped = false;
   /// Max relative |span - histogram| / histogram across checked stages
   /// (0 when spans_complete is false or every stage is below the floor).
   double max_drift_fraction = 0;

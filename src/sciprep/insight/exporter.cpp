@@ -111,6 +111,7 @@ void ContinuousExporter::run() {
 }
 
 void ContinuousExporter::tick_locked() {
+  if (config_.pre_tick) config_.pre_tick();
   const auto now = std::chrono::steady_clock::now();
   const double t = std::chrono::duration<double>(now - started_at_).count();
   const double dt = std::chrono::duration<double>(now - last_tick_at_).count();

@@ -22,6 +22,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -42,6 +43,12 @@ struct ExporterConfig {
   /// Registry to sample; null means obs::MetricsRegistry::global(). Must
   /// outlive the exporter.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Called at the start of every tick, before the registry snapshot — the
+  /// hook by which slow-changing sources (e.g. perfscope's ResourceSampler)
+  /// refresh their gauges on the exporter's cadence so each JSONL line
+  /// carries a fresh reading. Runs on the sampler thread (and inside
+  /// tick()); must be thread-safe and must not throw. Null is free.
+  std::function<void()> pre_tick;
 };
 
 class ContinuousExporter {

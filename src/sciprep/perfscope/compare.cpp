@@ -1,0 +1,225 @@
+#include "sciprep/perfscope/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sciprep/common/format.hpp"
+
+namespace sciprep::perfscope {
+
+namespace {
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double mad_of(const std::vector<double>& values, double median) {
+  if (values.size() < 2) return 0;
+  std::vector<double> dev;
+  dev.reserve(values.size());
+  for (const double v : values) dev.push_back(std::fabs(v - median));
+  return median_of(std::move(dev));
+}
+
+int verdict_rank(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kRegressed: return 0;
+    case Verdict::kMissing: return 1;
+    case Verdict::kImproved: return 2;
+    case Verdict::kConfigChanged: return 3;
+    case Verdict::kNew: return 4;
+    case Verdict::kPass: return 5;
+  }
+  return 6;
+}
+
+}  // namespace
+
+const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kPass: return "ok";
+    case Verdict::kImproved: return "IMPROVED";
+    case Verdict::kRegressed: return "REGRESSED";
+    case Verdict::kNew: return "new";
+    case Verdict::kMissing: return "MISSING";
+    case Verdict::kConfigChanged: return "config-changed";
+  }
+  return "?";
+}
+
+std::size_t CompareReport::count(Verdict verdict) const {
+  std::size_t n = 0;
+  for (const MetricVerdict& v : verdicts) {
+    if (v.verdict == verdict) ++n;
+  }
+  return n;
+}
+
+std::size_t CompareReport::regressions() const {
+  return count(Verdict::kRegressed) + count(Verdict::kMissing);
+}
+
+std::string CompareReport::human_table() const {
+  std::string out;
+  out += fmt("  {:<26} {:<38} {:>12} {:>12} {:>9} {:>10}  {}\n", "bench",
+             "metric", "baseline", "current", "delta", "tolerance", "verdict");
+  for (const MetricVerdict& v : verdicts) {
+    const double delta_pct =
+        v.baseline_median != 0
+            ? 100.0 * (v.current - v.baseline_median) / v.baseline_median
+            : 0.0;
+    out += fmt("  {:<26} {:<38} {:>12.4g} {:>12.4g} {:>8.1f}% {:>10.4g}  {}\n",
+               v.bench, v.metric, v.baseline_median, v.current, delta_pct,
+               v.tolerance, verdict_name(v.verdict));
+  }
+  out += fmt(
+      "perfcompare: {} regressed, {} missing, {} improved, {} ok, {} new\n",
+      count(Verdict::kRegressed), count(Verdict::kMissing),
+      count(Verdict::kImproved), count(Verdict::kPass), count(Verdict::kNew));
+  return out;
+}
+
+CompareReport compare_runs(const std::vector<BenchRun>& history,
+                           const BenchRun& current,
+                           const CompareOptions& options) {
+  CompareReport report;
+  const std::size_t first =
+      options.max_history > 0 && history.size() > options.max_history
+          ? history.size() - options.max_history
+          : 0;
+
+  // Baseline shape comes from the most recent history run: those are the
+  // benches/metrics the gate insists on seeing again.
+  const BenchRun* reference = history.empty() ? nullptr : &history.back();
+
+  auto history_values = [&](const std::string& bench,
+                            const std::string& metric,
+                            const std::string& fingerprint) {
+    std::vector<double> values;
+    for (std::size_t i = first; i < history.size(); ++i) {
+      const auto bench_it = history[i].benches.find(bench);
+      if (bench_it == history[i].benches.end()) continue;
+      if (bench_it->second.config_fingerprint != fingerprint) continue;
+      const BenchMetric* m = bench_it->second.find_metric(metric);
+      if (m != nullptr) values.push_back(m->value);
+    }
+    return values;
+  };
+
+  for (const auto& [bench_name, record] : current.benches) {
+    const BenchRecord* base_record = nullptr;
+    if (reference != nullptr) {
+      const auto it = reference->benches.find(bench_name);
+      if (it != reference->benches.end()) base_record = &it->second;
+    }
+    const bool config_changed =
+        base_record != nullptr &&
+        base_record->config_fingerprint != record.config_fingerprint;
+
+    for (const BenchMetric& metric : record.metrics) {
+      MetricVerdict v;
+      v.bench = bench_name;
+      v.metric = metric.name;
+      v.unit = metric.unit;
+      v.better_higher = metric.better_higher;
+      v.current = metric.value;
+      if (base_record == nullptr) {
+        v.verdict = Verdict::kNew;
+        report.verdicts.push_back(std::move(v));
+        continue;
+      }
+      if (config_changed) {
+        v.verdict = Verdict::kConfigChanged;
+        report.verdicts.push_back(std::move(v));
+        continue;
+      }
+      const std::vector<double> values =
+          history_values(bench_name, metric.name, record.config_fingerprint);
+      if (values.empty()) {
+        v.verdict = Verdict::kNew;
+        report.verdicts.push_back(std::move(v));
+        continue;
+      }
+      v.history = values.size();
+      v.baseline_median = median_of(values);
+      v.baseline_mad = mad_of(values, v.baseline_median);
+      double tol = options.rel_tol * std::fabs(v.baseline_median);
+      if (values.size() >= options.min_history) {
+        tol = std::max(tol, options.mad_k * v.baseline_mad);
+      }
+      tol = std::max(tol, metric.noise_floor);
+      v.tolerance = tol;
+      const double delta = v.current - v.baseline_median;
+      const double signed_delta = metric.better_higher ? delta : -delta;
+      if (signed_delta < -tol) {
+        v.verdict = Verdict::kRegressed;
+      } else if (signed_delta > tol) {
+        v.verdict = Verdict::kImproved;
+      } else {
+        v.verdict = Verdict::kPass;
+      }
+      report.verdicts.push_back(std::move(v));
+    }
+
+    // Metrics the baseline had but the current record lost.
+    if (base_record != nullptr && !config_changed) {
+      for (const BenchMetric& metric : base_record->metrics) {
+        if (record.find_metric(metric.name) != nullptr) continue;
+        MetricVerdict v;
+        v.bench = bench_name;
+        v.metric = metric.name;
+        v.unit = metric.unit;
+        v.better_higher = metric.better_higher;
+        v.baseline_median = metric.value;
+        v.verdict =
+            options.fail_on_missing ? Verdict::kMissing : Verdict::kPass;
+        report.verdicts.push_back(std::move(v));
+      }
+    }
+  }
+
+  // Whole benches that disappeared.
+  if (reference != nullptr) {
+    for (const auto& [bench_name, base_record] : reference->benches) {
+      if (current.benches.find(bench_name) != current.benches.end()) continue;
+      for (const BenchMetric& metric : base_record.metrics) {
+        MetricVerdict v;
+        v.bench = bench_name;
+        v.metric = metric.name;
+        v.unit = metric.unit;
+        v.better_higher = metric.better_higher;
+        v.baseline_median = metric.value;
+        v.verdict =
+            options.fail_on_missing ? Verdict::kMissing : Verdict::kPass;
+        report.verdicts.push_back(std::move(v));
+      }
+    }
+  }
+
+  std::stable_sort(report.verdicts.begin(), report.verdicts.end(),
+                   [](const MetricVerdict& a, const MetricVerdict& b) {
+                     return verdict_rank(a.verdict) < verdict_rank(b.verdict);
+                   });
+  return report;
+}
+
+CompareReport compare_trajectories(const Trajectory& baseline,
+                                   const Trajectory& current,
+                                   const CompareOptions& options) {
+  if (current.empty()) return {};
+  return compare_runs(baseline.runs, *current.latest(), options);
+}
+
+CompareReport compare_latest(const Trajectory& trajectory,
+                             const CompareOptions& options) {
+  if (trajectory.runs.size() < 2) return {};
+  const std::vector<BenchRun> history(trajectory.runs.begin(),
+                                      trajectory.runs.end() - 1);
+  return compare_runs(history, trajectory.runs.back(), options);
+}
+
+}  // namespace sciprep::perfscope

@@ -1,0 +1,90 @@
+// Noise-aware performance regression gate (sciprep::perfscope).
+//
+// Benchmarks on shared hardware are noisy; a gate that fires on every 3%
+// wobble trains people to ignore it. The comparison therefore builds a
+// robust expectation per metric from the baseline history — the median of
+// recent runs — and widens the alarm threshold by the metric's observed
+// spread (median absolute deviation) plus the per-metric absolute noise
+// floor the bench itself declared:
+//
+//   tolerance = max(rel_tol * |median|, mad_k * MAD, noise_floor)
+//
+// A metric regresses when it lands beyond the tolerance on the WRONG side
+// (respecting its better=higher|lower tag); landing beyond it on the right
+// side is reported as an improvement. With a thin history (fewer than
+// min_history runs) the MAD term is unavailable and the relative tolerance
+// alone applies. Records whose config fingerprint changed are not compared
+// at all — a different knob setting is a different experiment, not a
+// regression.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sciprep/perfscope/trajectory.hpp"
+
+namespace sciprep::perfscope {
+
+struct CompareOptions {
+  double rel_tol = 0.30;        // relative slack, always applied
+  double mad_k = 4.0;           // MAD multiplier once history is deep enough
+  std::size_t min_history = 3;  // runs needed before MAD is trusted
+  std::size_t max_history = 32; // most recent baseline runs considered
+  /// A metric (or whole bench) present in the baseline but absent from the
+  /// current run is itself a regression: silent disappearance must not pass.
+  bool fail_on_missing = true;
+};
+
+enum class Verdict {
+  kPass,           // within tolerance
+  kImproved,       // beyond tolerance on the good side
+  kRegressed,      // beyond tolerance on the bad side
+  kNew,            // no baseline history (informational)
+  kMissing,        // in baseline, absent from current
+  kConfigChanged,  // fingerprints differ; not comparable
+};
+
+[[nodiscard]] const char* verdict_name(Verdict verdict);
+
+struct MetricVerdict {
+  std::string bench;
+  std::string metric;
+  std::string unit;
+  bool better_higher = true;
+  double baseline_median = 0;
+  double baseline_mad = 0;
+  std::size_t history = 0;   // runs the expectation was built from
+  double current = 0;
+  double tolerance = 0;      // absolute, in the metric's unit
+  Verdict verdict = Verdict::kPass;
+};
+
+struct CompareReport {
+  std::vector<MetricVerdict> verdicts;  // regressions ranked first
+
+  [[nodiscard]] std::size_t count(Verdict verdict) const;
+  [[nodiscard]] std::size_t regressions() const;
+  /// Per-bench verdict table plus the summary line perf_regression_smoke
+  /// greps for.
+  [[nodiscard]] std::string human_table() const;
+};
+
+/// Compare `current` against the expectation built from `history` (oldest
+/// first; the most recent max_history runs are used).
+[[nodiscard]] CompareReport compare_runs(const std::vector<BenchRun>& history,
+                                         const BenchRun& current,
+                                         const CompareOptions& options = {});
+
+/// Baseline trajectory (all runs are history) vs the current trajectory's
+/// latest run.
+[[nodiscard]] CompareReport compare_trajectories(
+    const Trajectory& baseline, const Trajectory& current,
+    const CompareOptions& options = {});
+
+/// Self-comparison inside one trajectory: the latest run against everything
+/// before it. Requires >= 2 runs (returns an empty report otherwise).
+[[nodiscard]] CompareReport compare_latest(const Trajectory& trajectory,
+                                           const CompareOptions& options = {});
+
+}  // namespace sciprep::perfscope

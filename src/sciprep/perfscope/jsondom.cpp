@@ -1,0 +1,333 @@
+#include "sciprep/perfscope/jsondom.hpp"
+
+#include <cstdlib>
+
+namespace sciprep::perfscope {
+
+namespace {
+
+const JsonValue& null_value() {
+  static const JsonValue v;
+  return v;
+}
+
+const std::string& empty_string() {
+  static const std::string s;
+  return s;
+}
+
+const std::vector<JsonValue>& empty_array() {
+  static const std::vector<JsonValue> a;
+  return a;
+}
+
+const std::map<std::string, JsonValue>& empty_object() {
+  static const std::map<std::string, JsonValue> o;
+  return o;
+}
+
+/// Recursive-descent parser over a string_view cursor. Mirrors the grammar
+/// of obs::json_valid but builds values instead of only checking them.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool eat_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue::make_string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!eat_word("true")) return false;
+        out = JsonValue::make_bool(true);
+        return true;
+      case 'f':
+        if (!eat_word("false")) return false;
+        out = JsonValue::make_bool(false);
+        return true;
+      case 'n':
+        if (!eat_word("null")) return false;
+        out = JsonValue::make_null();
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    if (!eat('{')) return false;
+    std::map<std::string, JsonValue> members;
+    skip_ws();
+    if (eat('}')) {
+      out = JsonValue::make_object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      members.insert_or_assign(std::move(key), std::move(value));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) break;
+      return false;
+    }
+    out = JsonValue::make_object(std::move(members));
+    return true;
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    if (!eat('[')) return false;
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (eat(']')) {
+      out = JsonValue::make_array(std::move(items));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      items.push_back(std::move(value));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) break;
+      return false;
+    }
+    out = JsonValue::make_array(std::move(items));
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) return false;
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are stored as
+          // two 3-byte sequences — good enough for metric names and paths).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return false;
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return false;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return false;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out = JsonValue::make_number(std::strtod(token.c_str(), nullptr));
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool(bool fallback) const noexcept {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+double JsonValue::as_number(double fallback) const noexcept {
+  return kind_ == Kind::kNumber ? number_ : fallback;
+}
+
+const std::string& JsonValue::as_string() const noexcept {
+  return kind_ == Kind::kString ? string_ : empty_string();
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const noexcept {
+  return kind_ == Kind::kArray ? array_ : empty_array();
+}
+
+const std::map<std::string, JsonValue>& JsonValue::as_object() const noexcept {
+  return kind_ == Kind::kObject ? object_ : empty_object();
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const noexcept {
+  if (kind_ != Kind::kObject) return null_value();
+  const auto it = object_.find(key);
+  return it != object_.end() ? it->second : null_value();
+}
+
+bool JsonValue::has(const std::string& key) const noexcept {
+  return kind_ == Kind::kObject && object_.find(key) != object_.end();
+}
+
+double JsonValue::number_or(const std::string& key,
+                            double fallback) const noexcept {
+  return at(key).as_number(fallback);
+}
+
+std::string JsonValue::string_or(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue& v = at(key);
+  return v.kind() == Kind::kString ? v.as_string() : fallback;
+}
+
+JsonValue JsonValue::make_null() { return {}; }
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> v) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.array_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_object(std::map<std::string, JsonValue> v) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.object_ = std::move(v);
+  return out;
+}
+
+bool json_parse(std::string_view text, JsonValue& out) {
+  Parser parser(text);
+  return parser.parse(out);
+}
+
+}  // namespace sciprep::perfscope

@@ -1,0 +1,73 @@
+// Minimal JSON document model for the perfscope readers.
+//
+// The obs layer only ever *writes* JSON (plus a validity check); perfscope is
+// the first consumer that must read structured documents back — bench
+// records, BENCH_*.json trajectories — so it carries a small strict DOM
+// parser. Deliberately tiny: doubles for every number (perf metrics fit
+// comfortably), ordered maps for objects, no serialization (writers keep
+// using sciprep::fmt like the rest of the observability stack).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sciprep::perfscope {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; wrong-kind access returns the fallback (parsers of
+  /// foreign files must degrade, not crash).
+  [[nodiscard]] bool as_bool(bool fallback = false) const noexcept;
+  [[nodiscard]] double as_number(double fallback = 0.0) const noexcept;
+  [[nodiscard]] const std::string& as_string() const noexcept;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const noexcept;
+  [[nodiscard]] const std::map<std::string, JsonValue>& as_object()
+      const noexcept;
+
+  /// Object member lookup; returns a shared null value when absent or when
+  /// this value is not an object.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const noexcept;
+  [[nodiscard]] bool has(const std::string& key) const noexcept;
+
+  /// Convenience: `at(key).as_*` with fallbacks.
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const noexcept;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      const std::string& fallback) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> v);
+  static JsonValue make_object(std::map<std::string, JsonValue> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parse a complete JSON document (RFC 8259 grammar, depth-limited to 64).
+/// Returns false on any syntax error or trailing garbage; `out` is
+/// unspecified on failure. Never throws.
+[[nodiscard]] bool json_parse(std::string_view text, JsonValue& out);
+
+}  // namespace sciprep::perfscope

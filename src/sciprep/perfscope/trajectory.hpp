@@ -1,0 +1,61 @@
+// BENCH_*.json trajectory files (sciprep::perfscope).
+//
+// A trajectory is the repo's performance memory: every perfbench invocation
+// appends one run (a map of bench name -> sciprep.perf.bench.v1 record), so
+// the file accumulates the samples/s history that ROADMAP's speedup arc is
+// judged against. perfcompare consumes the history to build noise-aware
+// (median + MAD) expectations per metric.
+//
+// Schema `sciprep.perf.trajectory.v1`:
+//   {"schema": "...", "runs": [
+//      {"run": 1, "unix_time": ..., "label": "...",
+//       "benches": {"fig8_deepcam_throughput": {<bench.v1 record>}, ...}},
+//      ...]}
+//
+// Runs are ordered oldest-first; append_run caps the history so the file
+// stays reviewable in a repo checkout.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sciprep/perfscope/benchreport.hpp"
+
+namespace sciprep::perfscope {
+
+inline constexpr const char* kTrajectorySchema = "sciprep.perf.trajectory.v1";
+
+/// One perfbench invocation's worth of records.
+struct BenchRun {
+  std::uint64_t run_index = 0;   // 1-based, assigned by append_run
+  std::uint64_t unix_time = 0;   // seconds since epoch (0 = unknown)
+  std::string label;             // free-form tag (--label), e.g. a git rev
+  std::map<std::string, BenchRecord> benches;
+};
+
+struct Trajectory {
+  std::vector<BenchRun> runs;  // oldest first
+
+  [[nodiscard]] bool empty() const noexcept { return runs.empty(); }
+  [[nodiscard]] const BenchRun* latest() const noexcept {
+    return runs.empty() ? nullptr : &runs.back();
+  }
+};
+
+/// Parse a trajectory file. Returns false when the file is missing,
+/// unparseable, or carries a different schema — callers start fresh then.
+/// Never throws.
+[[nodiscard]] bool load_trajectory(const std::string& path, Trajectory& out);
+
+/// Append `run`, assign its run_index, and drop the oldest runs beyond
+/// `max_runs` (0 = unbounded).
+void append_run(Trajectory& trajectory, BenchRun run, std::size_t max_runs);
+
+[[nodiscard]] std::string trajectory_to_json(const Trajectory& trajectory);
+
+/// Write atomically (tmp + rename); throws IoError on failure.
+void save_trajectory(const std::string& path, const Trajectory& trajectory);
+
+}  // namespace sciprep::perfscope

@@ -1,0 +1,47 @@
+# Perf-regression smoke, driven end to end through the real binaries
+# (ctest -L perf). perfbench runs twice at quick settings into one
+# BENCH_*.json trajectory, then perfcompare self-compares the latest run
+# against the first — two back-to-back runs of identical code on the same
+# host must pass the noise-aware gate, or the gate is miscalibrated and will
+# cry wolf in CI.
+#
+# Usage: cmake -DPERFBENCH=<path> -DPERFCOMPARE=<path> -DWORK_DIR=<dir>
+#              -P perf_smoke.cmake
+if(NOT DEFINED PERFBENCH OR NOT DEFINED PERFCOMPARE OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+          "perf_smoke: pass -DPERFBENCH=... -DPERFCOMPARE=... -DWORK_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(trajectory ${WORK_DIR}/BENCH_smoke.json)
+file(REMOVE ${trajectory})
+
+# Quick settings: small workloads, two repeats. The overhead probes' declared
+# noise floors absorb the extra run-to-run wobble this buys.
+set(bench_args
+  --out ${trajectory} --repeat 2 --warmup 1 --epochs 2
+  --cosmo-dim 16 --cam-h 64 --cam-w 96)
+
+foreach(pass RANGE 1 2)
+  execute_process(
+    COMMAND ${PERFBENCH} ${bench_args} --label smoke-${pass}
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "perfbench pass ${pass} failed (rc=${rc})")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${PERFCOMPARE} --trajectory ${trajectory}
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE table)
+message(STATUS "perfcompare output:\n${table}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "identical back-to-back runs must pass the gate (rc=${rc})")
+endif()
+if(NOT table MATCHES "perfcompare: 0 regressed")
+  message(FATAL_ERROR "summary line missing or nonzero regressions:\n${table}")
+endif()
