@@ -7,8 +7,11 @@
 // throughput by up to 1.5x; base V100 ~ base A100; base is batch-insensitive.
 #include <cstdio>
 
+#include "bench_shard_axis.hpp"
 #include "bench_util.hpp"
 #include "sciprep/apps/measure.hpp"
+#include "sciprep/codec/cosmo_codec.hpp"
+#include "sciprep/data/cosmo_gen.hpp"
 
 int main(int argc, char** argv) {
   using namespace sciprep;
@@ -75,6 +78,20 @@ int main(int argc, char** argv) {
   reporter.add_metric("speedup.summit.plugin_vs_base", s_plug / s_base, "x",
                       "modeled");
   reporter.charge_sim_seconds(128.0 * 6 / s_base + 128.0 * 6 / s_plug);
+
+  // Rank-count axis: the small CosmoFlow set (reduced dim) through the
+  // in-process ShardCoordinator at 1/2/4/8 ranks — merged stream digest
+  // must be bit-identical at every rank count.
+  {
+    data::CosmoGenConfig gcfg;
+    gcfg.dim = 16;
+    gcfg.seed = 3;
+    const data::CosmoGenerator gen(gcfg);
+    const codec::CosmoCodec codec;
+    const auto dataset = pipeline::InMemoryDataset::make_cosmo(
+        gen, 64, pipeline::StorageFormat::kEncoded, &codec);
+    benchutil::report_shard_rank_axis(reporter, dataset, codec);
+  }
   benchutil::finish(args, reporter);
   return 0;
 }

@@ -6,8 +6,11 @@
 // magnitude speedup — its encoded dataset still fits in DRAM.
 #include <cstdio>
 
+#include "bench_shard_axis.hpp"
 #include "bench_util.hpp"
 #include "sciprep/apps/measure.hpp"
+#include "sciprep/codec/cosmo_codec.hpp"
+#include "sciprep/data/cosmo_gen.hpp"
 #include "sciprep/sim/memhier.hpp"
 
 int main(int argc, char** argv) {
@@ -76,6 +79,21 @@ int main(int argc, char** argv) {
                       "x", "modeled");
   const double headline_n = static_cast<double>(headline_samples);
   reporter.charge_sim_seconds(headline_n / h_base + headline_n / h_plug);
+
+  // Rank-count axis, unstaged: the large set cannot be replicated per node,
+  // so every rank reads the one shared store — the digest must still be
+  // bit-identical at 1/2/4/8 ranks.
+  {
+    data::CosmoGenConfig gcfg;
+    gcfg.dim = 16;
+    gcfg.seed = 3;
+    const data::CosmoGenerator gen(gcfg);
+    const codec::CosmoCodec codec;
+    const auto dataset = pipeline::InMemoryDataset::make_cosmo(
+        gen, 64, pipeline::StorageFormat::kEncoded, &codec);
+    benchutil::report_shard_rank_axis(reporter, dataset, codec, /*epochs=*/2,
+                                      /*batch=*/4, /*staged=*/false);
+  }
   benchutil::finish(args, reporter);
   return 0;
 }

@@ -9,8 +9,11 @@
 // the large dataset slows the baseline 1.2-2.4x; GPU plugin beats CPU plugin.
 #include <cstdio>
 
+#include "bench_shard_axis.hpp"
 #include "bench_util.hpp"
 #include "sciprep/apps/measure.hpp"
+#include "sciprep/codec/cam_codec.hpp"
+#include "sciprep/data/cam_gen.hpp"
 
 int main(int argc, char** argv) {
   using namespace sciprep;
@@ -92,6 +95,22 @@ int main(int argc, char** argv) {
   // §5 contract: the modeled headline step times are sim-charged, the codec
   // measurement above is wall.
   reporter.charge_sim_seconds(1536.0 / base_v + 1536.0 / gpu_a);
+
+  // Rank-count axis: the same DeepCAM-shaped workload (reduced frames) run
+  // through the in-process ShardCoordinator at 1/2/4/8 ranks — digest must
+  // stay bit-identical, throughput flat (sharding overhead < 1% per rank).
+  {
+    data::CamGenConfig gcfg;
+    gcfg.height = 16;
+    gcfg.width = 24;
+    gcfg.channels = 4;
+    gcfg.seed = 11;
+    const data::CamGenerator gen(gcfg);
+    const codec::CamCodec codec;
+    const auto dataset = pipeline::InMemoryDataset::make_cam(
+        gen, 48, pipeline::StorageFormat::kEncoded, &codec);
+    benchutil::report_shard_rank_axis(reporter, dataset, codec);
+  }
   benchutil::finish(args, reporter);
   return 0;
 }

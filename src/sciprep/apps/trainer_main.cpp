@@ -73,6 +73,7 @@
 #include "sciprep/obs/obs.hpp"
 #include "sciprep/perfscope/resource.hpp"
 #include "sciprep/pipeline/pipeline.hpp"
+#include "sciprep/shard/coordinator.hpp"
 
 namespace {
 
@@ -113,6 +114,16 @@ struct TrainerArgs {
   std::string metrics_prom;          // Prometheus text file ("" = off)
   std::string report_out;            // BottleneckReport JSON ("" = off)
   std::string flightrec_dir;         // incident files directory ("" = off)
+  // Shard: simulated multi-rank run with elastic recovery (sciprep::shard).
+  int ranks = 0;                     // 0 = unsharded; N >= 1 = shard mode
+  int kill_rank = -1;                // rank to kill mid-run (-1 = none)
+  std::uint64_t kill_at_batch = 8;   // globally delivered batches before kill
+  bool resharding = true;            // elastic re-shard vs abort on rank loss
+  bool staged = true;                // per-rank staged dataset placement
+  double heartbeat_ms = 250;         // per-rank heartbeat deadline
+  std::string checkpoint_dir;        // coordinated rank-<r>.ckpt directory
+
+  [[nodiscard]] bool sharded() const { return ranks > 0; }
 
   [[nodiscard]] bool injecting() const {
     return inject_transient > 0 || inject_corrupt > 0 || inject_truncate > 0 ||
@@ -136,7 +147,10 @@ struct TrainerArgs {
       "          [--kill-after-batches N]\n"
       "          [--metrics-interval-ms N] [--metrics-jsonl FILE]\n"
       "          [--metrics-prom FILE] [--report-out FILE]\n"
-      "          [--flightrec-dir DIR] [--no-resource-sampling]\n",
+      "          [--flightrec-dir DIR] [--no-resource-sampling]\n"
+      "          [--ranks N] [--kill-rank R] [--kill-at-batch N]\n"
+      "          [--no-resharding] [--unstaged] [--heartbeat-ms MS]\n"
+      "          [--checkpoint-dir DIR]\n",
       argv0);
   std::exit(2);
 }
@@ -211,6 +225,20 @@ TrainerArgs parse_args(int argc, char** argv) {
       args.flightrec_dir = value();
     } else if (a == "--no-resource-sampling") {
       args.resource_sampling = false;
+    } else if (a == "--ranks") {
+      args.ranks = std::atoi(value());
+    } else if (a == "--kill-rank") {
+      args.kill_rank = std::atoi(value());
+    } else if (a == "--kill-at-batch") {
+      args.kill_at_batch = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (a == "--no-resharding") {
+      args.resharding = false;
+    } else if (a == "--unstaged") {
+      args.staged = false;
+    } else if (a == "--heartbeat-ms") {
+      args.heartbeat_ms = std::atof(value());
+    } else if (a == "--checkpoint-dir") {
+      args.checkpoint_dir = value();
     } else {
       std::fprintf(stderr, "trainer: unknown flag '%s'\n", argv[i]);
       usage(argv[0]);
@@ -225,6 +253,7 @@ TrainerArgs parse_args(int argc, char** argv) {
       args.fault_policy != "retry-skip") {
     usage(argv[0]);
   }
+  if (args.ranks < 0 || args.kill_rank >= args.ranks) usage(argv[0]);
   return args;
 }
 
@@ -554,6 +583,230 @@ void run_cam(const TrainerArgs& args, sim::SimGpu& gpu,
   quarantine_out = pipe.quarantine();
 }
 
+/// Shard-mode run summary, handed to the digest writer and validator.
+struct ShardRunResult {
+  shard::ShardStats stats;
+  std::uint32_t stream_digest = 0;
+  std::vector<std::string> digest_lines;  // "S <epoch> <pos> <crc>"
+  std::uint64_t delivered_batches = 0;
+  bool killed = false;
+};
+
+/// Run the sharded arm (sciprep::shard, DESIGN.md §12): N simulated ranks
+/// deliver a deterministic global shuffle; --kill-rank injects a mid-epoch
+/// rank death whose shard is elastically redistributed. The merged stream is
+/// digest-verified — the "S" lines are emitted from the coordinator's
+/// position-keyed digest at the END of the run, so a killed-and-recovered
+/// run writes the byte-identical digest file a healthy run does.
+void run_shard(const TrainerArgs& args, fault::Injector& injector,
+               insight::FlightRecorder* recorder, ShardRunResult& out) {
+  std::unique_ptr<codec::SampleCodec> codec;
+  std::unique_ptr<pipeline::InMemoryDataset> dataset;
+  pipeline::PipelineConfig pcfg;
+  if (args.workload == "cosmo") {
+    data::CosmoGenConfig gen_cfg;
+    gen_cfg.dim = args.dim;
+    gen_cfg.seed = 2022;
+    const data::CosmoGenerator generator(gen_cfg);
+    codec = std::make_unique<codec::CosmoCodec>();
+    dataset = std::make_unique<pipeline::InMemoryDataset>(
+        pipeline::InMemoryDataset::make_cosmo(
+            generator, static_cast<std::size_t>(args.samples),
+            pipeline::StorageFormat::kEncoded, codec.get()));
+    pcfg.ops.push_back(std::make_shared<pipeline::ScaleOp>(1.0F));
+  } else {
+    data::CamGenConfig gen_cfg;
+    gen_cfg.height = args.dim;
+    gen_cfg.width = args.dim;
+    gen_cfg.channels = 4;
+    gen_cfg.seed = 2022;
+    const data::CamGenerator generator(gen_cfg);
+    codec = std::make_unique<codec::CamCodec>();
+    dataset = std::make_unique<pipeline::InMemoryDataset>(
+        pipeline::InMemoryDataset::make_cam(
+            generator, static_cast<std::size_t>(args.samples),
+            pipeline::StorageFormat::kEncoded, codec.get()));
+    pcfg.ops.push_back(std::make_shared<pipeline::RandomFlipX>());
+  }
+  std::printf("dataset: %zu encoded %s samples, %s at rest, %d rank(s)\n",
+              dataset->size(), args.workload.c_str(),
+              format_bytes(dataset->total_bytes()).c_str(), args.ranks);
+
+  pcfg.batch_size = args.batch;
+  pcfg.worker_threads = args.workers;
+  pcfg.seed = 7;
+  pcfg.decode_placement = args.placement == "gpu" ? codec::Placement::kGpu
+                                                  : codec::Placement::kCpu;
+  pcfg.fault_policy = make_fault_policy(args);
+  pcfg.injector = args.injecting() ? &injector : nullptr;
+  apply_guard_config(pcfg, args);
+
+  shard::ShardConfig scfg;
+  scfg.world = args.ranks;
+  scfg.pipeline = pcfg;
+  scfg.staged = args.staged;
+  scfg.elastic = args.resharding;
+  scfg.heartbeat_deadline_seconds = args.heartbeat_ms / 1e3;
+  scfg.checkpoint_every_batches = args.checkpoint_every;
+  scfg.checkpoint_dir = args.checkpoint_dir;
+  scfg.verify_stream = true;  // shard mode exists to prove the stream digest
+  scfg.metrics = &obs::MetricsRegistry::global();
+  if (pcfg.decode_placement == codec::Placement::kGpu) {
+    scfg.gpu_factory = [](int /*rank*/) {
+      return std::make_unique<sim::SimGpu>(
+          sim::SimGpu::Config{.sm_count = 80, .warps_per_sm = 8});
+    };
+  }
+  fault::RecoveryListener forward =
+      recorder != nullptr ? recorder->listener() : fault::RecoveryListener{};
+  scfg.on_event = [forward](const fault::RecoveryEvent& event) {
+    if (event.kind == fault::EventKind::kRankLost ||
+        event.kind == fault::EventKind::kReshard) {
+      std::printf("shard: [%s] %s\n", event.scope.c_str(),
+                  event.detail.c_str());
+    }
+    if (forward) forward(event);
+  };
+
+  shard::ShardCoordinator coordinator(*dataset, *codec, std::move(scfg));
+  if (recorder != nullptr) {
+    recorder->set_config_fingerprint(coordinator.config_fingerprint());
+  }
+
+  const bool kill_armed = args.kill_rank >= 0;
+  for (int epoch = 0; epoch < args.epochs; ++epoch) {
+    if (epoch > 0) coordinator.start_epoch(static_cast<std::uint64_t>(epoch));
+    shard::ShardBatch sb;
+    std::size_t steps = 0;
+    while (coordinator.step(sb)) {
+      ++steps;
+      ++out.delivered_batches;
+      if (kill_armed && !out.killed &&
+          out.delivered_batches >= args.kill_at_batch) {
+        std::printf("shard: killing rank %d after global batch %llu\n",
+                    args.kill_rank,
+                    static_cast<unsigned long long>(out.delivered_batches));
+        coordinator.kill_rank(args.kill_rank);
+        out.killed = true;
+      }
+    }
+    std::printf("epoch %d: %zu batches across %d live rank(s)\n", epoch,
+                steps, coordinator.alive_count());
+  }
+
+  out.stats = coordinator.aggregate();
+  out.stream_digest = coordinator.digest().stream_digest();
+  for (int epoch = 0; epoch < args.epochs; ++epoch) {
+    for (const auto& [position, crc] :
+         coordinator.digest().entries(static_cast<std::uint64_t>(epoch))) {
+      out.digest_lines.push_back(fmt("S {} {} {:08x}", epoch, position, crc));
+    }
+  }
+}
+
+/// Shard-mode digest file: "S" lines from the merged global stream plus a
+/// footer restricted to rank-count-invariant counters (batch counts and
+/// retries legitimately differ across worlds; delivered samples, bytes, and
+/// skips may not). Cross-checking --expect-digest demands the exact same
+/// position->crc set in both directions. Returns violations (0 = clean).
+int finish_shard_digest(const TrainerArgs& args, const ShardRunResult& run) {
+  const std::string footer =
+      fmt("T samples {} bytes {} skipped {} stream {:08x}",
+          run.stats.totals.samples, run.stats.totals.bytes_at_rest,
+          run.stats.totals.samples_skipped, run.stream_digest);
+  if (!args.digest_out.empty()) {
+    std::ofstream out(args.digest_out, std::ios::trunc);
+    if (!out) {
+      throw IoError(fmt("trainer: cannot write '{}'", args.digest_out));
+    }
+    for (const std::string& line : run.digest_lines) out << line << '\n';
+    out << footer << '\n';
+    std::printf("digest: %zu positions -> %s\n", run.digest_lines.size(),
+                args.digest_out.c_str());
+  }
+  if (args.expect_digest.empty()) return 0;
+
+  int failures = 0;
+  auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "digest: FAIL %s\n", what.c_str());
+    ++failures;
+  };
+  std::ifstream in(args.expect_digest);
+  if (!in) {
+    fail(fmt("cannot read expected digest '{}'", args.expect_digest));
+    return failures;
+  }
+  std::vector<std::string> expected_lines;
+  std::string expected_footer;
+  for (std::string line; std::getline(in, line);) {
+    if (line.rfind("S ", 0) == 0) expected_lines.push_back(line);
+    if (line.rfind("T ", 0) == 0) expected_footer = line;
+  }
+  // Both files list (epoch, position) ascending, so bit-identical streams
+  // compare as equal ordered sequences — any divergence names its line.
+  if (expected_lines.size() != run.digest_lines.size()) {
+    fail(fmt("stream length differs: produced {} positions, expected {}",
+             run.digest_lines.size(), expected_lines.size()));
+  }
+  const std::size_t common =
+      std::min(expected_lines.size(), run.digest_lines.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (run.digest_lines[i] != expected_lines[i]) {
+      fail(fmt("stream diverged: produced '{}', expected '{}'",
+               run.digest_lines[i], expected_lines[i]));
+      break;  // one divergence names the spot; the rest is noise
+    }
+  }
+  if (footer != expected_footer) {
+    fail(fmt("final counters differ: produced '{}', expected '{}'", footer,
+             expected_footer));
+  }
+  if (failures == 0) {
+    std::printf("digest: OK — %zu global positions bit-identical, counters "
+                "agree\n",
+                run.digest_lines.size());
+  }
+  return failures;
+}
+
+/// --validate for shard mode: exact-once accounting across the world, the
+/// digest covering every delivered sample, and the failure bookkeeping.
+int validate_shard(const TrainerArgs& args, const ShardRunResult& run) {
+  int failures = 0;
+  auto check = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      std::fprintf(stderr, "validate: FAIL %s\n", what.c_str());
+      ++failures;
+    }
+  };
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(args.samples) *
+      static_cast<std::uint64_t>(args.epochs);
+  check(run.stats.totals.samples + run.stats.totals.samples_skipped ==
+            expected,
+        fmt("samples {} + skipped {} == dataset size x epochs {} "
+            "(exact-once across the world)",
+            run.stats.totals.samples, run.stats.totals.samples_skipped,
+            expected));
+  check(run.digest_lines.size() == run.stats.totals.samples,
+        fmt("digest covers every delivered sample exactly once ({} vs {})",
+            run.digest_lines.size(), run.stats.totals.samples));
+  check(run.stats.world == args.ranks,
+        fmt("world size {} matches --ranks {}", run.stats.world, args.ranks));
+  if (run.killed) {
+    check(run.stats.ranks_lost == 1,
+          fmt("exactly one rank lost ({} recorded)", run.stats.ranks_lost));
+    check(run.stats.alive == args.ranks - 1,
+          fmt("{} of {} ranks alive after the kill", run.stats.alive,
+              args.ranks));
+  } else {
+    check(run.stats.ranks_lost == 0, "no rank losses in a healthy run");
+    check(run.stats.alive == args.ranks, "every rank alive in a healthy run");
+  }
+  if (failures == 0) std::printf("validate(shard): OK\n");
+  return failures;
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -850,9 +1103,12 @@ int main(int argc, char** argv) {
     exporter->start();
   }
 
+  ShardRunResult shard_run;
   const auto wall_t0 = std::chrono::steady_clock::now();
   try {
-    if (args.workload == "cosmo") {
+    if (args.sharded()) {
+      run_shard(args, injector, recorder ? &*recorder : nullptr, shard_run);
+    } else if (args.workload == "cosmo") {
       run_cosmo(args, gpu, injector, rg, recorder ? &*recorder : nullptr,
                 stats, quarantine, fingerprint);
     } else {
@@ -868,6 +1124,7 @@ int main(int argc, char** argv) {
           .count();
   if (exporter) exporter->stop();  // final flush covers the partial interval
 
+  if (args.sharded()) stats = shard_run.stats.totals;
   std::printf(
       "\npipeline: %llu samples in %llu batches (%s at rest), "
       "decode cpu %.1f ms / gpu %.1f ms\n",
@@ -875,6 +1132,17 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.batches),
       format_bytes(stats.bytes_at_rest).c_str(),
       stats.decode_cpu_seconds * 1e3, stats.decode_gpu_seconds * 1e3);
+  if (args.sharded()) {
+    std::printf(
+        "shard: world %d, %d alive; %llu lost, %llu reshards "
+        "(%llu samples redistributed), %llu checkpoints; stream %08x\n",
+        shard_run.stats.world, shard_run.stats.alive,
+        static_cast<unsigned long long>(shard_run.stats.ranks_lost),
+        static_cast<unsigned long long>(shard_run.stats.reshards),
+        static_cast<unsigned long long>(shard_run.stats.resharded_samples),
+        static_cast<unsigned long long>(shard_run.stats.checkpoints),
+        shard_run.stream_digest);
+  }
   if (stats.degraded) {
     std::printf(
         "faults: %llu injected; %llu retries, %llu skipped "
@@ -887,7 +1155,8 @@ int main(int argc, char** argv) {
   std::printf("\n%s", obs::MetricsRegistry::global().human_dump().c_str());
 
   try {
-    int failures = rg.finish(stats, quarantine);
+    int failures = args.sharded() ? finish_shard_digest(args, shard_run)
+                                  : rg.finish(stats, quarantine);
     if (!args.trace_out.empty()) {
       obs::Tracer::global().write_chrome_json(args.trace_out);
       std::printf("trace: %zu spans -> %s\n",
@@ -922,8 +1191,15 @@ int main(int argc, char** argv) {
           args.flightrec_dir.c_str());
     }
     if (args.validate) {
-      failures += validate_outputs(args, stats, quarantine);
-      failures += validate_insight(args, fingerprint);
+      if (args.sharded()) {
+        // Per-rank pipeline metrics live in private registries, so the
+        // unsharded registry cross-checks don't apply; the shard validator
+        // covers exact-once accounting and digest coverage instead.
+        failures += validate_shard(args, shard_run);
+      } else {
+        failures += validate_outputs(args, stats, quarantine);
+        failures += validate_insight(args, fingerprint);
+      }
     }
     return failures == 0 ? 0 : 1;
   } catch (const Error& e) {

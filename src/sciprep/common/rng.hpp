@@ -21,6 +21,28 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Derive an independent seed for one stream of an epoch-keyed family.
+///
+/// This is THE decision function every layer that touches ordering or
+/// randomness derives from (DESIGN.md §12): the global epoch shuffle uses
+/// stream id kShuffleStream, per-sample augmentation uses the sample id, and
+/// sciprep::shard derives nothing else — per-rank sample sequences are slices
+/// of the one global stream, so they are reproducible at any rank count.
+/// Two splitmix64 rounds over a multiplicative mix keep the three inputs
+/// decorrelated (adjacent epochs / ranks do not yield adjacent states).
+constexpr std::uint64_t split_seed(std::uint64_t seed, std::uint64_t epoch,
+                                   std::uint64_t stream) noexcept {
+  std::uint64_t state = seed ^ (epoch * 0x9E3779B97F4A7C15ULL) ^
+                        ((stream + 1) * 0xD6E8FEB86659FD93ULL);
+  const std::uint64_t a = splitmix64(state);
+  const std::uint64_t b = splitmix64(state);
+  return a ^ (b << 1);
+}
+
+/// Reserved stream id for the global epoch shuffle (outside any plausible
+/// sample-id range, so shuffle and augmentation streams never collide).
+inline constexpr std::uint64_t kShuffleStream = 0x73687566666C65ULL;  // "shuffle"
+
 /// xoshiro256** 1.0 (Blackman & Vigna).
 class Rng {
  public:

@@ -41,6 +41,10 @@ const char* site_name(Site site) noexcept {
       return "codec.decode";
     case Site::kGpuLaunch:
       return "gpu.launch";
+    case Site::kRankHeartbeat:
+      return "rank.heartbeat";
+    case Site::kRankCrash:
+      return "rank.crash";
   }
   return "?";
 }
@@ -75,6 +79,10 @@ const char* event_kind_name(EventKind kind) noexcept {
       return "deadline_expired";
     case EventKind::kResumeReject:
       return "resume_reject";
+    case EventKind::kRankLost:
+      return "rank_lost";
+    case EventKind::kReshard:
+      return "reshard";
   }
   return "?";
 }

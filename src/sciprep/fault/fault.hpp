@@ -44,9 +44,11 @@ enum class Site : int {
   kH5ChunkCrc,          // "h5lite.chunk_crc": h5lite chunk data at rest
   kCodecDecode,         // "codec.decode": encoded codec payload at rest
   kGpuLaunch,           // "gpu.launch": submitting a decode kernel
+  kRankHeartbeat,       // "rank.heartbeat": a rank's liveness beat going out
+  kRankCrash,           // "rank.crash": a rank mid-batch (process death)
 };
 
-inline constexpr int kSiteCount = 5;
+inline constexpr int kSiteCount = 7;
 
 const char* site_name(Site site) noexcept;
 
@@ -161,6 +163,8 @@ enum class EventKind : int {
   kBudgetExhausted,  // the per-epoch error budget is spent; failures escalate
   kDeadlineExpired,  // a guard watchdog deadline fired on a stage
   kResumeReject,     // checkpoint resume rejected (config mismatch)
+  kRankLost,         // a rank stopped heartbeating or crashed mid-batch
+  kReshard,          // a dead rank's remaining shard redistributed
 };
 
 const char* event_kind_name(EventKind kind) noexcept;
@@ -172,6 +176,11 @@ struct RecoveryEvent {
   std::string detail;  // human-readable context (the error message, etc.)
   std::uint64_t sample_index = 0;  // sample being processed (0 if n/a)
   int attempt = 0;                 // retry attempt number (0 if n/a)
+  /// Which scope of a multi-pipeline run the event belongs to — "rank3" for
+  /// a sharded rank, empty (the default, and the single-pipeline case) for
+  /// process scope. Carried into flight-recorder incidents so an incident
+  /// names the rank it happened on.
+  std::string scope;
 };
 
 /// Incident callback. Implementations must be thread-safe — events fire

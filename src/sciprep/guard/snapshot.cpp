@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "sciprep/common/crc.hpp"
 #include "sciprep/common/error.hpp"
@@ -135,6 +136,43 @@ void write_snapshot(const std::string& path, const Snapshot& snapshot) {
 
 Snapshot read_snapshot(const std::string& path) {
   return Snapshot::parse(ByteSpan(io::read_file(path)));
+}
+
+std::string rank_snapshot_path(const std::string& dir, int rank) {
+  return fmt("{}/rank-{}.ckpt", dir, rank);
+}
+
+void write_rank_snapshot(const std::string& dir, int rank,
+                         const Snapshot& snapshot) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw IoError(fmt("snapshot: cannot create checkpoint dir '{}': {}", dir,
+                      ec.message()));
+  }
+  write_snapshot(rank_snapshot_path(dir, rank), snapshot);
+}
+
+Snapshot read_rank_snapshot(const std::string& dir, int rank) {
+  return read_snapshot(rank_snapshot_path(dir, rank));
+}
+
+std::vector<Snapshot> read_coordinated(const std::string& dir, int world) {
+  if (world < 1) {
+    throw ConfigError(fmt("snapshot: world size {} must be >= 1", world));
+  }
+  std::vector<Snapshot> set;
+  set.reserve(static_cast<std::size_t>(world));
+  for (int rank = 0; rank < world; ++rank) {
+    set.push_back(read_rank_snapshot(dir, rank));
+    if (set.back().epoch != set.front().epoch) {
+      throw ConfigError(
+          fmt("snapshot: coordinated checkpoint in '{}' is torn — rank {} is "
+              "at epoch {} but rank 0 is at epoch {}",
+              dir, rank, set.back().epoch, set.front().epoch));
+    }
+  }
+  return set;
 }
 
 Checkpointer::Checkpointer(std::string path, std::uint64_t every_n_batches,

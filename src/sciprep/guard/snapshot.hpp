@@ -70,6 +70,27 @@ void write_snapshot(const std::string& path, const Snapshot& snapshot);
 /// Read + parse `path`. Throws IoError (unreadable) or parse errors.
 [[nodiscard]] Snapshot read_snapshot(const std::string& path);
 
+/// Per-rank snapshot namespacing for sharded runs: every rank of a world
+/// checkpoints into one directory as rank-<rank>.ckpt, and a coordinated
+/// resume reads the whole set back. The per-file framing (and its typed
+/// error surface) is unchanged — these are path + consistency helpers.
+[[nodiscard]] std::string rank_snapshot_path(const std::string& dir, int rank);
+
+/// write_snapshot to rank_snapshot_path, creating `dir` first if missing.
+void write_rank_snapshot(const std::string& dir, int rank,
+                         const Snapshot& snapshot);
+
+/// read_snapshot from rank_snapshot_path. Throws IoError / parse errors.
+[[nodiscard]] Snapshot read_rank_snapshot(const std::string& dir, int rank);
+
+/// Read the full coordinated checkpoint for a `world`-rank run: all of
+/// rank-0.ckpt … rank-<world-1>.ckpt must be present, parse cleanly, and
+/// agree on the epoch (the coordinator writes them at one barrier, so a
+/// disagreement means the set is torn — ConfigError). Per-file failures
+/// surface as that file's IoError / TruncatedError / FormatError.
+[[nodiscard]] std::vector<Snapshot> read_coordinated(const std::string& dir,
+                                                     int world);
+
 /// Periodic checkpoint driver for training loops: asks `due()` after every
 /// delivered batch, writes through `write()`. Exports
 /// guard.checkpoints_written_total and guard.checkpoint_write_seconds.

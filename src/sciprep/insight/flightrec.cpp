@@ -93,12 +93,13 @@ void FlightRecorder::dump_locked(const LoggedEvent& logged) {
   body.reserve(4096);
   body += fmt(
       "{{\"schema\":\"sciprep.insight.incident.v1\",\"seq\":{},"
-      "\"kind\":\"{}\",\"stage\":\"{}\",\"detail\":\"{}\","
+      "\"kind\":\"{}\",\"stage\":\"{}\",\"detail\":\"{}\",\"scope\":\"{}\","
       "\"sample_index\":{},\"attempt\":{},\"t_ns\":{},"
       "\"config_fingerprint\":\"{:x}\",",
       written_, fault::event_kind_name(logged.event.kind),
       obs::json_escape(logged.event.stage),
-      obs::json_escape(logged.event.detail), logged.event.sample_index,
+      obs::json_escape(logged.event.detail),
+      obs::json_escape(logged.event.scope), logged.event.sample_index,
       logged.event.attempt, logged.t_ns, config_.config_fingerprint);
 
   // Last-K spans, oldest first, with role names resolved so the timeline
@@ -125,10 +126,11 @@ void FlightRecorder::dump_locked(const LoggedEvent& logged) {
     first = false;
     body += fmt(
         "{{\"kind\":\"{}\",\"stage\":\"{}\",\"detail\":\"{}\","
-        "\"sample_index\":{},\"attempt\":{},\"t_ns\":{}}}",
+        "\"scope\":\"{}\",\"sample_index\":{},\"attempt\":{},\"t_ns\":{}}}",
         fault::event_kind_name(entry.event.kind),
         obs::json_escape(entry.event.stage),
-        obs::json_escape(entry.event.detail), entry.event.sample_index,
+        obs::json_escape(entry.event.detail),
+        obs::json_escape(entry.event.scope), entry.event.sample_index,
         entry.event.attempt, entry.t_ns);
   }
   body += "],";

@@ -164,11 +164,26 @@ void DataPipeline::start_epoch(std::uint64_t epoch) {
   recovery_events_.store(0, std::memory_order_relaxed);
   delivered_recovery_ = 0;
   epoch_quarantine_.clear();
+  if (config_.epoch_order) {
+    SCIPREP_OBS_SPAN("pipeline.shuffle", "pipeline");
+    const double t0 = now_seconds();
+    order_ = config_.epoch_order(epoch);
+    for (const std::size_t id : order_) {
+      if (id >= dataset_.size()) {
+        throw ConfigError(fmt(
+            "pipeline: epoch_order produced sample id {} >= dataset size {}",
+            id, dataset_.size()));
+      }
+    }
+    m_.shuffle_seconds.record(now_seconds() - t0);
+    return;
+  }
+  order_.resize(dataset_.size());
   std::iota(order_.begin(), order_.end(), 0);
   if (config_.shuffle) {
     SCIPREP_OBS_SPAN("pipeline.shuffle", "pipeline");
     const double t0 = now_seconds();
-    Rng rng(config_.seed * 0x9E3779B9u + epoch + 1);
+    Rng rng(split_seed(config_.seed, epoch, kShuffleStream));
     for (std::size_t i = order_.size(); i > 1; --i) {
       std::swap(order_[i - 1], order_[rng.next_below(i)]);
     }
@@ -176,8 +191,32 @@ void DataPipeline::start_epoch(std::uint64_t epoch) {
   }
 }
 
+void DataPipeline::extend_epoch_order(const std::vector<std::size_t>& tail) {
+  for (const std::size_t id : tail) {
+    if (id >= dataset_.size()) {
+      throw ConfigError(
+          fmt("pipeline: extend_epoch_order sample id {} >= dataset size {}",
+              id, dataset_.size()));
+    }
+  }
+  // Quiesce exactly like snapshot(): the in-flight prefetch claimed a range
+  // of the *old* order, so it completes against that order and parks; the
+  // appended tail only affects ranges claimed after this call.
+  if (pending_) {
+    Pending pending = std::move(*pending_);
+    pending_.reset();
+    try {
+      ready_ = pending.future.get();
+    } catch (...) {
+      consumed_ = pending.first + pending.count;
+      throw;
+    }
+  }
+  order_.insert(order_.end(), tail.begin(), tail.end());
+}
+
 std::size_t DataPipeline::batches_per_epoch() const {
-  const std::size_t n = dataset_.size();
+  const std::size_t n = order_.size();
   const auto b = static_cast<std::size_t>(config_.batch_size);
   return config_.drop_last ? n / b : (n + b - 1) / b;
 }
@@ -388,11 +427,14 @@ DataPipeline::Assembled DataPipeline::assemble_batch(std::uint64_t first,
     SlotOutcome outcome = decode_with_recovery(index);
     const double t1 = now_seconds();
     m_.decode_seconds.record(t1 - t0);
-    // Augmentations run on the decode worker, seeded per (epoch, position)
-    // so reruns of an epoch are bit-identical.
+    // Augmentations run on the decode worker, seeded per (epoch, sample id)
+    // via split_seed: reruns of an epoch are bit-identical, and — because
+    // the key is the sample's identity, not its position in this pipeline's
+    // order — a sample augments identically no matter which rank of a
+    // sharded run delivers it, or where re-sharding lands it.
     if (outcome.tensor && !config_.ops.empty()) {
       SCIPREP_OBS_SPAN("pipeline.ops", "pipeline");
-      Rng rng = Rng(config_.seed).fork((epoch_ << 24) ^ (first + i));
+      Rng rng(split_seed(config_.seed, epoch_, index));
       for (const auto& op : config_.ops) {
         op->apply(*outcome.tensor, rng);
       }
@@ -420,6 +462,7 @@ DataPipeline::Assembled DataPipeline::assemble_batch(std::uint64_t first,
   }
 
   out.batch.samples.reserve(count);
+  out.batch.order_positions.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     SlotOutcome& slot = slots[i];
     out.fallbacks += slot.fallbacks;
@@ -429,6 +472,7 @@ DataPipeline::Assembled DataPipeline::assemble_batch(std::uint64_t first,
       continue;
     }
     out.batch.samples.push_back(std::move(*slot.tensor));
+    out.batch.order_positions.push_back(first + i);
     out.batch.bytes_at_rest += dataset_.sample_bytes(order_[first + i]);
   }
   m_.batch_assemble_seconds.record(now_seconds() - assemble_t0);
@@ -479,7 +523,7 @@ void DataPipeline::launch_prefetch() {
 }
 
 std::uint64_t DataPipeline::take_count(std::uint64_t at) const {
-  const std::uint64_t n = dataset_.size();
+  const std::uint64_t n = order_.size();
   const auto b = static_cast<std::uint64_t>(config_.batch_size);
   if (at >= n) return 0;
   const std::uint64_t remaining = n - at;
@@ -599,14 +643,15 @@ void DataPipeline::resume(const guard::Snapshot& s) {
         "pipeline: snapshot was taken under a different dataset / pipeline "
         "configuration / injector seed and cannot resume here");
   }
-  if (s.cursor > dataset_.size()) {
-    throw ConfigError(
-        fmt("pipeline: snapshot cursor {} exceeds dataset size {}", s.cursor,
-            dataset_.size()));
-  }
-  // Rebuild the epoch's shuffle order (a pure function of seed and epoch),
-  // then fast-forward to the snapshot's delivered boundary.
+  // Rebuild the epoch's order (a pure function of seed and epoch, or the
+  // epoch_order provider) first — the cursor bound is against *that* order's
+  // length, which for a sharded rank is its shard, not the whole dataset.
   start_epoch(s.epoch);
+  if (s.cursor > order_.size()) {
+    throw ConfigError(
+        fmt("pipeline: snapshot cursor {} exceeds epoch order size {}",
+            s.cursor, order_.size()));
+  }
   cursor_ = s.cursor;
   consumed_ = s.cursor;
   batch_index_ = s.batch_index;
@@ -640,6 +685,7 @@ std::uint64_t DataPipeline::config_fingerprint() const {
   mix(static_cast<std::uint64_t>(config_.decode_placement));
   mix(config_.ops.size());
   mix(injector_ != nullptr ? injector_->seed() : 0);
+  mix(config_.order_fingerprint);
   return fp;
 }
 

@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <optional>
@@ -78,10 +79,26 @@ struct PipelineConfig {
   /// watchdog thread; must be thread-safe and must not throw. Null (the
   /// default) costs one branch per event.
   fault::RecoveryListener on_recovery_event;
+  /// External epoch-order provider. When set, start_epoch(e) takes its sample
+  /// sequence verbatim from epoch_order(e) instead of iota+shuffle — this is
+  /// how sciprep::shard hands each rank its slice of the global shuffle. Must
+  /// be a pure function of the epoch (start_epoch and resume both call it)
+  /// and return ids < dataset.size(). The `shuffle` flag is ignored when set.
+  std::function<std::vector<std::size_t>(std::uint64_t)> epoch_order;
+  /// Identity of the epoch_order provider, mixed into config_fingerprint()
+  /// (a std::function cannot be hashed). Sharded pipelines stamp the plan's
+  /// (world, rank, seed, placement) hash here so a rank-2 snapshot cannot
+  /// resume into a rank-3 pipeline. Leave 0 when epoch_order is unset.
+  std::uint64_t order_fingerprint = 0;
 };
 
 struct Batch {
   std::vector<codec::TensorF16> samples;
+  /// Epoch-order position (index into this pipeline's order) of each entry
+  /// in `samples`, skip-aware: a policy-skipped sample leaves no entry here,
+  /// so order_positions.size() == samples.size(). sciprep::shard maps these
+  /// rank-local positions onto global stream positions.
+  std::vector<std::uint64_t> order_positions;
   std::uint64_t bytes_at_rest = 0;  // stored size of the batch's samples
   std::uint64_t epoch = 0;
   std::uint64_t index_in_epoch = 0;
@@ -153,9 +170,28 @@ class DataPipeline {
   /// backing registry.
   void resume(const guard::Snapshot& snapshot);
 
+  /// Append `tail` to the current epoch's order without disturbing progress:
+  /// an in-flight prefetch is completed and parked (like snapshot()), then
+  /// the new positions become visible to subsequent next_batch() calls —
+  /// including after next_batch() already returned false for an exhausted
+  /// order. This is elastic re-sharding's survivor half: the coordinator
+  /// appends a dead rank's undelivered sample ids here, and the delivered
+  /// prefix keeps its positions, so augmentation and injection decisions
+  /// (keyed by sample id, not position) are unchanged. Ids must be
+  /// < dataset size (ConfigError otherwise).
+  void extend_epoch_order(const std::vector<std::size_t>& tail);
+
   /// Snapshot of the aggregate counters, assembled from the registry.
   [[nodiscard]] PipelineStats stats() const;
   [[nodiscard]] std::size_t batches_per_epoch() const;
+
+  /// Current epoch / delivered-position cursor / order length — read by the
+  /// shard coordinator to compute a dead rank's undelivered remainder.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::uint64_t consumed() const noexcept { return consumed_; }
+  [[nodiscard]] std::size_t order_size() const noexcept {
+    return order_.size();
+  }
 
   /// Sample ids quarantined by the kSkipSample policy, sorted ascending and
   /// de-duplicated, accumulated across the pipeline's lifetime (the same

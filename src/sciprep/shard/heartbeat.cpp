@@ -1,0 +1,67 @@
+#include "sciprep/shard/heartbeat.hpp"
+
+#include "sciprep/common/error.hpp"
+
+namespace sciprep::shard {
+
+HeartbeatMonitor::HeartbeatMonitor(int world, double deadline_seconds,
+                                   obs::MetricsRegistry* metrics)
+    : deadline_(deadline_seconds),
+      lost_total_(&(metrics != nullptr ? *metrics
+                                       : obs::MetricsRegistry::global())
+                       .counter("shard.heartbeat.lost_total")),
+      watchdog_(metrics),
+      entries_(static_cast<std::size_t>(world)) {
+  if (world < 1) {
+    throw ConfigError(fmt("shard: heartbeat world size {} must be >= 1",
+                          world));
+  }
+  if (deadline_ <= 0) {
+    throw ConfigError("shard: heartbeat deadline must be > 0");
+  }
+  for (std::size_t rank = 0; rank < entries_.size(); ++rank) {
+    entries_[rank].stage = fmt("rank{}.heartbeat", rank);
+  }
+}
+
+void HeartbeatMonitor::beat(int rank) {
+  Entry& entry = entries_.at(static_cast<std::size_t>(rank));
+  if (entry.retired) return;
+  // Disarm the previous deadline before arming the next: a beat that lands
+  // in time resets the clock; one that doesn't never reaches here (the
+  // coordinator stops beating a silenced rank).
+  entry.armed.reset();
+  entry.token = guard::CancelToken::make();
+  entry.armed = watchdog_.arm(entry.stage.c_str(), deadline_, entry.token);
+  entry.active = true;
+}
+
+bool HeartbeatMonitor::lost(int rank) const {
+  const Entry& entry = entries_.at(static_cast<std::size_t>(rank));
+  return entry.active && !entry.retired && entry.token.cancelled();
+}
+
+void HeartbeatMonitor::pause(int rank) {
+  Entry& entry = entries_.at(static_cast<std::size_t>(rank));
+  if (entry.retired) return;
+  entry.armed.reset();
+  entry.token = guard::CancelToken();
+  entry.active = false;
+}
+
+void HeartbeatMonitor::retire(int rank) {
+  Entry& entry = entries_.at(static_cast<std::size_t>(rank));
+  if (entry.retired) return;
+  if (entry.active && entry.token.cancelled()) {
+    lost_total_->add(1);
+  }
+  entry.armed.reset();
+  entry.retired = true;
+}
+
+bool HeartbeatMonitor::armed(int rank) const {
+  const Entry& entry = entries_.at(static_cast<std::size_t>(rank));
+  return entry.active && !entry.retired && !entry.token.cancelled();
+}
+
+}  // namespace sciprep::shard

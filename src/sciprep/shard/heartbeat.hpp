@@ -1,0 +1,77 @@
+// HeartbeatMonitor — rank liveness detection on top of guard::Watchdog
+// (sciprep::shard).
+//
+// Each monitored rank holds one armed watchdog deadline and a cancel token.
+// beat(rank) disarms and re-arms with a fresh token — a live rank's token is
+// never cancelled. A rank that stops beating (its heartbeat was suppressed
+// by an injected rank.heartbeat fault, or it genuinely hung) leaves its last
+// deadline armed; when it passes, the watchdog thread cancels the token and
+// lost(rank) flips true. Detection is therefore asynchronous and wall-clock
+// — exactly like a real cluster's failure detector — but *which* beat goes
+// missing is a pure function of the injector seed, so the recovered stream
+// is reproducible even though detection latency is not.
+//
+// Expiries ride the shared guard metrics (guard.deadline_expired_total /
+// guard.stall_seconds) plus shard.heartbeat.lost_total in the shard's own
+// registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sciprep/guard/cancel.hpp"
+#include "sciprep/guard/watchdog.hpp"
+#include "sciprep/obs/metrics.hpp"
+
+namespace sciprep::shard {
+
+class HeartbeatMonitor {
+ public:
+  /// Monitors ranks 0..world-1 with a per-beat deadline of
+  /// `deadline_seconds` (must be > 0). Metrics land in `metrics` (null =
+  /// process-global). Ranks start un-armed; the first beat() arms them.
+  HeartbeatMonitor(int world, double deadline_seconds,
+                   obs::MetricsRegistry* metrics = nullptr);
+
+  HeartbeatMonitor(const HeartbeatMonitor&) = delete;
+  HeartbeatMonitor& operator=(const HeartbeatMonitor&) = delete;
+
+  /// Record one liveness beat: re-arms `rank`'s deadline under a fresh
+  /// token. No-op for a retired rank.
+  void beat(int rank);
+
+  /// True once `rank`'s armed deadline expired without an intervening beat.
+  [[nodiscard]] bool lost(int rank) const;
+
+  /// Temporarily disarm `rank` (it exhausted its shard and is idle, not
+  /// dead): the deadline is dropped without counting a loss, and a later
+  /// beat() re-arms — e.g. when re-sharding hands the rank more work.
+  void pause(int rank);
+
+  /// Stop monitoring `rank` (it finished its shard, or its death has been
+  /// handled): disarms the deadline. A retired rank is never reported lost
+  /// again.
+  void retire(int rank);
+
+  /// True while `rank` has an armed, unexpired deadline.
+  [[nodiscard]] bool armed(int rank) const;
+
+  [[nodiscard]] double deadline_seconds() const noexcept { return deadline_; }
+
+ private:
+  struct Entry {
+    guard::CancelToken token;
+    guard::Watchdog::Armed armed;
+    std::string stage;  // "rank<N>.heartbeat"; stable storage for the armed entry
+    bool active = false;
+    bool retired = false;
+  };
+
+  double deadline_;
+  obs::Counter* lost_total_;  // shard.heartbeat.lost_total
+  guard::Watchdog watchdog_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sciprep::shard

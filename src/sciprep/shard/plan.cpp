@@ -1,0 +1,84 @@
+#include "sciprep/shard/plan.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sciprep/common/error.hpp"
+#include "sciprep/common/rng.hpp"
+
+namespace sciprep::shard {
+
+ShardPlan ShardPlan::build(std::size_t dataset_size,
+                           const std::vector<int>& ranks, std::uint64_t seed,
+                           std::uint64_t epoch, bool shuffle) {
+  if (ranks.empty()) {
+    throw ConfigError("shard: a plan needs at least one participating rank");
+  }
+  ShardPlan plan;
+  plan.epoch = epoch;
+  plan.seed = seed;
+  plan.shuffle = shuffle;
+  plan.ranks = ranks;
+  std::sort(plan.ranks.begin(), plan.ranks.end());
+  if (std::adjacent_find(plan.ranks.begin(), plan.ranks.end()) !=
+      plan.ranks.end()) {
+    throw ConfigError("shard: duplicate rank id in the participant list");
+  }
+
+  plan.global_order.resize(dataset_size);
+  std::iota(plan.global_order.begin(), plan.global_order.end(), 0);
+  if (shuffle) {
+    // Byte-identical to DataPipeline::start_epoch's shuffle: same stream
+    // split, same Fisher–Yates walk. A world of 1 therefore delivers the
+    // exact unsharded order.
+    Rng rng(split_seed(seed, epoch, kShuffleStream));
+    for (std::size_t i = plan.global_order.size(); i > 1; --i) {
+      std::swap(plan.global_order[i - 1], plan.global_order[rng.next_below(i)]);
+    }
+  }
+
+  const std::size_t k = plan.ranks.size();
+  plan.bounds.resize(k + 1);
+  for (std::size_t s = 0; s <= k; ++s) {
+    plan.bounds[s] = static_cast<std::uint64_t>(dataset_size * s / k);
+  }
+  return plan;
+}
+
+int ShardPlan::slot_of(int rank) const noexcept {
+  const auto it = std::lower_bound(ranks.begin(), ranks.end(), rank);
+  if (it == ranks.end() || *it != rank) return -1;
+  return static_cast<int>(it - ranks.begin());
+}
+
+std::vector<std::size_t> ShardPlan::local_order(std::size_t slot) const {
+  SCIPREP_ASSERT(slot + 1 < bounds.size());
+  return std::vector<std::size_t>(
+      global_order.begin() + static_cast<std::ptrdiff_t>(bounds[slot]),
+      global_order.begin() + static_cast<std::ptrdiff_t>(bounds[slot + 1]));
+}
+
+std::vector<std::uint64_t> ShardPlan::global_positions(std::size_t slot) const {
+  SCIPREP_ASSERT(slot + 1 < bounds.size());
+  std::vector<std::uint64_t> positions(bounds[slot + 1] - bounds[slot]);
+  std::iota(positions.begin(), positions.end(), bounds[slot]);
+  return positions;
+}
+
+std::uint64_t order_fingerprint(const std::vector<int>& ranks, int rank,
+                                std::uint64_t seed, bool shuffle, bool staged) {
+  std::uint64_t fp = 0x5348415244504C4EULL;  // "SHARDPLN"
+  auto mix = [&fp](std::uint64_t v) {
+    std::uint64_t state = fp ^ v;
+    fp = splitmix64(state);
+  };
+  mix(ranks.size());
+  for (const int r : ranks) mix(static_cast<std::uint64_t>(r));
+  mix(static_cast<std::uint64_t>(rank));
+  mix(seed);
+  mix(shuffle ? 1 : 0);
+  mix(staged ? 1 : 0);
+  return fp;
+}
+
+}  // namespace sciprep::shard

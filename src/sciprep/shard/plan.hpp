@@ -1,0 +1,75 @@
+// ShardPlan — the deterministic global shuffle and its per-rank partition
+// (sciprep::shard, DESIGN.md §12).
+//
+// The plan is the single source of truth for "which rank delivers which
+// sample, and where does that sample sit in the global stream". It computes
+// the global epoch order with the *same* epoch-keyed Fisher–Yates the
+// single-pipeline path uses (Rng over split_seed(seed, epoch,
+// kShuffleStream)), so a world of 1 reproduces the unsharded order byte for
+// byte, then slices it into balanced contiguous shards — one per
+// participating rank. Because the order is a pure function of (seed, epoch)
+// and the partition a pure function of the participant list, any two runs
+// that agree on those inputs agree on the entire global stream: the
+// bit-reproducibility claim reduces to this file.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sciprep::shard {
+
+/// One epoch's global order and its partition across `ranks`.
+struct ShardPlan {
+  std::uint64_t epoch = 0;
+  std::uint64_t seed = 0;
+  bool shuffle = true;
+
+  /// Sample ids in global stream order (position p holds the id delivered at
+  /// global position p). Identical to DataPipeline's own epoch order for the
+  /// same (seed, epoch, shuffle).
+  std::vector<std::size_t> global_order;
+
+  /// Participating rank ids, ascending (not necessarily contiguous — after a
+  /// death the next epoch's plan partitions among the survivors, keeping
+  /// their original ids).
+  std::vector<int> ranks;
+
+  /// First global position of each rank's shard, by slot (index into
+  /// `ranks`), plus a terminating global_order.size(): slot s owns positions
+  /// [bounds[s], bounds[s+1]).
+  std::vector<std::uint64_t> bounds;
+
+  /// Compute the plan: global shuffle (or identity order when `shuffle` is
+  /// false) and a balanced contiguous partition — slot s gets
+  /// [s*n/k, (s+1)*n/k), so shard sizes differ by at most one sample.
+  /// Throws ConfigError for an empty or duplicate-ridden rank list.
+  [[nodiscard]] static ShardPlan build(std::size_t dataset_size,
+                                       const std::vector<int>& ranks,
+                                       std::uint64_t seed, std::uint64_t epoch,
+                                       bool shuffle);
+
+  [[nodiscard]] std::size_t world() const noexcept { return ranks.size(); }
+
+  /// Slot of `rank` in this plan; -1 if the rank does not participate.
+  [[nodiscard]] int slot_of(int rank) const noexcept;
+
+  /// Sample ids of slot `slot`'s shard, in delivery order (what the rank's
+  /// pipeline uses as its epoch order).
+  [[nodiscard]] std::vector<std::size_t> local_order(std::size_t slot) const;
+
+  /// Global stream positions of slot `slot`'s shard, parallel to
+  /// local_order(): entry i is the global position of the rank's i-th local
+  /// position.
+  [[nodiscard]] std::vector<std::uint64_t> global_positions(
+      std::size_t slot) const;
+};
+
+/// Identity hash of a rank's sharded order provider, for
+/// PipelineConfig::order_fingerprint: mixes the participant list, the rank
+/// id, the shuffle seed/flag and the placement mode, so a snapshot taken as
+/// rank 2 of {0,1,2,3} refuses to resume as any other rank or world.
+[[nodiscard]] std::uint64_t order_fingerprint(const std::vector<int>& ranks,
+                                              int rank, std::uint64_t seed,
+                                              bool shuffle, bool staged);
+
+}  // namespace sciprep::shard

@@ -1,0 +1,60 @@
+# Elastic-sharding smoke, driven end to end through the trainer binary
+# (ctest -L shard). Three stages over one workload:
+#
+#   1. A healthy 4-rank run records the merged global stream digest
+#      ("S <epoch> <position> <crc>" per delivered sample, emitted from the
+#      coordinator's position-keyed digest at the end of the run).
+#   2. A single-rank run must reproduce that digest bit for bit — the global
+#      shuffle and the per-sample augmentations are rank-count invariant.
+#   3. A 4-rank run kills rank 2 mid-epoch; its undelivered shard remainder
+#      is redistributed to the survivors from its last coordinated
+#      checkpoint, and the merged stream must STILL match the healthy run
+#      (--expect-digest + --validate enforce digest identity, exact-once
+#      accounting, and the rank-loss bookkeeping).
+#
+# Usage: cmake -DTRAINER=<path> -DWORK_DIR=<dir> -P shard_kill_resume_smoke.cmake
+if(NOT DEFINED TRAINER OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "shard_kill_resume_smoke: pass -DTRAINER=... -DWORK_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(common_args
+  --workload cam --samples 32 --epochs 2 --dim 8 --batch 4 --workers 2
+  --placement cpu)
+
+execute_process(
+  COMMAND ${TRAINER} ${common_args} --ranks 4
+          --digest-out ${WORK_DIR}/healthy.digest --validate
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "healthy 4-rank run failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND ${TRAINER} ${common_args} --ranks 1
+          --expect-digest ${WORK_DIR}/healthy.digest --validate
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "1-rank run diverged from the 4-rank digest (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND ${TRAINER} ${common_args} --ranks 4
+          --kill-rank 2 --kill-at-batch 3 --checkpoint-every 2
+          --digest-out ${WORK_DIR}/killed.digest
+          --expect-digest ${WORK_DIR}/healthy.digest --validate
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "killed-and-resharded run failed the digest check (rc=${rc})")
+endif()
+
+# The recovered run's digest FILE must also be byte-identical to the healthy
+# one — both are emitted from the merged stream, so any difference means the
+# recovery path leaked into the canonical stream.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/healthy.digest ${WORK_DIR}/killed.digest
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "healthy and killed digest files differ")
+endif()
