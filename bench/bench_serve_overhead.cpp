@@ -1,0 +1,159 @@
+// Micro-benchmarks for the serve layer's healthy-path cost.
+//
+// A resident DataService must be ≈ free for the tenants it multiplexes.
+// Four tiers over the same two-tenant workload (two seeds, one epoch of the
+// shared 32-sample set per iteration, drained round-robin):
+//   - BarePipelines: the two pipelines run directly, each on its own
+//     2-worker pool — baseline.
+//   - Served: the same two tenants through one DataService at its defaults
+//     (stream verification off, cache off so both arms decode every
+//     sample). What this prices is the service plumbing per batch: the
+//     roster mutex, the lease beat, the stride-scheduled shared pool, and
+//     the admission ledger — the <1% contract.
+//   - ServedVerified: verify_stream on. The per-sample content CRC is the
+//     opt-in cost of bit-identity proofs, and on small samples it is a real
+//     fraction of decode — which is exactly why it is not the default.
+//   - ServedCached: the shared decoded-sample cache on. The second tenant
+//     hits the first tenant's decodes, so this tier is *faster* than bare —
+//     the cache's win, not an overhead.
+#include <benchmark/benchmark.h>
+
+#include "bench_gbench.hpp"
+#include "sciprep/codec/cosmo_codec.hpp"
+#include "sciprep/data/cosmo_gen.hpp"
+#include "sciprep/pipeline/pipeline.hpp"
+#include "sciprep/serve/service.hpp"
+
+namespace {
+
+using namespace sciprep;
+
+constexpr std::size_t kSamples = 32;
+constexpr std::size_t kBatch = 8;
+
+const pipeline::InMemoryDataset& shared_dataset() {
+  static const codec::CosmoCodec codec;
+  static const pipeline::InMemoryDataset dataset = [] {
+    data::CosmoGenConfig cfg;
+    cfg.dim = 16;
+    cfg.seed = 3;
+    const data::CosmoGenerator gen(cfg);
+    return pipeline::InMemoryDataset::make_cosmo(
+        gen, kSamples, pipeline::StorageFormat::kEncoded, &codec);
+  }();
+  return dataset;
+}
+
+const codec::CosmoCodec& shared_codec() {
+  static const codec::CosmoCodec codec;
+  return codec;
+}
+
+pipeline::PipelineConfig tenant_config(std::uint64_t seed) {
+  pipeline::PipelineConfig cfg;
+  cfg.batch_size = kBatch;
+  cfg.worker_threads = 2;
+  cfg.prefetch = false;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void BM_TwoPipelines_Bare(benchmark::State& state) {
+  obs::MetricsRegistry reg_a;
+  obs::MetricsRegistry reg_b;
+  pipeline::PipelineConfig cfg_a = tenant_config(1);
+  cfg_a.metrics = &reg_a;
+  pipeline::PipelineConfig cfg_b = tenant_config(2);
+  cfg_b.metrics = &reg_b;
+  pipeline::DataPipeline pa(shared_dataset(), shared_codec(), cfg_a);
+  pipeline::DataPipeline pb(shared_dataset(), shared_codec(), cfg_b);
+  std::uint64_t epoch = 0;
+  std::uint64_t samples = 0;
+  pipeline::Batch batch;
+  for (auto _ : state) {
+    pa.start_epoch(epoch);
+    pb.start_epoch(epoch);
+    ++epoch;
+    bool live_a = true;
+    bool live_b = true;
+    while (live_a || live_b) {
+      if (live_a && (live_a = pa.next_batch(batch))) {
+        samples += static_cast<std::uint64_t>(batch.size());
+        benchmark::DoNotOptimize(batch.samples.data());
+      }
+      if (live_b && (live_b = pb.next_batch(batch))) {
+        samples += static_cast<std::uint64_t>(batch.size());
+        benchmark::DoNotOptimize(batch.samples.data());
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(samples));
+}
+BENCHMARK(BM_TwoPipelines_Bare)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();
+
+void run_served_epochs(benchmark::State& state, bool verify,
+                       std::uint64_t cache_bytes) {
+  obs::MetricsRegistry registry;
+  serve::ServiceConfig scfg;
+  scfg.worker_threads = 2;
+  scfg.verify_stream = verify;
+  scfg.cache.capacity_bytes = cache_bytes;
+  scfg.metrics = &registry;
+  serve::DataService service(shared_dataset(), shared_codec(), scfg);
+  auto open = [&](const char* name, std::uint64_t seed) {
+    serve::TenantSpec spec;
+    spec.name = name;
+    spec.pipeline = tenant_config(seed);
+    spec.epochs = ~0ull;  // the benchmark loop decides how many actually run
+    return service.open_session(std::move(spec)).session;
+  };
+  const int sa = open("a", 1);
+  const int sb = open("b", 2);
+  constexpr std::size_t kBatchesPerEpoch = (kSamples + kBatch - 1) / kBatch;
+  std::uint64_t samples = 0;
+  pipeline::Batch batch;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatchesPerEpoch; ++i) {
+      service.next_batch(sa, batch);
+      samples += static_cast<std::uint64_t>(batch.size());
+      benchmark::DoNotOptimize(batch.samples.data());
+      service.next_batch(sb, batch);
+      samples += static_cast<std::uint64_t>(batch.size());
+      benchmark::DoNotOptimize(batch.samples.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(samples));
+  state.counters["cache_hits"] =
+      static_cast<double>(registry.counter_value("serve.cache.hits_total"));
+  service.close_session(sa);
+  service.close_session(sb);
+}
+
+void BM_TwoTenants_Served(benchmark::State& state) {
+  run_served_epochs(state, /*verify=*/false, /*cache_bytes=*/0);
+}
+BENCHMARK(BM_TwoTenants_Served)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();
+
+void BM_TwoTenants_ServedVerified(benchmark::State& state) {
+  run_served_epochs(state, /*verify=*/true, /*cache_bytes=*/0);
+}
+BENCHMARK(BM_TwoTenants_ServedVerified)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();
+
+void BM_TwoTenants_ServedCached(benchmark::State& state) {
+  run_served_epochs(state, /*verify=*/false, /*cache_bytes=*/64ull << 20);
+}
+BENCHMARK(BM_TwoTenants_ServedCached)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchutil::gbench_main(argc, argv, "serve_overhead");
+}

@@ -14,7 +14,10 @@
 //     probe also runs the critical-path analyzer over its registry so the
 //     record carries per-stage busy seconds and p50/p99 stage latencies;
 //     the shard probe compares the zero-fault ShardCoordinator at 1 and 4
-//     ranks against the bare pipeline (per-rank sharding cost).
+//     ranks against the bare pipeline (per-rank sharding cost); the serve
+//     probe multiplexes two tenants through a resident DataService and
+//     compares against the same two pipelines run bare (multi-tenant
+//     plumbing cost).
 //
 // Every probe is run `--warmup` times untimed, then `--repeat` times, and
 // the per-metric median is recorded — one slow run on a noisy host must not
@@ -40,6 +43,7 @@
 #include "sciprep/insight/insight.hpp"
 #include "sciprep/perfscope/perfscope.hpp"
 #include "sciprep/pipeline/pipeline.hpp"
+#include "sciprep/serve/service.hpp"
 #include "sciprep/shard/coordinator.hpp"
 #include "sciprep/sim/platform.hpp"
 #include "sciprep/sim/stepmodel.hpp"
@@ -462,6 +466,66 @@ std::vector<Probe> build_probes(const Args& args) {
                      per_sample_four / std::max(per_sample_one, 1e-12) - 1.0,
                      "fraction", "measured", /*better_higher=*/false,
                      /*noise_floor=*/0.15);
+      }});
+
+  // Serve layer: the same two-tenant workload as two bare pipelines run back
+  // to back vs multiplexed through one resident DataService (shared stride-
+  // scheduled pool, admission ledger, lease beats, per-sample stream digest).
+  // The cache is disabled so both arms decode every sample — this prices the
+  // service plumbing at its healthy-path defaults (stream verification off),
+  // not the cache's workload-dependent wins or the opt-in per-sample CRC.
+  // Only the drain loop is timed; service construction and admission are
+  // per-job one-offs.
+  probes.push_back(Probe{
+      "serve_overhead", fmt("epochs={}", args.epochs),
+      [&args](perfscope::BenchReporter& r) {
+        pipeline::PipelineConfig cfg_a = base_pipeline_config();
+        cfg_a.seed = 1;
+        pipeline::PipelineConfig cfg_b = base_pipeline_config();
+        cfg_b.seed = 2;
+        obs::MetricsRegistry reg_a;
+        obs::MetricsRegistry reg_b;
+        EpochRun base = run_epochs(cfg_a, &reg_a, args.epochs);
+        const EpochRun second = run_epochs(cfg_b, &reg_b, args.epochs);
+        base.cpu_seconds += second.cpu_seconds;
+        base.wall_seconds += second.wall_seconds;
+        base.samples += second.samples;
+
+        obs::MetricsRegistry reg_serve;
+        serve::ServiceConfig scfg;
+        scfg.worker_threads = 2;
+        scfg.cache.capacity_bytes = 0;
+        scfg.metrics = &reg_serve;
+        serve::DataService service(shared_dataset(), shared_codec(), scfg);
+        serve::TenantSpec spec_a;
+        spec_a.name = "a";
+        spec_a.pipeline = cfg_a;
+        spec_a.epochs = static_cast<std::uint64_t>(args.epochs);
+        serve::TenantSpec spec_b = spec_a;
+        spec_b.name = "b";
+        spec_b.pipeline = cfg_b;
+        const int sa = service.open_session(std::move(spec_a)).session;
+        const int sb = service.open_session(std::move(spec_b)).session;
+
+        EpochRun inst;
+        const double cpu0 = process_cpu_seconds();
+        const double wall0 = wall_seconds_now();
+        pipeline::Batch batch;
+        bool live_a = true;
+        bool live_b = true;
+        while (live_a || live_b) {
+          if (live_a && (live_a = service.next_batch(sa, batch))) {
+            inst.samples += static_cast<std::uint64_t>(batch.size());
+          }
+          if (live_b && (live_b = service.next_batch(sb, batch))) {
+            inst.samples += static_cast<std::uint64_t>(batch.size());
+          }
+        }
+        inst.wall_seconds = wall_seconds_now() - wall0;
+        inst.cpu_seconds = process_cpu_seconds() - cpu0;
+        service.close_session(sa);
+        service.close_session(sb);
+        add_overhead_metrics(r, "serve", base, inst);
       }});
 
   return probes;

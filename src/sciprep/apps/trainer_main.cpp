@@ -44,6 +44,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -73,6 +74,7 @@
 #include "sciprep/obs/obs.hpp"
 #include "sciprep/perfscope/resource.hpp"
 #include "sciprep/pipeline/pipeline.hpp"
+#include "sciprep/serve/service.hpp"
 #include "sciprep/shard/coordinator.hpp"
 
 namespace {
@@ -122,6 +124,14 @@ struct TrainerArgs {
   bool staged = true;                // per-rank staged dataset placement
   double heartbeat_ms = 250;         // per-rank heartbeat deadline
   std::string checkpoint_dir;        // coordinated rank-<r>.ckpt directory
+  // Serve: resident multi-tenant data service (sciprep::serve).
+  bool serve = false;                // serve mode: N tenants on one service
+  int tenants = 4;                   // concurrent tenant sessions
+  int faulty_tenant = -1;            // tenant given the injector + policy
+  int kill_tenant = -1;              // tenant whose consumer dies mid-epoch
+  bool overload = false;             // shrink the byte budget below demand
+  std::uint64_t serve_cache_mb = 64; // shared decode cache size (0 = off)
+  double lease_ms = 200;             // session lease deadline
 
   [[nodiscard]] bool sharded() const { return ranks > 0; }
 
@@ -150,7 +160,10 @@ struct TrainerArgs {
       "          [--flightrec-dir DIR] [--no-resource-sampling]\n"
       "          [--ranks N] [--kill-rank R] [--kill-at-batch N]\n"
       "          [--no-resharding] [--unstaged] [--heartbeat-ms MS]\n"
-      "          [--checkpoint-dir DIR]\n",
+      "          [--checkpoint-dir DIR]\n"
+      "          [--serve] [--tenants N] [--faulty-tenant T]\n"
+      "          [--kill-tenant T] [--overload] [--serve-cache-mb N]\n"
+      "          [--lease-ms MS]\n",
       argv0);
   std::exit(2);
 }
@@ -239,6 +252,20 @@ TrainerArgs parse_args(int argc, char** argv) {
       args.heartbeat_ms = std::atof(value());
     } else if (a == "--checkpoint-dir") {
       args.checkpoint_dir = value();
+    } else if (a == "--serve") {
+      args.serve = true;
+    } else if (a == "--tenants") {
+      args.tenants = std::atoi(value());
+    } else if (a == "--faulty-tenant") {
+      args.faulty_tenant = std::atoi(value());
+    } else if (a == "--kill-tenant") {
+      args.kill_tenant = std::atoi(value());
+    } else if (a == "--overload") {
+      args.overload = true;
+    } else if (a == "--serve-cache-mb") {
+      args.serve_cache_mb = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (a == "--lease-ms") {
+      args.lease_ms = std::atof(value());
     } else {
       std::fprintf(stderr, "trainer: unknown flag '%s'\n", argv[i]);
       usage(argv[0]);
@@ -254,6 +281,13 @@ TrainerArgs parse_args(int argc, char** argv) {
     usage(argv[0]);
   }
   if (args.ranks < 0 || args.kill_rank >= args.ranks) usage(argv[0]);
+  if (args.serve) {
+    if (args.sharded()) usage(argv[0]);  // serve and shard modes are exclusive
+    if (args.tenants < 1 || args.faulty_tenant >= args.tenants ||
+        args.kill_tenant >= args.tenants || args.lease_ms <= 0) {
+      usage(argv[0]);
+    }
+  }
   return args;
 }
 
@@ -807,6 +841,397 @@ int validate_shard(const TrainerArgs& args, const ShardRunResult& run) {
   return failures;
 }
 
+/// One tenant's outcome in a serve-mode run.
+struct ServeTenantResult {
+  std::string name;
+  int session = -1;  // -1 = admission rejected, never ran
+  serve::Admission admission = serve::Admission::kRejected;
+  serve::SessionState state = serve::SessionState::kClosed;
+  bool faulty = false;
+  bool killed = false;   // consumer death was simulated for this tenant
+  bool evicted = false;
+  std::uint64_t batches = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t deadline_expired = 0;  // tenant-registry watchdog expiries
+  std::uint32_t stream = 0;            // GlobalStreamDigest::stream_digest()
+  std::vector<std::string> digest_lines;  // "U <epoch> <pos> <crc>"
+};
+
+/// Serve-mode run summary, handed to the digest writer and validator.
+struct ServeRunResult {
+  std::vector<ServeTenantResult> tenants;
+  // The drill's own admission bookkeeping, reconciled against the
+  // serve.sessions_* counters under --validate.
+  std::uint64_t expected_admitted = 0;
+  std::uint64_t expected_degraded = 0;
+  std::uint64_t expected_rejected = 0;
+  std::uint64_t expected_evicted = 0;
+  std::uint64_t expected_suspended = 0;
+  std::uint64_t expected_reattached = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t committed_end = 0;  // committed bytes after every close
+  bool shedding_end = false;
+  std::size_t queue_end = 0;  // shared-pool backlog after every close
+};
+
+/// Run the serve arm (sciprep::serve, DESIGN.md §13): one resident
+/// DataService, N tenant sessions with distinct shuffle seeds multiplexed on
+/// the shared pool + cache, driven round-robin by one consumer. Drills:
+/// --faulty-tenant T gives exactly one tenant the injector, fault policy, and
+/// stage deadlines; --kill-tenant T simulates a consumer death (the drill
+/// stops calling next_batch) that is lease-swept, checkpointed, reattached,
+/// and completed bit-identically; --overload shrinks the in-flight byte
+/// budget below aggregate demand so admissions shed deterministically.
+void run_serve(const TrainerArgs& args, fault::Injector& injector,
+               insight::FlightRecorder* recorder, ServeRunResult& out) {
+  std::unique_ptr<codec::SampleCodec> codec;
+  std::unique_ptr<pipeline::InMemoryDataset> dataset;
+  if (args.workload == "cosmo") {
+    data::CosmoGenConfig gen_cfg;
+    gen_cfg.dim = args.dim;
+    gen_cfg.seed = 2022;
+    const data::CosmoGenerator generator(gen_cfg);
+    codec = std::make_unique<codec::CosmoCodec>();
+    dataset = std::make_unique<pipeline::InMemoryDataset>(
+        pipeline::InMemoryDataset::make_cosmo(
+            generator, static_cast<std::size_t>(args.samples),
+            pipeline::StorageFormat::kEncoded, codec.get()));
+  } else {
+    data::CamGenConfig gen_cfg;
+    gen_cfg.height = args.dim;
+    gen_cfg.width = args.dim;
+    gen_cfg.channels = 4;
+    gen_cfg.seed = 2022;
+    const data::CamGenerator generator(gen_cfg);
+    codec = std::make_unique<codec::CamCodec>();
+    dataset = std::make_unique<pipeline::InMemoryDataset>(
+        pipeline::InMemoryDataset::make_cam(
+            generator, static_cast<std::size_t>(args.samples),
+            pipeline::StorageFormat::kEncoded, codec.get()));
+  }
+  std::printf("dataset: %zu encoded %s samples, %s at rest, %d tenant(s)\n",
+              dataset->size(), args.workload.c_str(),
+              format_bytes(dataset->total_bytes()).c_str(), args.tenants);
+  if (args.placement == "gpu") {
+    std::printf("serve: forcing cpu decode (tenant pipelines share workers, "
+                "not a SimGpu)\n");
+  }
+
+  // The overload budget is expressed in full-session charges, so probe the
+  // decoded-sample footprint the same way the service will (see
+  // DataService::probe_sample_bytes).
+  std::uint64_t probe_bytes = 0;
+  {
+    fault::Injector none(1);
+    pipeline::PipelineConfig probe;
+    probe.batch_size = 1;
+    probe.shuffle = false;
+    probe.prefetch = false;
+    probe.injector = &none;
+    const pipeline::DataPipeline probe_pipe(*dataset, *codec, probe, nullptr);
+    probe_bytes = serve::tensor_bytes(probe_pipe.decode_sample(0));
+  }
+  const std::uint64_t full_charge =
+      static_cast<std::uint64_t>(args.batch) * probe_bytes * 2;
+
+  serve::ServiceConfig scfg;
+  scfg.verify_stream = true;  // the drill exists to prove per-tenant digests
+  scfg.worker_threads = args.workers;
+  scfg.cache.capacity_bytes = args.serve_cache_mb << 20;
+  scfg.lease_deadline_seconds = args.lease_ms / 1e3;
+  scfg.checkpoint_dir = args.checkpoint_dir;
+  scfg.metrics = &obs::MetricsRegistry::global();
+  scfg.limits.max_tenants = static_cast<std::size_t>(args.tenants);
+  // Overload: budget for half the roster at full service — with the default
+  // 0.75/0.5 watermarks a 4-tenant drill converges to 1 admitted, 2
+  // degraded, 1 rejected, every run. Healthy: twice the aggregate demand.
+  scfg.limits.max_inflight_bytes =
+      args.overload
+          ? std::max<std::uint64_t>(full_charge,
+                                    full_charge * args.tenants / 2)
+          : full_charge * static_cast<std::uint64_t>(args.tenants) * 2;
+  fault::RecoveryListener forward =
+      recorder != nullptr ? recorder->listener() : fault::RecoveryListener{};
+  scfg.on_event = [forward](const fault::RecoveryEvent& event) {
+    if (event.kind == fault::EventKind::kTenantLost ||
+        event.kind == fault::EventKind::kTenantEvicted ||
+        event.kind == fault::EventKind::kSessionShed) {
+      std::printf("serve: [%s] %s\n", event.scope.c_str(),
+                  event.detail.c_str());
+    }
+    if (forward) forward(event);
+  };
+
+  serve::DataService service(*dataset, *codec, std::move(scfg), nullptr);
+
+  out.tenants.resize(static_cast<std::size_t>(args.tenants));
+  std::vector<int> sessions(static_cast<std::size_t>(args.tenants), -1);
+  for (int t = 0; t < args.tenants; ++t) {
+    ServeTenantResult& tr = out.tenants[static_cast<std::size_t>(t)];
+    tr.name = fmt("tenant{}", t);
+    tr.faulty = t == args.faulty_tenant;
+
+    serve::TenantSpec spec;
+    spec.name = tr.name;
+    spec.epochs = static_cast<std::uint64_t>(args.epochs);
+    spec.weight = 1 + static_cast<std::uint32_t>(t % 2);
+    pipeline::PipelineConfig& pcfg = spec.pipeline;
+    pcfg.batch_size = args.batch;
+    pcfg.seed = 7 + static_cast<std::uint64_t>(t);
+    pcfg.decode_placement = codec::Placement::kCpu;
+    if (args.workload == "cosmo") {
+      pcfg.ops.push_back(std::make_shared<pipeline::ScaleOp>(1.0F));
+    } else {
+      pcfg.ops.push_back(std::make_shared<pipeline::RandomFlipX>());
+    }
+    if (tr.faulty) {
+      pcfg.fault_policy = make_fault_policy(args);
+      pcfg.injector = args.injecting() ? &injector : nullptr;
+      apply_guard_config(pcfg, args);
+    }
+
+    const serve::DataService::OpenResult open =
+        service.open_session(std::move(spec));
+    tr.session = open.session;
+    tr.admission = open.admission;
+    sessions[static_cast<std::size_t>(t)] = open.session;
+    switch (open.admission) {
+      case serve::Admission::kAdmitted:
+        ++out.expected_admitted;
+        break;
+      case serve::Admission::kDegraded:
+        ++out.expected_degraded;
+        break;
+      case serve::Admission::kRejected:
+        ++out.expected_rejected;
+        break;
+    }
+    std::printf("serve: tenant%d %s (seed %llu, weight %u)\n", t,
+                serve::admission_name(open.admission),
+                static_cast<unsigned long long>(7 + t), 1 + t % 2);
+  }
+
+  // Round-robin consumer: one batch per live tenant per turn, so every
+  // tenant's lease stays beaten and the shared pool sees genuinely
+  // interleaved fan-outs. --kill-tenant stops consuming (the session stays
+  // formally active — exactly what a crashed consumer looks like).
+  std::vector<bool> done(static_cast<std::size_t>(args.tenants), false);
+  int live = 0;
+  for (int t = 0; t < args.tenants; ++t) {
+    if (sessions[static_cast<std::size_t>(t)] < 0) {
+      done[static_cast<std::size_t>(t)] = true;
+    } else {
+      ++live;
+    }
+  }
+  bool kill_pending = false;
+  pipeline::Batch batch;
+  while (live > 0) {
+    for (int t = 0; t < args.tenants; ++t) {
+      const auto ti = static_cast<std::size_t>(t);
+      if (done[ti]) continue;
+      ServeTenantResult& tr = out.tenants[ti];
+      if (t == args.kill_tenant && !tr.killed &&
+          tr.batches >= args.kill_at_batch) {
+        std::printf("serve: tenant%d consumer dies after batch %llu\n", t,
+                    static_cast<unsigned long long>(tr.batches));
+        tr.killed = true;
+        kill_pending = true;
+        done[ti] = true;
+        --live;
+        continue;
+      }
+      try {
+        if (service.next_batch(sessions[ti], batch)) {
+          ++tr.batches;
+        } else {
+          service.close_session(sessions[ti]);
+          done[ti] = true;
+          --live;
+        }
+      } catch (const Error& e) {
+        std::printf("serve: tenant%d evicted: %s\n", t, e.what());
+        tr.evicted = true;
+        ++out.expected_evicted;
+        done[ti] = true;
+        --live;
+      }
+    }
+  }
+
+  // Crash recovery: let the dead consumer's lease lapse, sweep it into a
+  // checkpoint, reattach under current pressure, and finish the epochs. The
+  // digest is shared across the suspend, so validate/digest-compare prove
+  // the continuation bit-identical.
+  if (kill_pending) {
+    const auto ki = static_cast<std::size_t>(args.kill_tenant);
+    ServeTenantResult& tr = out.tenants[ki];
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(2.5 * args.lease_ms / 1e3));
+    const std::vector<std::string> lost = service.sweep_leases();
+    out.expected_suspended += lost.size();
+    for (const std::string& name : lost) {
+      std::printf("serve: lease swept '%s'\n", name.c_str());
+    }
+    const serve::DataService::OpenResult re = service.reattach(tr.name);
+    if (re.admission == serve::Admission::kRejected) {
+      ++out.expected_rejected;
+    } else {
+      ++out.expected_reattached;
+      if (re.admission == serve::Admission::kDegraded) {
+        ++out.expected_degraded;
+      } else {
+        ++out.expected_admitted;
+      }
+      tr.admission = re.admission;
+      std::printf("serve: tenant%d reattached %s at batch %llu\n",
+                  args.kill_tenant, serve::admission_name(re.admission),
+                  static_cast<unsigned long long>(tr.batches));
+      try {
+        while (service.next_batch(re.session, batch)) ++tr.batches;
+        service.close_session(re.session);
+      } catch (const Error& e) {
+        std::printf("serve: tenant%d evicted after reattach: %s\n",
+                    args.kill_tenant, e.what());
+        tr.evicted = true;
+        ++out.expected_evicted;
+      }
+    }
+  }
+
+  // Harvest per-tenant outcomes before the service (and with it every
+  // tenant registry and digest) goes away.
+  for (int t = 0; t < args.tenants; ++t) {
+    ServeTenantResult& tr = out.tenants[static_cast<std::size_t>(t)];
+    if (tr.session < 0) continue;
+    tr.state = service.session_state(tr.session);
+    const obs::MetricsRegistry& reg = service.tenant_metrics(tr.session);
+    tr.samples = reg.counter_value("pipeline.samples_total");
+    tr.skipped = reg.counter_value("pipeline.samples_skipped_total");
+    tr.deadline_expired = reg.counter_value("guard.deadline_expired_total");
+    const shard::GlobalStreamDigest& digest = service.digest(tr.session);
+    tr.stream = digest.stream_digest();
+    for (int epoch = 0; epoch < args.epochs; ++epoch) {
+      for (const auto& [position, crc] :
+           digest.entries(static_cast<std::uint64_t>(epoch))) {
+        tr.digest_lines.push_back(fmt("U {} {} {:08x}", epoch, position, crc));
+      }
+    }
+    std::printf(
+        "serve: tenant%d %s/%s — %llu batches, %llu samples, %llu skipped, "
+        "stream %08x\n",
+        t, serve::admission_name(tr.admission),
+        serve::session_state_name(tr.state),
+        static_cast<unsigned long long>(tr.batches),
+        static_cast<unsigned long long>(tr.samples),
+        static_cast<unsigned long long>(tr.skipped), tr.stream);
+  }
+  out.cache_hits = obs::MetricsRegistry::global().counter_value(
+      "serve.cache.hits_total");
+  out.committed_end = service.committed_bytes();
+  out.shedding_end = service.shedding();
+  out.queue_end = service.pool().queue_depth();
+}
+
+/// Serve-mode digest files: one per tenant ("U <epoch> <pos> <crc>" lines
+/// plus a footer), named <digest_out>.tenant<t>. The chaos smoke compares
+/// these byte-for-byte across fault-free and chaos runs to prove isolation
+/// and reattach bit-identity.
+void finish_serve_digest(const TrainerArgs& args, const ServeRunResult& run) {
+  if (args.digest_out.empty()) return;
+  for (std::size_t t = 0; t < run.tenants.size(); ++t) {
+    const ServeTenantResult& tr = run.tenants[t];
+    if (tr.session < 0) continue;  // rejected tenants have no stream
+    const std::string path = fmt("{}.tenant{}", args.digest_out, t);
+    std::ofstream file(path, std::ios::trunc);
+    if (!file) {
+      throw IoError(fmt("trainer: cannot write '{}'", path));
+    }
+    for (const std::string& line : tr.digest_lines) file << line << '\n';
+    file << fmt("T samples {} stream {:08x}\n", tr.digest_lines.size(),
+                tr.stream);
+  }
+  std::printf("digest: %zu tenant stream(s) -> %s.tenant*\n",
+              run.tenants.size(), args.digest_out.c_str());
+}
+
+/// --validate for serve mode: the drill's own admission bookkeeping must
+/// reconcile with the serve.sessions_* counters, every completed tenant must
+/// account for its samples exactly once, healthy tenants must be untouched
+/// by the chaos (no skips, no deadline expiries), and the service must have
+/// converged (charges released, shedding cleared, pool drained).
+int validate_serve(const TrainerArgs& args, const ServeRunResult& run) {
+  int failures = 0;
+  auto check = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      std::fprintf(stderr, "validate: FAIL %s\n", what.c_str());
+      ++failures;
+    }
+  };
+  const obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  auto counter_matches = [&](const char* name, std::uint64_t expected) {
+    check(reg.counter_value(name) == expected,
+          fmt("{} is {} (drill recorded {})", name, reg.counter_value(name),
+              expected));
+  };
+  counter_matches("serve.sessions_admitted_total", run.expected_admitted);
+  counter_matches("serve.sessions_degraded_total", run.expected_degraded);
+  counter_matches("serve.sessions_rejected_total", run.expected_rejected);
+  counter_matches("serve.sessions_evicted_total", run.expected_evicted);
+  counter_matches("serve.sessions_suspended_total", run.expected_suspended);
+  counter_matches("serve.sessions_reattached_total", run.expected_reattached);
+
+  const std::uint64_t expected_samples =
+      static_cast<std::uint64_t>(args.samples) *
+      static_cast<std::uint64_t>(args.epochs);
+  for (std::size_t t = 0; t < run.tenants.size(); ++t) {
+    const ServeTenantResult& tr = run.tenants[t];
+    if (tr.session < 0 || tr.evicted) continue;
+    check(tr.state == serve::SessionState::kClosed,
+          fmt("tenant{} reached a clean close (state: {})", t,
+              serve::session_state_name(tr.state)));
+    check(tr.samples + tr.skipped == expected_samples,
+          fmt("tenant{}: samples {} + skipped {} == dataset size x epochs {} "
+              "(exact-once per tenant)",
+              t, tr.samples, tr.skipped, expected_samples));
+    check(tr.digest_lines.size() == tr.samples,
+          fmt("tenant{}: digest covers every delivered sample ({} vs {})", t,
+              tr.digest_lines.size(), tr.samples));
+    if (!tr.faulty) {
+      check(tr.skipped == 0,
+            fmt("tenant{} is healthy yet skipped {} samples — isolation "
+                "breach",
+                t, tr.skipped));
+      check(tr.deadline_expired == 0,
+            fmt("tenant{} is healthy yet expired {} deadlines — overload or "
+                "chaos bled across tenants",
+                t, tr.deadline_expired));
+    }
+  }
+  if (args.overload) {
+    check(run.expected_degraded + run.expected_rejected > 0,
+          "overload drill actually shed at least one session");
+  }
+  if (args.kill_tenant >= 0 &&
+      run.tenants[static_cast<std::size_t>(args.kill_tenant)].session >= 0) {
+    check(run.expected_suspended == 1,
+          fmt("exactly the killed tenant's lease was swept ({} suspended)",
+              run.expected_suspended));
+    check(run.expected_reattached == 1, "the killed tenant reattached");
+  } else {
+    check(run.expected_suspended == 0, "no lease losses in a healthy run");
+  }
+  check(run.committed_end == 0,
+        fmt("every admission charge was released ({} bytes still committed)",
+            run.committed_end));
+  check(!run.shedding_end, "shedding cleared once the roster drained");
+  check(run.queue_end == 0,
+        fmt("shared pool drained ({} tasks still queued)", run.queue_end));
+  if (failures == 0) std::printf("validate(serve): OK\n");
+  return failures;
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -1104,9 +1529,12 @@ int main(int argc, char** argv) {
   }
 
   ShardRunResult shard_run;
+  ServeRunResult serve_run;
   const auto wall_t0 = std::chrono::steady_clock::now();
   try {
-    if (args.sharded()) {
+    if (args.serve) {
+      run_serve(args, injector, recorder ? &*recorder : nullptr, serve_run);
+    } else if (args.sharded()) {
       run_shard(args, injector, recorder ? &*recorder : nullptr, shard_run);
     } else if (args.workload == "cosmo") {
       run_cosmo(args, gpu, injector, rg, recorder ? &*recorder : nullptr,
@@ -1125,13 +1553,28 @@ int main(int argc, char** argv) {
   if (exporter) exporter->stop();  // final flush covers the partial interval
 
   if (args.sharded()) stats = shard_run.stats.totals;
-  std::printf(
-      "\npipeline: %llu samples in %llu batches (%s at rest), "
-      "decode cpu %.1f ms / gpu %.1f ms\n",
-      static_cast<unsigned long long>(stats.samples),
-      static_cast<unsigned long long>(stats.batches),
-      format_bytes(stats.bytes_at_rest).c_str(),
-      stats.decode_cpu_seconds * 1e3, stats.decode_gpu_seconds * 1e3);
+  if (args.serve) {
+    std::uint64_t samples = 0;
+    std::uint64_t batches = 0;
+    for (const ServeTenantResult& tr : serve_run.tenants) {
+      samples += tr.samples;
+      batches += tr.batches;
+    }
+    std::printf(
+        "\nserve: %llu samples in %llu batches across %d tenant(s), "
+        "%llu cache hits\n",
+        static_cast<unsigned long long>(samples),
+        static_cast<unsigned long long>(batches), args.tenants,
+        static_cast<unsigned long long>(serve_run.cache_hits));
+  } else {
+    std::printf(
+        "\npipeline: %llu samples in %llu batches (%s at rest), "
+        "decode cpu %.1f ms / gpu %.1f ms\n",
+        static_cast<unsigned long long>(stats.samples),
+        static_cast<unsigned long long>(stats.batches),
+        format_bytes(stats.bytes_at_rest).c_str(),
+        stats.decode_cpu_seconds * 1e3, stats.decode_gpu_seconds * 1e3);
+  }
   if (args.sharded()) {
     std::printf(
         "shard: world %d, %d alive; %llu lost, %llu reshards "
@@ -1155,8 +1598,14 @@ int main(int argc, char** argv) {
   std::printf("\n%s", obs::MetricsRegistry::global().human_dump().c_str());
 
   try {
-    int failures = args.sharded() ? finish_shard_digest(args, shard_run)
-                                  : rg.finish(stats, quarantine);
+    int failures = 0;
+    if (args.serve) {
+      finish_serve_digest(args, serve_run);
+    } else if (args.sharded()) {
+      failures = finish_shard_digest(args, shard_run);
+    } else {
+      failures = rg.finish(stats, quarantine);
+    }
     if (!args.trace_out.empty()) {
       obs::Tracer::global().write_chrome_json(args.trace_out);
       std::printf("trace: %zu spans -> %s\n",
@@ -1191,7 +1640,13 @@ int main(int argc, char** argv) {
           args.flightrec_dir.c_str());
     }
     if (args.validate) {
-      if (args.sharded()) {
+      if (args.serve) {
+        // Tenant pipelines run on private registries, so the unsharded
+        // registry cross-checks don't apply; the serve validator covers
+        // per-tenant exact-once accounting, counter reconciliation, and
+        // service convergence instead.
+        failures += validate_serve(args, serve_run);
+      } else if (args.sharded()) {
         // Per-rank pipeline metrics live in private registries, so the
         // unsharded registry cross-checks don't apply; the shard validator
         // covers exact-once accounting and digest coverage instead.

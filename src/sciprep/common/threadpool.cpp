@@ -1,7 +1,7 @@
 #include "sciprep/common/threadpool.hpp"
 
 #include <algorithm>
-#include <map>
+#include <memory>
 #include <utility>
 
 #include "sciprep/common/format.hpp"
@@ -69,16 +69,32 @@ ThreadPool::~ThreadPool() {
 
 std::size_t ThreadPool::queue_depth() const {
   std::lock_guard lock(mutex_);
-  return queue_.size();
+  return queued_;
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::enqueue_locked(QueuedTask task, std::uint64_t key,
+                                std::uint32_t weight) {
+  SubQueue& q = queues_[key];
+  q.weight = std::max<std::uint32_t>(1, weight);
+  if (q.tasks.empty()) {
+    // A class rejoining after idling starts at the current virtual time: it
+    // competes fairly from now on but cannot cash in credit accumulated
+    // while it had nothing to run.
+    q.pass = std::max(q.pass, vtime_);
+  }
+  q.tasks.push_back(std::move(task));
+  ++queued_;
+}
+
+void ThreadPool::submit(std::function<void()> task, std::uint64_t key,
+                        std::uint32_t weight) {
   std::size_t depth = 0;
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back({std::move(task), std::chrono::steady_clock::now(),
-                      guard::current_token()});
-    depth = queue_.size();
+    enqueue_locked({std::move(task), std::chrono::steady_clock::now(),
+                    guard::current_token(), /*group=*/nullptr},
+                   key, weight);
+    depth = queued_;
   }
   cv_task_.notify_one();
   if (ThreadPoolObserver* obs = observer_.load()) {
@@ -88,7 +104,7 @@ void ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  cv_idle_.wait(lock, [this] { return queued_ == 0 && active_ == 0; });
   if (first_error_) {
     std::exception_ptr err = std::exchange(first_error_, nullptr);
     lock.unlock();
@@ -98,7 +114,8 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn,
-                              std::size_t grain) {
+                              std::size_t grain, std::uint64_t key,
+                              std::uint32_t weight) {
   if (n == 0) return;
   grain = std::max<std::size_t>(1, grain);
   // Run inline when the pool would add nothing but overhead.
@@ -106,13 +123,41 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  // Group-local completion: the caller waits for exactly its own grains and
+  // sees exactly its own first failure — never another caller's — so many
+  // tenants can fan out on one shared pool without error or latency bleed.
+  auto group = std::make_shared<TaskGroup>();
   for (std::size_t begin = 0; begin < n; begin += grain) {
-    const std::size_t end = std::min(n, begin + grain);
-    submit([&fn, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    });
+    ++group->remaining;
   }
-  wait_idle();
+  std::size_t depth = 0;
+  std::size_t grains = 0;
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t begin = 0; begin < n; begin += grain) {
+      const std::size_t end = std::min(n, begin + grain);
+      ++grains;
+      enqueue_locked({[&fn, begin, end] {
+                        for (std::size_t i = begin; i < end; ++i) fn(i);
+                      },
+                      std::chrono::steady_clock::now(),
+                      guard::current_token(), group},
+                     key, weight);
+    }
+    depth = queued_;
+  }
+  cv_task_.notify_all();
+  if (ThreadPoolObserver* obs = observer_.load()) {
+    // One on_enqueue per task, pairing with each task's on_task_complete.
+    for (std::size_t g = 0; g < grains; ++g) obs->on_enqueue(depth);
+  }
+  std::unique_lock glock(group->m);
+  group->cv.wait(glock, [&] { return group->remaining == 0; });
+  if (group->error) {
+    std::exception_ptr err = std::exchange(group->error, nullptr);
+    glock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -120,12 +165,27 @@ void ThreadPool::worker_loop() {
     QueuedTask task;
     {
       std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
+      cv_task_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+      if (queued_ == 0) {
         return;  // stopping
       }
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      // Stride pick: the backlogged class with the smallest pass runs next
+      // (ties break toward the smallest key, deterministically). The number
+      // of classes is the number of concurrent tenants — single digits — so
+      // a linear scan beats any priority structure's constant factor.
+      auto chosen = queues_.end();
+      for (auto it = queues_.begin(); it != queues_.end(); ++it) {
+        if (it->second.tasks.empty()) continue;
+        if (chosen == queues_.end() || it->second.pass < chosen->second.pass) {
+          chosen = it;
+        }
+      }
+      SubQueue& q = chosen->second;
+      vtime_ = q.pass;
+      q.pass += kStrideUnit / q.weight;
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      --queued_;
       ++active_;
     }
     const auto started = std::chrono::steady_clock::now();
@@ -133,9 +193,14 @@ void ThreadPool::worker_loop() {
       const guard::CancelScope scope(std::move(task.token));
       task.fn();
     } catch (...) {
-      std::lock_guard lock(mutex_);
-      if (!first_error_) {
-        first_error_ = std::current_exception();
+      if (task.group) {
+        // Group tasks fail their own parallel_for call only.
+        std::lock_guard glock(task.group->m);
+        if (!task.group->error) task.group->error = std::current_exception();
+      } else {
+        // Bare submit()ed failures surface through wait_idle().
+        std::lock_guard lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
       }
     }
     if (ThreadPoolObserver* obs = observer_.load()) {
@@ -144,10 +209,19 @@ void ThreadPool::worker_loop() {
           std::chrono::duration<double>(started - task.enqueued_at).count(),
           std::chrono::duration<double>(finished - started).count());
     }
+    if (task.group) {
+      // Completion is announced only after the observer saw the task, so a
+      // caller woken by its group never races the pool's telemetry.
+      {
+        std::lock_guard glock(task.group->m);
+        --task.group->remaining;
+      }
+      task.group->cv.notify_one();
+    }
     {
       std::lock_guard lock(mutex_);
       --active_;
-      if (queue_.empty() && active_ == 0) {
+      if (queued_ == 0 && active_ == 0) {
         cv_idle_.notify_all();
       }
     }

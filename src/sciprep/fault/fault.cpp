@@ -83,6 +83,12 @@ const char* event_kind_name(EventKind kind) noexcept {
       return "rank_lost";
     case EventKind::kReshard:
       return "reshard";
+    case EventKind::kTenantLost:
+      return "tenant_lost";
+    case EventKind::kTenantEvicted:
+      return "tenant_evicted";
+    case EventKind::kSessionShed:
+      return "session_shed";
   }
   return "?";
 }

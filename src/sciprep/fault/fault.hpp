@@ -146,6 +146,13 @@ struct FaultPolicy {
   /// budget, so a persistent bad shard fails every epoch rather than only
   /// the first.
   std::uint64_t error_budget = 256;
+  /// Hard bound on the kSkipSample quarantine. Per epoch, a skip beyond the
+  /// cap escalates to kFail (reported as kBudgetExhausted) instead of
+  /// silently quarantining a pathologically corrupt dataset one sample at a
+  /// time; across epochs, the lifetime quarantine list is compacted and its
+  /// oldest entries evicted past the cap (fault.quarantine_evictions_total)
+  /// so it can never grow without limit.
+  std::uint64_t quarantine_cap = 1u << 16;
 
   [[nodiscard]] bool recovery_enabled() const noexcept {
     return on_transient != Action::kFail || on_corrupt != Action::kFail;
@@ -165,6 +172,9 @@ enum class EventKind : int {
   kResumeReject,     // checkpoint resume rejected (config mismatch)
   kRankLost,         // a rank stopped heartbeating or crashed mid-batch
   kReshard,          // a dead rank's remaining shard redistributed
+  kTenantLost,       // a serve tenant's session lease expired (dead consumer)
+  kTenantEvicted,    // a serve tenant evicted (error budget / cancellation)
+  kSessionShed,      // admission control rejected or degraded a session
 };
 
 const char* event_kind_name(EventKind kind) noexcept;
@@ -177,9 +187,10 @@ struct RecoveryEvent {
   std::uint64_t sample_index = 0;  // sample being processed (0 if n/a)
   int attempt = 0;                 // retry attempt number (0 if n/a)
   /// Which scope of a multi-pipeline run the event belongs to — "rank3" for
-  /// a sharded rank, empty (the default, and the single-pipeline case) for
-  /// process scope. Carried into flight-recorder incidents so an incident
-  /// names the rank it happened on.
+  /// a sharded rank, a tenant name for a serve session, empty (the default,
+  /// and the single-pipeline case) for process scope. Carried into
+  /// flight-recorder incidents so an incident names the rank or tenant it
+  /// happened on, and used by the recorder's per-scope rate limiting.
   std::string scope;
 };
 

@@ -52,6 +52,7 @@ BottleneckReport analyze_critical_path(const AnalyzerInput& input) {
   BottleneckReport report;
   report.wall_seconds = input.wall_seconds;
   report.workers = std::max<std::size_t>(1, input.workers);
+  report.scope = input.scope;
 
   // --- Histogram side: authoritative exclusive busy-seconds per stage. ---
   const double io = hist_sum(snap, "pipeline.stage.io_read_seconds");
@@ -212,11 +213,13 @@ std::string BottleneckReport::to_json() const {
   out.reserve(1024);
   out += fmt(
       "{{\"schema\":\"sciprep.insight.bottleneck.v1\",\"wall_seconds\":{},"
-      "\"workers\":{},\"dominant_stage\":\"{}\",\"verdict\":\"{}\","
+      "\"workers\":{},\"scope\":\"{}\",\"dominant_stage\":\"{}\","
+      "\"verdict\":\"{}\","
       "\"prefetch_stall_seconds\":{},\"prefetch_stall_fraction\":{},"
       "\"spans_complete\":{},\"ring_wrapped\":{},\"max_drift_fraction\":{},"
       "\"stages\":[",
-      obs::json_number(wall_seconds), workers, obs::json_escape(dominant_stage),
+      obs::json_number(wall_seconds), workers, obs::json_escape(scope),
+      obs::json_escape(dominant_stage),
       obs::json_escape(verdict), obs::json_number(prefetch_stall_seconds),
       obs::json_number(prefetch_stall_fraction), spans_complete, ring_wrapped,
       obs::json_number(max_drift_fraction));
@@ -252,8 +255,8 @@ std::string BottleneckReport::to_json() const {
 
 std::string BottleneckReport::human_table() const {
   std::string out;
-  out += fmt("bottleneck report — wall {:.3f}s, {} workers\n", wall_seconds,
-             workers);
+  out += fmt("bottleneck report — wall {:.3f}s, {} workers{}\n", wall_seconds,
+             workers, scope.empty() ? std::string() : fmt(", scope {}", scope));
   out += fmt("  verdict: {} (dominant stage: {})\n", verdict,
              dominant_stage.empty() ? "-" : dominant_stage);
   out += fmt("  prefetch stall: {:.3f}s ({:.1f}% of wall)\n",

@@ -47,6 +47,11 @@ struct StageCost {
 struct BottleneckReport {
   double wall_seconds = 0;
   std::size_t workers = 1;
+  /// Which scope of a multi-pipeline run this report describes — a tenant
+  /// name or "rank<N>" when the input registry was that scope's private
+  /// registry, "" (the default) for a whole-process report. Mirrors
+  /// fault::RecoveryEvent::scope and is carried into the JSON.
+  std::string scope;
 
   /// The stage with the largest exclusive busy time.
   std::string dominant_stage;
@@ -83,8 +88,11 @@ struct BottleneckReport {
 
 struct AnalyzerInput {
   /// Registry holding the pipeline.stage.* histograms; null means the
-  /// process-global registry.
+  /// process-global registry. Pass a rank's or tenant's private registry
+  /// (with `scope` set) for a per-scope report.
   const obs::MetricsRegistry* metrics = nullptr;
+  /// Scope label stamped into the report (see BottleneckReport::scope).
+  std::string scope{};
   /// Span source for the cross-check; null means Tracer::global().
   const obs::Tracer* tracer = nullptr;
   /// End-to-end wall time of the analyzed run (epoch loop), in seconds.

@@ -65,11 +65,17 @@ void FlightRecorder::record_incident(
     const auto now = std::chrono::steady_clock::now();
     const std::uint32_t kind_bit = 1u
                                    << static_cast<unsigned>(logged.event.kind);
-    const bool under_cap = written_ < config_.max_incidents;
+    // Rate limits are per scope: a rank's or tenant's storm spends its own
+    // cap and interval window, never another scope's first-of-kind dump.
+    ScopeState& scope = scopes_[logged.event.scope];
+    const bool under_cap =
+        scope.written < config_.max_incidents &&
+        (config_.max_total_incidents == 0 ||
+         written_ < config_.max_total_incidents);
     const bool interval_ok =
-        written_ == 0 || (dumped_kinds_ & kind_bit) == 0 ||
+        scope.written == 0 || (scope.dumped_kinds & kind_bit) == 0 ||
         config_.min_interval_seconds <= 0 ||
-        std::chrono::duration<double>(now - last_dump_at_).count() >=
+        std::chrono::duration<double>(now - scope.last_dump_at).count() >=
             config_.min_interval_seconds;
     if (!under_cap || !interval_ok) {
       suppressed_ += 1;
@@ -77,9 +83,10 @@ void FlightRecorder::record_incident(
       return;
     }
     dump_locked(logged);
-    dumped_kinds_ |= kind_bit;
+    scope.dumped_kinds |= kind_bit;
+    scope.written += 1;
+    scope.last_dump_at = now;
     written_ += 1;
-    last_dump_at_ = now;
     metrics_->counter("insight.incidents_written_total").add(1);
   } catch (const std::exception& e) {
     // Incident capture must never escalate the incident.

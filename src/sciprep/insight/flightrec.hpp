@@ -9,9 +9,13 @@
 // configuration it happened under.
 //
 // Dumps are crash-safe (tmp + rename, like guard snapshots) and rate-limited
-// two ways: a minimum interval between dumps and a per-recorder incident
-// cap, so a wholly-corrupt shard produces a handful of files, not one per
-// sample. Every event — dumped or suppressed — still lands in the in-memory
+// two ways: a minimum interval between dumps and an incident cap, so a
+// wholly-corrupt shard produces a handful of files, not one per sample.
+// Both limits are scoped per RecoveryEvent::scope (rank, tenant, or the ""
+// process scope): one tenant's incident storm spends only that tenant's
+// cap and interval, so another tenant's first-of-kind incident still dumps.
+// A global backstop (max_total_incidents) bounds the file count across all
+// scopes. Every event — dumped or suppressed — still lands in the in-memory
 // decision log, so the next dump carries the full recent history.
 //
 // record_incident() never throws: it is called from pool workers and the
@@ -23,6 +27,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <string>
 
@@ -40,12 +45,19 @@ struct FlightRecorderConfig {
   std::size_t max_spans = 256;
   /// Recovery events retained in the rolling decision log.
   std::size_t max_decision_log = 64;
-  /// Hard cap on incident files this recorder will ever write.
+  /// Cap on incident files *per scope* (a rank, a tenant, or the "" process
+  /// scope). A single-scope run behaves exactly as if this were a global
+  /// cap; in a multi-tenant run each tenant spends its own.
   std::uint64_t max_incidents = 16;
-  /// Minimum spacing between dumps; events inside the window are logged but
-  /// not dumped. Zero disables the interval limit (the cap still applies).
-  /// The first occurrence of each event kind bypasses the interval — a rare
-  /// deadline expiry arriving mid-retry-storm still produces its incident.
+  /// Backstop on incident files across every scope, so a run with many
+  /// misbehaving tenants still writes a bounded set. Zero disables.
+  std::uint64_t max_total_incidents = 64;
+  /// Minimum spacing between a scope's dumps; events inside the window are
+  /// logged but not dumped. Zero disables the interval limit (the caps
+  /// still apply). The first occurrence of each (scope, kind) bypasses the
+  /// interval — a rare deadline expiry arriving mid-retry-storm still
+  /// produces its incident, and tenant B's first incident is never gated on
+  /// tenant A's last dump time.
   double min_interval_seconds = 1.0;
   /// Metrics snapshot source; null means the process-global registry.
   obs::MetricsRegistry* metrics = nullptr;
@@ -89,6 +101,13 @@ class FlightRecorder {
     std::uint64_t t_ns = 0;  // tracer timebase
   };
 
+  /// Per-scope rate-limit bookkeeping (keyed by RecoveryEvent::scope).
+  struct ScopeState {
+    std::uint32_t dumped_kinds = 0;  // bitmask of EventKind values dumped
+    std::uint64_t written = 0;
+    std::chrono::steady_clock::time_point last_dump_at{};
+  };
+
   void dump_locked(const LoggedEvent& logged);
 
   FlightRecorderConfig config_;
@@ -97,10 +116,9 @@ class FlightRecorder {
 
   mutable std::mutex mutex_;
   std::deque<LoggedEvent> decision_log_;
-  std::uint32_t dumped_kinds_ = 0;  // bitmask of EventKind values dumped
-  std::uint64_t written_ = 0;
+  std::map<std::string, ScopeState> scopes_;
+  std::uint64_t written_ = 0;  // across all scopes; also the file seq number
   std::uint64_t suppressed_ = 0;
-  std::chrono::steady_clock::time_point last_dump_at_{};
 };
 
 }  // namespace sciprep::insight

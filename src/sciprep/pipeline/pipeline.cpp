@@ -59,6 +59,8 @@ DataPipeline::Handles::Handles(obs::MetricsRegistry& registry)
       samples_skipped(registry.counter("pipeline.samples_skipped_total")),
       retries(registry.counter("pipeline.retries_total")),
       fallbacks(registry.counter("pipeline.fallbacks_total")),
+      quarantine_evictions(
+          registry.counter("fault.quarantine_evictions_total")),
       degraded(registry.gauge("pipeline.degraded")),
       gpu_warps(registry.counter("pipeline.gpu.warps_total")),
       gpu_bytes_read(registry.counter("pipeline.gpu.bytes_read_total")),
@@ -100,11 +102,21 @@ DataPipeline::DataPipeline(const InMemoryDataset& dataset,
                     ? std::make_unique<guard::Watchdog>(metrics_)
                     : nullptr),
       pool_metrics_(*metrics_, "pipeline.pool"),
-      workers_(std::max<std::size_t>(1, config_.worker_threads)) {
+      owned_workers_(config_.shared_pool != nullptr
+                         ? nullptr
+                         : std::make_unique<ThreadPool>(
+                               std::max<std::size_t>(1,
+                                                     config_.worker_threads))),
+      workers_(config_.shared_pool != nullptr ? config_.shared_pool
+                                              : owned_workers_.get()) {
   if (config_.batch_size < 1) {
     throw ConfigError("pipeline: batch_size must be >= 1");
   }
-  workers_.set_observer(&pool_metrics_);
+  if (owned_workers_) {
+    // A shared pool keeps its owner's observer: pool telemetry there belongs
+    // to the service multiplexing the tenants, not to any one of them.
+    owned_workers_->set_observer(&pool_metrics_);
+  }
   if (watchdog_ != nullptr && config_.on_recovery_event) {
     // Deadline expiries are reported here, from the watchdog thread, and
     // nowhere else: the unwinding stage also surfaces them as a retried/
@@ -162,6 +174,7 @@ void DataPipeline::start_epoch(std::uint64_t epoch) {
   // including ones skipped last epoch — is re-attempted. The lifetime
   // quarantine_ is deliberately kept: it records which ids ever skipped.
   recovery_events_.store(0, std::memory_order_relaxed);
+  skip_events_.store(0, std::memory_order_relaxed);
   delivered_recovery_ = 0;
   epoch_quarantine_.clear();
   if (config_.epoch_order) {
@@ -313,10 +326,23 @@ DataPipeline::SlotOutcome DataPipeline::decode_with_recovery(
     std::size_t index) {
   const fault::FaultPolicy& policy = config_.fault_policy;
   SlotOutcome out;
+  if (config_.decode_cache != nullptr) {
+    // A cache hit replaces the whole fetch+decode; by the DecodeCache
+    // contract the bytes are exactly what decode_guarded would produce, so
+    // hits are invisible to digests, snapshots, and fingerprints.
+    codec::TensorF16 cached;
+    if (config_.decode_cache->lookup(index, cached)) {
+      out.tensor = std::move(cached);
+      return out;
+    }
+  }
   int attempt = 0;
   for (;;) {
     try {
       out.tensor = decode_guarded(index, attempt, /*force_cpu=*/false);
+      if (config_.decode_cache != nullptr) {
+        config_.decode_cache->insert(index, *out.tensor);
+      }
       return out;
     } catch (const std::exception& e) {
       const ErrorClass cls = classify(e);
@@ -384,6 +410,18 @@ DataPipeline::SlotOutcome DataPipeline::decode_with_recovery(
       if (action == fault::Action::kSkipSample) {
         if (!consume_budget()) {
           emit_event(fault::EventKind::kBudgetExhausted, "decode", e.what(),
+                     index, attempt);
+          throw;
+        }
+        // The quarantine has its own bound: a pathologically corrupt dataset
+        // escalates to failure once the epoch's skip count passes the cap,
+        // instead of quarantining its way through gigabytes one sample at a
+        // time (and growing the quarantine list without limit).
+        if (skip_events_.fetch_add(1, std::memory_order_relaxed) >=
+            config_.fault_policy.quarantine_cap) {
+          emit_event(fault::EventKind::kBudgetExhausted, "decode",
+                     fmt("quarantine cap {} exceeded: {}",
+                         config_.fault_policy.quarantine_cap, e.what()),
                      index, attempt);
           throw;
         }
@@ -458,7 +496,8 @@ DataPipeline::Assembled DataPipeline::assemble_batch(std::uint64_t first,
     m_.gpu_warps.add(after.warps - before.warps);
     m_.decode_gpu_seconds.record(after.wall_seconds - before.wall_seconds);
   } else {
-    workers_.parallel_for(count, decode_one);
+    workers_->parallel_for(count, decode_one, /*grain=*/1, config_.pool_key,
+                           config_.pool_weight);
   }
 
   out.batch.samples.reserve(count);
@@ -495,6 +534,30 @@ Batch DataPipeline::deliver(Assembled&& assembled) {
     epoch_quarantine_.insert(epoch_quarantine_.end(),
                              assembled.skipped.begin(),
                              assembled.skipped.end());
+    // Bound the lifetime list: the same at-rest-corrupt ids re-skip every
+    // epoch, so first fold duplicates (keeping first-seen order), then — if
+    // genuinely more *distinct* ids ever skipped than the cap — evict the
+    // oldest, counting evictions. The per-epoch escalation above makes this
+    // a multi-epoch backstop, not the primary defense.
+    const std::uint64_t cap = config_.fault_policy.quarantine_cap;
+    if (quarantine_.size() > cap) {
+      std::vector<std::size_t> seen;
+      std::vector<std::size_t> unique;
+      unique.reserve(quarantine_.size());
+      for (const std::size_t id : quarantine_) {
+        const auto it = std::lower_bound(seen.begin(), seen.end(), id);
+        if (it != seen.end() && *it == id) continue;
+        seen.insert(it, id);
+        unique.push_back(id);
+      }
+      if (unique.size() > cap) {
+        const std::size_t evicted = unique.size() - cap;
+        unique.erase(unique.begin(),
+                     unique.begin() + static_cast<std::ptrdiff_t>(evicted));
+        m_.quarantine_evictions.add(evicted);
+      }
+      quarantine_ = std::move(unique);
+    }
   }
   if (assembled.fallbacks > 0) m_.fallbacks.add(assembled.fallbacks);
   delivered_recovery_ += assembled.recovery_events;
@@ -656,6 +719,7 @@ void DataPipeline::resume(const guard::Snapshot& s) {
   consumed_ = s.cursor;
   batch_index_ = s.batch_index;
   recovery_events_.store(s.recovery_events, std::memory_order_relaxed);
+  skip_events_.store(s.epoch_quarantine.size(), std::memory_order_relaxed);
   delivered_recovery_ = s.recovery_events;
   quarantine_.assign(s.quarantine.begin(), s.quarantine.end());
   epoch_quarantine_.assign(s.epoch_quarantine.begin(),

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "sciprep/codec/codec.hpp"
+#include "sciprep/common/threadpool.hpp"
 #include "sciprep/fault/fault.hpp"
 #include "sciprep/guard/cancel.hpp"
 #include "sciprep/guard/snapshot.hpp"
@@ -40,6 +41,24 @@
 #include "sciprep/sim/simgpu.hpp"
 
 namespace sciprep::pipeline {
+
+/// Shared decoded-sample cache consulted around the decode path. A lookup
+/// hit replaces the whole fetch+decode of a sample; a successful primary
+/// decode is offered back via insert. Implementations must be thread-safe
+/// (decode workers call concurrently) and bit-transparent: lookup must only
+/// ever return exactly the bytes the pipeline would have decoded itself, so
+/// a cached run's delivered stream is bit-identical to an uncached one.
+/// sciprep::serve's SampleCache is the production implementation; only wire
+/// a cache into pipelines whose decode is deterministic per sample id (no
+/// at-rest fault injection).
+class DecodeCache {
+ public:
+  virtual ~DecodeCache() = default;
+  /// Fill `out` and return true on a hit.
+  virtual bool lookup(std::size_t index, codec::TensorF16& out) = 0;
+  /// Offer a decoded sample (pre-augmentation). May be dropped (quota).
+  virtual void insert(std::size_t index, const codec::TensorF16& tensor) = 0;
+};
 
 struct PipelineConfig {
   int batch_size = 4;
@@ -90,6 +109,22 @@ struct PipelineConfig {
   /// (world, rank, seed, placement) hash here so a rank-2 snapshot cannot
   /// resume into a rank-3 pipeline. Leave 0 when epoch_order is unset.
   std::uint64_t order_fingerprint = 0;
+  /// External worker pool for CPU decode fan-out. When set, the pipeline
+  /// multiplexes onto it (under pool_key/pool_weight) instead of spawning
+  /// its own `worker_threads` workers — this is how sciprep::serve shares
+  /// one pool across tenants. The pool must outlive the pipeline; the
+  /// pipeline does not attach its observer to a shared pool (the owner's
+  /// telemetry wins). Not part of the config fingerprint: scheduling never
+  /// changes delivered bytes.
+  ThreadPool* shared_pool = nullptr;
+  /// Scheduling class and fair-share weight on the shared pool (ignored for
+  /// an owned pool — a private pool has exactly one class).
+  std::uint64_t pool_key = 0;
+  std::uint32_t pool_weight = 1;
+  /// Shared decoded-sample cache (see DecodeCache). Null disables caching.
+  /// Must outlive the pipeline. Bit-transparent by contract, so also not
+  /// part of the config fingerprint.
+  DecodeCache* decode_cache = nullptr;
 };
 
 struct Batch {
@@ -231,6 +266,7 @@ class DataPipeline {
     obs::Counter& samples_skipped;
     obs::Counter& retries;
     obs::Counter& fallbacks;
+    obs::Counter& quarantine_evictions;
     obs::Gauge& degraded;
     obs::Counter& gpu_warps;
     obs::Counter& gpu_bytes_read;
@@ -317,8 +353,10 @@ class DataPipeline {
   std::unique_ptr<guard::Watchdog> watchdog_;
   obs::PoolMetrics pool_metrics_;
   // Declared after pool_metrics_ so the workers (who call the observer) are
-  // joined before the observer is destroyed.
-  ThreadPool workers_;
+  // joined before the observer is destroyed. Null when config.shared_pool
+  // multiplexes this pipeline onto an external pool.
+  std::unique_ptr<ThreadPool> owned_workers_;
+  ThreadPool* workers_;
 
   std::vector<std::size_t> order_;
   std::uint64_t epoch_ = 0;
@@ -331,6 +369,7 @@ class DataPipeline {
   std::optional<Assembled> ready_;
 
   std::atomic<std::uint64_t> recovery_events_{0};  // vs fault_policy.error_budget
+  std::atomic<std::uint64_t> skip_events_{0};  // vs fault_policy.quarantine_cap
   std::uint64_t delivered_recovery_ = 0;  // recovery events in delivered batches
   std::vector<std::size_t> quarantine_;        // lifetime skip events
   std::vector<std::size_t> epoch_quarantine_;  // this epoch's skip events

@@ -1,0 +1,120 @@
+#include "sciprep/serve/cache.hpp"
+
+namespace sciprep::serve {
+
+std::uint64_t tensor_bytes(const codec::TensorF16& tensor) {
+  return tensor.shape.size() * sizeof(std::uint64_t) +
+         tensor.values.size() * sizeof(Half) +
+         tensor.float_labels.size() * sizeof(float) +
+         tensor.byte_labels.size();
+}
+
+SampleCache::SampleCache(CacheConfig config)
+    : config_(config),
+      hits_((config.metrics != nullptr ? *config.metrics
+                                       : obs::MetricsRegistry::global())
+                .counter("serve.cache.hits_total")),
+      misses_((config.metrics != nullptr ? *config.metrics
+                                         : obs::MetricsRegistry::global())
+                  .counter("serve.cache.misses_total")),
+      inserts_((config.metrics != nullptr ? *config.metrics
+                                          : obs::MetricsRegistry::global())
+                   .counter("serve.cache.inserts_total")),
+      evictions_((config.metrics != nullptr ? *config.metrics
+                                            : obs::MetricsRegistry::global())
+                     .counter("serve.cache.evictions_total")),
+      quota_rejected_((config.metrics != nullptr
+                           ? *config.metrics
+                           : obs::MetricsRegistry::global())
+                          .counter("serve.cache.quota_rejected_total")),
+      bytes_gauge_((config.metrics != nullptr ? *config.metrics
+                                              : obs::MetricsRegistry::global())
+                       .gauge("serve.cache.bytes")) {}
+
+bool SampleCache::lookup(std::uint64_t key, std::size_t index,
+                         codec::TensorF16& out) {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(Key{key, index});
+  if (it == entries_.end()) {
+    misses_.add(1);
+    return false;
+  }
+  lru_.splice(lru_.end(), lru_, it->second.lru);  // refresh recency
+  out = it->second.tensor;
+  hits_.add(1);
+  return true;
+}
+
+void SampleCache::insert(std::uint64_t key, std::size_t index,
+                         std::uint64_t tenant,
+                         const codec::TensorF16& tensor) {
+  const std::uint64_t bytes = tensor_bytes(tensor);
+  std::lock_guard lock(mutex_);
+  if (bytes == 0 || bytes > config_.capacity_bytes) return;
+  const Key full_key{key, index};
+  if (entries_.count(full_key) > 0) return;  // racing decode already inserted
+  if (config_.per_tenant_quota_bytes > 0 &&
+      tenant_bytes_[tenant] + bytes > config_.per_tenant_quota_bytes) {
+    quota_rejected_.add(1);
+    return;
+  }
+  while (resident_ + bytes > config_.capacity_bytes && !lru_.empty()) {
+    evict_locked(lru_.front());
+    evictions_.add(1);
+  }
+  Entry entry;
+  entry.tensor = tensor;
+  entry.bytes = bytes;
+  entry.tenant = tenant;
+  entry.lru = lru_.insert(lru_.end(), full_key);
+  entries_.emplace(full_key, std::move(entry));
+  resident_ += bytes;
+  tenant_bytes_[tenant] += bytes;
+  inserts_.add(1);
+  bytes_gauge_.set(static_cast<std::int64_t>(resident_));
+}
+
+void SampleCache::drop_tenant(std::uint64_t tenant) {
+  std::lock_guard lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.tenant == tenant) {
+      const Key key = it->first;
+      ++it;  // evict_locked erases `key`; advance first
+      evict_locked(key);
+    } else {
+      ++it;
+    }
+  }
+  bytes_gauge_.set(static_cast<std::int64_t>(resident_));
+}
+
+std::uint64_t SampleCache::resident_bytes() const {
+  std::lock_guard lock(mutex_);
+  return resident_;
+}
+
+std::uint64_t SampleCache::tenant_bytes(std::uint64_t tenant) const {
+  std::lock_guard lock(mutex_);
+  const auto it = tenant_bytes_.find(tenant);
+  return it != tenant_bytes_.end() ? it->second : 0;
+}
+
+std::size_t SampleCache::entry_count() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+void SampleCache::evict_locked(const Key& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  resident_ -= it->second.bytes;
+  auto tenant_it = tenant_bytes_.find(it->second.tenant);
+  if (tenant_it != tenant_bytes_.end()) {
+    tenant_it->second -= std::min(tenant_it->second, it->second.bytes);
+  }
+  lru_.erase(it->second.lru);
+  entries_.erase(it);
+  bytes_gauge_.set(static_cast<std::int64_t>(resident_));
+}
+
+}  // namespace sciprep::serve

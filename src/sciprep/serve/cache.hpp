@@ -1,0 +1,124 @@
+// Shared decoded-sample cache (sciprep::serve).
+//
+// A resident data service decodes the same stored samples for many tenants;
+// the cache lets tenant B reuse tenant A's decode instead of re-running the
+// io/gunzip/codec path. It plugs into the pipeline through the
+// pipeline::DecodeCache seam and keeps that seam's bit-transparency
+// contract: entries hold the *pre-augmentation* decode output keyed by
+// (content key, sample index), and the service only wires a view into
+// tenants whose decode of a sample is a pure function of the sample id (no
+// fault injection), so a hit returns exactly the bytes a cold decode would
+// have produced and the delivered stream stays bit-identical either way.
+//
+// Two independent bounds keep one tenant from monopolising memory:
+//
+//   * capacity_bytes — total resident bytes, enforced by evicting the
+//     globally least-recently-used entries (serve.cache.evictions_total);
+//   * per_tenant_quota_bytes — an admission quota on the bytes each tenant
+//     may have *inserted* and still resident. An insert that would push its
+//     tenant over quota is dropped (serve.cache.quota_rejected_total)
+//     rather than evicting another tenant's entries. Lookups are unmetered:
+//     sharing is the point.
+//
+// Thread-safe (one mutex; decode workers of every tenant call concurrently).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <utility>
+
+#include "sciprep/codec/codec.hpp"
+#include "sciprep/obs/metrics.hpp"
+#include "sciprep/pipeline/pipeline.hpp"
+
+namespace sciprep::serve {
+
+/// Resident bytes of a decoded tensor (shape + values + both label kinds) —
+/// the unit the cache's capacity and quotas are accounted in.
+[[nodiscard]] std::uint64_t tensor_bytes(const codec::TensorF16& tensor);
+
+struct CacheConfig {
+  /// Total resident-byte budget; 0 disables the cache (every lookup misses,
+  /// every insert is dropped).
+  std::uint64_t capacity_bytes = 64ull << 20;
+  /// Per-tenant bound on inserted-and-still-resident bytes; 0 means no
+  /// per-tenant quota (capacity still applies).
+  std::uint64_t per_tenant_quota_bytes = 0;
+  /// serve.cache.* metrics land here; null means the process-global registry.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class SampleCache {
+ public:
+  explicit SampleCache(CacheConfig config);
+
+  SampleCache(const SampleCache&) = delete;
+  SampleCache& operator=(const SampleCache&) = delete;
+
+  /// Fill `out` on a hit for (key, index) and refresh its recency.
+  bool lookup(std::uint64_t key, std::size_t index, codec::TensorF16& out);
+
+  /// Offer a decoded sample under `tenant`'s quota. Oversized (> capacity),
+  /// over-quota, and duplicate offers are dropped; otherwise LRU entries are
+  /// evicted until the new entry fits.
+  void insert(std::uint64_t key, std::size_t index, std::uint64_t tenant,
+              const codec::TensorF16& tensor);
+
+  /// Drop every entry charged to `tenant`, refunding its quota — called when
+  /// a session is evicted so a dead tenant's working set frees immediately.
+  void drop_tenant(std::uint64_t tenant);
+
+  [[nodiscard]] std::uint64_t resident_bytes() const;
+  [[nodiscard]] std::uint64_t tenant_bytes(std::uint64_t tenant) const;
+  [[nodiscard]] std::size_t entry_count() const;
+
+ private:
+  using Key = std::pair<std::uint64_t, std::size_t>;  // (content key, index)
+
+  struct Entry {
+    codec::TensorF16 tensor;
+    std::uint64_t bytes = 0;
+    std::uint64_t tenant = 0;  // whose quota the entry is charged to
+    std::list<Key>::iterator lru;
+  };
+
+  void evict_locked(const Key& key);
+
+  CacheConfig config_;
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& inserts_;
+  obs::Counter& evictions_;
+  obs::Counter& quota_rejected_;
+  obs::Gauge& bytes_gauge_;
+
+  mutable std::mutex mutex_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // front = least recently used
+  std::uint64_t resident_ = 0;
+  std::map<std::uint64_t, std::uint64_t> tenant_bytes_;
+};
+
+/// A tenant's handle on the shared cache: binds the tenant's quota identity
+/// and content key so the pipeline-facing DecodeCache interface stays
+/// tenant-agnostic. The view is what PipelineConfig::decode_cache points at.
+class TenantCacheView final : public pipeline::DecodeCache {
+ public:
+  TenantCacheView(SampleCache& cache, std::uint64_t key, std::uint64_t tenant)
+      : cache_(cache), key_(key), tenant_(tenant) {}
+
+  bool lookup(std::size_t index, codec::TensorF16& out) override {
+    return cache_.lookup(key_, index, out);
+  }
+  void insert(std::size_t index, const codec::TensorF16& tensor) override {
+    cache_.insert(key_, index, tenant_, tensor);
+  }
+
+ private:
+  SampleCache& cache_;
+  std::uint64_t key_;
+  std::uint64_t tenant_;
+};
+
+}  // namespace sciprep::serve

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sciprep/codec/cam_codec.hpp"
@@ -454,6 +456,82 @@ TEST(Pipeline, PrefetchFutureExceptionLeavesNextBatchWellDefined) {
   // The pipeline stays usable for further epochs after mid-prefetch throws.
   const auto second = count_epoch(1);
   EXPECT_EQ(first.first + first.second, second.first + second.second);
+}
+
+// Satellite: the per-epoch quarantine cap. A wholly corrupt dataset under
+// the skip policy may quarantine at most `quarantine_cap` samples per epoch;
+// the next skip escalates to failure and is reported as kBudgetExhausted
+// naming the cap — it must not quarantine its way through one sample at a
+// time forever.
+TEST(FaultPolicy, QuarantineCapEscalatesWithinTheEpoch) {
+  Rig rig(12);
+  fault::Injector inj(3, &rig.registry);
+  inj.configure(fault::Site::kCodecDecode, {.corrupt_probability = 1.0});
+  fault::FaultPolicy policy;
+  policy.on_corrupt = fault::Action::kSkipSample;
+  policy.error_budget = 100;   // ample: the cap, not the budget, escalates
+  policy.quarantine_cap = 4;
+
+  std::mutex events_mutex;
+  std::uint64_t skips = 0;
+  std::vector<std::string> exhausted_details;
+  PipelineConfig base;
+  base.shuffle = false;
+  base.prefetch = false;
+  base.batch_size = 1;
+  base.worker_threads = 1;
+  base.on_recovery_event = [&](const fault::RecoveryEvent& event) {
+    const std::lock_guard lock(events_mutex);
+    if (event.kind == fault::EventKind::kSkipSample) ++skips;
+    if (event.kind == fault::EventKind::kBudgetExhausted) {
+      exhausted_details.push_back(event.detail);
+    }
+  };
+  DataPipeline pipe = rig.make(&inj, policy, base);
+
+  pipe.start_epoch(0);
+  Batch batch;
+  EXPECT_THROW(pipe.next_batch(batch), Error);
+  EXPECT_EQ(skips, 4u);  // exactly the cap was quarantined, then escalation
+  ASSERT_FALSE(exhausted_details.empty());
+  EXPECT_NE(exhausted_details.front().find("quarantine cap 4"),
+            std::string::npos);
+  EXPECT_EQ(pipe.stats().samples, 0u);
+}
+
+// Satellite: the lifetime quarantine list is a bounded structure. Feeding
+// the pipeline disjoint (all-corrupt) sample windows per epoch accumulates
+// more distinct quarantined ids than the cap; the list must compact to the
+// newest `cap` ids and count the evicted ones.
+TEST(FaultPolicy, QuarantineListEvictsOldestPastTheCapAcrossEpochs) {
+  Rig rig(9);
+  fault::Injector inj(3, &rig.registry);
+  inj.configure(fault::Site::kCodecDecode, {.corrupt_probability = 1.0});
+  fault::FaultPolicy policy;
+  policy.on_corrupt = fault::Action::kSkipSample;
+  policy.quarantine_cap = 5;
+  PipelineConfig base;
+  base.shuffle = false;
+  base.prefetch = false;
+  base.batch_size = 3;
+  base.worker_threads = 1;
+  // Three disjoint ids per epoch: 3 skips stay under the per-epoch cap while
+  // the lifetime set grows to 9 distinct ids.
+  base.epoch_order = [](std::uint64_t epoch) {
+    std::vector<std::size_t> ids;
+    for (std::size_t i = 0; i < 3; ++i) ids.push_back(3 * epoch + i);
+    return ids;
+  };
+  DataPipeline pipe = rig.make(&inj, policy, base);
+
+  for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
+    EXPECT_EQ(drain_epoch(pipe, epoch), 0u);
+  }
+  // 9 distinct ids ever skipped, cap 5: ids 0-3 were evicted oldest-first.
+  const std::vector<std::size_t> expect{4, 5, 6, 7, 8};
+  EXPECT_EQ(pipe.quarantine(), expect);
+  EXPECT_EQ(rig.registry.counter_value("fault.quarantine_evictions_total"),
+            4u);
 }
 
 TEST(Pipeline, AllSamplesSkippedYieldsCleanEmptyEpoch) {

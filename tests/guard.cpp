@@ -555,5 +555,161 @@ TEST(PipelineGuard, ResumeRejectsAForeignSnapshot) {
   EXPECT_THROW(pipe.resume(snap), ConfigError);
 }
 
+// Satellite: snapshot() racing asynchronous cancellation. A consumer that
+// checkpoints after every delivered batch while another thread cancels the
+// pipeline's token mid-run must (a) see the cancellation only as a typed
+// CancelledError from next_batch()/snapshot(), never a hang or a torn
+// snapshot, and (b) be able to resume from its last good checkpoint into a
+// fresh pipeline that re-delivers the uninterrupted run's batches
+// bit-identically from that cut — the serve suspend/reattach shape.
+TEST(PipelineGuard, SnapshotRacesCancellationAndLastCheckpointResumes) {
+  const std::size_t n = 48;
+  PipelineConfig base;
+  base.batch_size = 4;
+  base.prefetch = true;
+  base.worker_threads = 4;
+
+  // Uninterrupted reference digests.
+  std::map<std::uint64_t, std::uint32_t> reference;
+  {
+    GuardRig rig(n);
+    DataPipeline pipe = rig.make(base);
+    Batch batch;
+    while (pipe.next_batch(batch)) {
+      reference[batch.index_in_epoch] = batch_crc(batch);
+    }
+  }
+
+  // Raced run: checkpoint at every delivered-batch boundary while a second
+  // thread cancels somewhere in the middle of the epoch.
+  GuardRig rig(n);
+  PipelineConfig raced = base;
+  raced.cancel = CancelToken::make();
+  DataPipeline pipe = rig.make(raced);
+  Batch batch;
+  ASSERT_TRUE(pipe.next_batch(batch));  // guarantee one pre-race checkpoint
+  std::uint64_t delivered = 1;
+  Snapshot last_good = Snapshot::parse(ByteSpan(pipe.snapshot().serialize()));
+  std::thread canceller([&raced] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    raced.cancel.cancel("raced shutdown");
+  });
+  bool cancelled = false;
+  try {
+    while (pipe.next_batch(batch)) {
+      ++delivered;
+      Snapshot snap = pipe.snapshot();
+      // Every checkpoint survives its wire round-trip, even mid-race.
+      snap = Snapshot::parse(ByteSpan(snap.serialize()));
+      EXPECT_EQ(snap.batch_index, delivered);
+      last_good = std::move(snap);
+    }
+  } catch (const CancelledError&) {
+    cancelled = true;
+  }
+  canceller.join();
+
+  // Resume the last good checkpoint in a fresh pipeline (fresh token): it
+  // must deliver exactly the reference batches from the cut onward.
+  GuardRig resumed_rig(n);
+  DataPipeline resumed = resumed_rig.make(base);
+  resumed.resume(last_good);
+  std::map<std::uint64_t, std::uint32_t> suffix;
+  while (resumed.next_batch(batch)) {
+    suffix[batch.index_in_epoch] = batch_crc(batch);
+  }
+  EXPECT_EQ(suffix.size() + last_good.batch_index, reference.size());
+  for (const auto& [index, crc] : suffix) {
+    ASSERT_TRUE(reference.count(index)) << "unexpected batch " << index;
+    EXPECT_EQ(crc, reference.at(index)) << "batch " << index;
+  }
+  // When the cancel landed mid-epoch the raced run must not have silently
+  // delivered the whole epoch anyway.
+  if (cancelled) {
+    EXPECT_LT(delivered, reference.size());
+  }
+}
+
+// Satellite: snapshot() racing watchdog deadline expiry under the default
+// kFail policy. Checkpointing after every delivered batch means snapshot()'s
+// quiesce is what completes the in-flight prefetch — when that batch's read
+// stalls past the io.read deadline, the DeadlineError must surface as a
+// typed error (out of snapshot() or the next next_batch()), and afterwards
+// the pipeline must still produce a parseable, in-bounds snapshot.
+TEST(PipelineGuard, SnapshotRacesDeadlineExpiryUnderKFail) {
+  const std::size_t n = 24;
+  GuardRig rig(n);
+  // Half the reads stall 0.5s against a 25ms deadline; kFail escalates.
+  rig.injector.configure(fault::Site::kIoRead,
+                         {.delay_probability = 0.5, .delay_seconds = 0.5});
+  PipelineConfig base;
+  base.batch_size = 4;
+  base.prefetch = true;
+  base.worker_threads = 2;
+  base.shuffle = false;
+  base.deadlines.io_read_seconds = 0.025;
+  DataPipeline pipe = rig.make(base, /*inject=*/true);
+
+  pipe.start_epoch(0);
+  Batch batch;
+  std::uint64_t delivered = 0;
+  std::uint64_t escalations = 0;
+  for (int i = 0; i < 32; ++i) {
+    try {
+      if (!pipe.next_batch(batch)) break;
+      ++delivered;
+      Snapshot snap = pipe.snapshot();  // quiesces the in-flight prefetch
+      snap = Snapshot::parse(ByteSpan(snap.serialize()));
+      EXPECT_EQ(snap.batches, delivered);
+    } catch (const TransientError&) {
+      ++escalations;  // DeadlineError is-a TransientError
+    }
+  }
+  EXPECT_GT(escalations, 0u);
+  EXPECT_GT(rig.registry.counter_value("guard.deadline_expired_total"), 0u);
+  // The pipeline is not wedged: a final snapshot parses and stays in bounds.
+  Snapshot final_snap = pipe.snapshot();
+  final_snap = Snapshot::parse(ByteSpan(final_snap.serialize()));
+  EXPECT_EQ(final_snap.epoch, 0u);
+  EXPECT_LE(final_snap.cursor, n);
+  EXPECT_EQ(final_snap.batches, delivered);
+}
+
+// Same race under a recovery policy: with on_transient = kSkipSample every
+// deadline expiry quarantines instead of escalating, so *every* snapshot —
+// including ones whose quiesce absorbed a stalled prefetch — must succeed,
+// and the final accounting covers the whole epoch.
+TEST(PipelineGuard, SnapshotRacesDeadlineExpiryUnderSkipPolicy) {
+  const std::size_t n = 16;
+  GuardRig rig(n);
+  rig.injector.configure(fault::Site::kIoRead,
+                         {.delay_probability = 0.5, .delay_seconds = 0.5});
+  PipelineConfig base;
+  base.batch_size = 4;
+  base.prefetch = true;
+  base.worker_threads = 2;
+  base.shuffle = false;
+  base.fault_policy.on_transient = fault::Action::kSkipSample;
+  base.fault_policy.error_budget = 1u << 20;
+  base.deadlines.io_read_seconds = 0.025;
+  DataPipeline pipe = rig.make(base, /*inject=*/true);
+
+  pipe.start_epoch(0);
+  Batch batch;
+  std::uint64_t delivered = 0;
+  while (pipe.next_batch(batch)) {
+    delivered += batch.samples.size();
+    const Snapshot snap =
+        Snapshot::parse(ByteSpan(pipe.snapshot().serialize()));
+    EXPECT_EQ(snap.samples, delivered);
+  }
+  const Snapshot final_snap =
+      Snapshot::parse(ByteSpan(pipe.snapshot().serialize()));
+  EXPECT_EQ(final_snap.samples + final_snap.samples_skipped, n);
+  EXPECT_GT(final_snap.samples_skipped, 0u);
+  EXPECT_EQ(final_snap.quarantine.size(), final_snap.samples_skipped);
+  EXPECT_GT(rig.registry.counter_value("guard.deadline_expired_total"), 0u);
+}
+
 }  // namespace
 }  // namespace sciprep::guard

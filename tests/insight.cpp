@@ -419,6 +419,94 @@ TEST(FlightRecorder, ListenerFeedsRecordIncident) {
   EXPECT_EQ(count_incident_files(dir), 1u);
 }
 
+fault::RecoveryEvent make_scoped_event(fault::EventKind kind,
+                                       const std::string& scope) {
+  fault::RecoveryEvent event = make_event(kind);
+  event.scope = scope;
+  return event;
+}
+
+// Satellite: rate limits are per scope. One tenant's incident storm spends
+// only that tenant's interval window and cap — another tenant's first
+// incident of the same kind still produces its file, attributed to its own
+// scope.
+TEST(FlightRecorder, TenantStormDoesNotSuppressAnotherTenantsFirstIncident) {
+  const std::string dir = scratch_dir("flightrec_scopes");
+  obs::MetricsRegistry reg;
+  obs::Tracer tracer(16);
+  FlightRecorderConfig cfg;
+  cfg.dir = dir;
+  cfg.metrics = &reg;
+  cfg.tracer = &tracer;
+  cfg.min_interval_seconds = 3600;  // nothing re-dumps inside the test
+  FlightRecorder recorder(cfg);
+
+  for (int i = 0; i < 8; ++i) {
+    recorder.record_incident(
+        make_scoped_event(fault::EventKind::kRetry, "tenant0"));
+  }
+  EXPECT_EQ(recorder.incidents_written(), 1u);
+  EXPECT_EQ(recorder.incidents_suppressed(), 7u);
+
+  // Same kind, different scope: tenant1's first retry is not a repeat of
+  // tenant0's — it dumps, and the file names its scope.
+  recorder.record_incident(
+      make_scoped_event(fault::EventKind::kRetry, "tenant1"));
+  EXPECT_EQ(recorder.incidents_written(), 2u);
+  EXPECT_EQ(count_incident_files(dir), 2u);
+  const std::string body = read_all(dir + "/incident-1-retry.json");
+  EXPECT_TRUE(obs::json_valid(body)) << body;
+  EXPECT_NE(body.find("\"scope\":\"tenant1\""), std::string::npos) << body;
+
+  // And the per-scope cap is per scope too: tenant1's next *new* kind dumps
+  // even though tenant0 already spent several suppressions.
+  recorder.record_incident(
+      make_scoped_event(fault::EventKind::kDeadlineExpired, "tenant1"));
+  EXPECT_EQ(recorder.incidents_written(), 3u);
+}
+
+// Satellite: the global backstop bounds the file count across all scopes —
+// a service with many tenants cannot scale incident files with tenant count
+// past max_total_incidents, even though each tenant is under its own cap.
+TEST(FlightRecorder, TotalIncidentBackstopBoundsAcrossScopes) {
+  const std::string dir = scratch_dir("flightrec_total");
+  obs::MetricsRegistry reg;
+  obs::Tracer tracer(16);
+  FlightRecorderConfig cfg;
+  cfg.dir = dir;
+  cfg.metrics = &reg;
+  cfg.tracer = &tracer;
+  cfg.min_interval_seconds = 0;
+  cfg.max_incidents = 2;        // per scope
+  cfg.max_total_incidents = 3;  // global backstop
+  FlightRecorder recorder(cfg);
+
+  recorder.record_incident(make_scoped_event(fault::EventKind::kRetry, "a"));
+  recorder.record_incident(
+      make_scoped_event(fault::EventKind::kSkipSample, "a"));
+  recorder.record_incident(make_scoped_event(fault::EventKind::kRetry, "b"));
+  // Scope "b" still has per-scope headroom, but the backstop is spent.
+  recorder.record_incident(
+      make_scoped_event(fault::EventKind::kSkipSample, "b"));
+  recorder.record_incident(make_scoped_event(fault::EventKind::kRetry, "c"));
+  EXPECT_EQ(recorder.incidents_written(), 3u);
+  EXPECT_EQ(recorder.incidents_suppressed(), 2u);
+  EXPECT_EQ(count_incident_files(dir), 3u);
+}
+
+// Satellite: a per-tenant bottleneck report carries its scope into the JSON,
+// so serve-mode reports stay attributable after they are written out.
+TEST(Analyze, ReportCarriesTheTenantScope) {
+  obs::MetricsRegistry reg;
+  reg.histogram("pipeline.stage.decode_seconds").record(0.5);
+  const BottleneckReport report = analyze_critical_path(
+      {.metrics = &reg, .scope = "tenant3", .wall_seconds = 1.0, .workers = 2});
+  EXPECT_EQ(report.scope, "tenant3");
+  const std::string json = report.to_json();
+  EXPECT_TRUE(obs::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"scope\":\"tenant3\""), std::string::npos) << json;
+}
+
 #else  // SCIPREP_OBS_DISABLED
 
 // With the instrumentation compiled out, every insight entry point must be a

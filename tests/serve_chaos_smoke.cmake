@@ -1,0 +1,90 @@
+# Multi-tenant serving chaos smoke, driven end to end through the trainer
+# binary (ctest -L serve). Four tenants share one resident DataService; the
+# acceptance bar is tenant fault isolation and bit-identical crash recovery:
+#
+#   1. A fault-free 4-tenant run records every tenant's stream digest
+#      ("U <epoch> <position> <crc>" per delivered sample, one file per
+#      tenant), with all counters reconciled under --validate.
+#   2. A chaos run injects corruption + transients into tenant 2 (skip
+#      policy) AND kills its consumer mid-epoch; the dead session is lease-
+#      swept, checkpointed, and reattached. The healthy tenants {0, 1, 3}
+#      must produce byte-identical digest files to stage 1 — the faulty,
+#      dying co-tenant is invisible to them.
+#   3. A faults-only run (same injection into tenant 2, no kill) pins down
+#      tenant 2's expected degraded-but-deterministic stream; the chaos
+#      run's tenant-2 file must match it byte for byte — suspend + reattach
+#      changed nothing about what was delivered.
+#   4. An overload drill with the in-flight-bytes budget cut to half the
+#      fleet's full-service demand must converge to the same deterministic
+#      admit / degrade / reject split every run (--validate reconciles the
+#      admission counters and the end-state ledger).
+#
+# Usage: cmake -DTRAINER=<path> -DWORK_DIR=<dir> -P serve_chaos_smoke.cmake
+if(NOT DEFINED TRAINER OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "serve_chaos_smoke: pass -DTRAINER=... -DWORK_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(common_args
+  --workload cosmo --samples 24 --epochs 2 --dim 16 --batch 4 --workers 4
+  --placement cpu --serve --tenants 4)
+
+execute_process(
+  COMMAND ${TRAINER} ${common_args}
+          --digest-out ${WORK_DIR}/healthy.digest --validate
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "healthy 4-tenant serve run failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND ${TRAINER} ${common_args}
+          --faulty-tenant 2 --inject-corrupt 0.1 --inject-transient 0.05
+          --inject-seed 77 --fault-policy retry-skip
+          --digest-out ${WORK_DIR}/faults.digest --validate
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "faults-only serve run failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND ${TRAINER} ${common_args}
+          --faulty-tenant 2 --inject-corrupt 0.1 --inject-transient 0.05
+          --inject-seed 77 --fault-policy retry-skip
+          --kill-tenant 2 --kill-at-batch 4 --lease-ms 200
+          --checkpoint-dir ${WORK_DIR}/ckpt
+          --digest-out ${WORK_DIR}/chaos.digest --validate
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "chaos serve run (faulty + killed tenant 2) failed (rc=${rc})")
+endif()
+
+# Isolation: the healthy tenants' streams are untouched by the chaos.
+foreach(tenant 0 1 3)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/healthy.digest.tenant${tenant}
+            ${WORK_DIR}/chaos.digest.tenant${tenant}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "tenant ${tenant} digest changed under a faulty, dying co-tenant")
+  endif()
+endforeach()
+
+# Recovery: tenant 2's suspend + reattach continuation is bit-identical to
+# its uninterrupted (faults-only) stream.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/faults.digest.tenant2
+          ${WORK_DIR}/chaos.digest.tenant2
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tenant 2 reattach diverged from its uninterrupted stream")
+endif()
+
+execute_process(
+  COMMAND ${TRAINER} ${common_args} --overload --validate
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "overload drill failed its deterministic admission check (rc=${rc})")
+endif()
