@@ -17,7 +17,9 @@
 //     ranks against the bare pipeline (per-rank sharding cost); the serve
 //     probe multiplexes two tenants through a resident DataService and
 //     compares against the same two pipelines run bare (multi-tenant
-//     plumbing cost).
+//     plumbing cost); the wire probe serves one tenant over an AF_UNIX
+//     socket and compares against draining the service in-process (the
+//     cross-process transport cost, contract ~10% of delivery wall time).
 //
 // Every probe is run `--warmup` times untimed, then `--repeat` times, and
 // the per-metric median is recorded — one slow run on a noisy host must not
@@ -34,6 +36,7 @@
 #include <vector>
 
 #include <sys/resource.h>
+#include <unistd.h>
 
 #include "sciprep/apps/measure.hpp"
 #include "sciprep/codec/cosmo_codec.hpp"
@@ -47,6 +50,8 @@
 #include "sciprep/shard/coordinator.hpp"
 #include "sciprep/sim/platform.hpp"
 #include "sciprep/sim/stepmodel.hpp"
+#include "sciprep/wire/client.hpp"
+#include "sciprep/wire/server.hpp"
 
 namespace {
 
@@ -526,6 +531,85 @@ std::vector<Probe> build_probes(const Args& args) {
         service.close_session(sa);
         service.close_session(sb);
         add_overhead_metrics(r, "serve", base, inst);
+      }});
+
+  // Wire layer: one tenant drained straight off a DataService vs the same
+  // tenant served by a WireServer over an AF_UNIX socket to a WireClient in
+  // this process. Prices the whole local-socket path — frame encode + CRC,
+  // two kernel copies, decode — per delivered sample. Wall time is the
+  // figure of merit (the client-perceived delivery rate); the zero-fault
+  // contract is ~10%, and the floor is sized for two short timed loops on a
+  // shared host, not for the contract edge itself.
+  probes.push_back(Probe{
+      "wire_overhead", fmt("epochs={}", args.epochs),
+      [&args](perfscope::BenchReporter& r) {
+        pipeline::PipelineConfig cfg = base_pipeline_config();
+        cfg.seed = 3;
+        serve::TenantSpec spec;
+        spec.name = "w";
+        spec.pipeline = cfg;
+        spec.epochs = static_cast<std::uint64_t>(args.epochs);
+
+        obs::MetricsRegistry reg_base;
+        serve::ServiceConfig scfg;
+        scfg.worker_threads = 2;
+        scfg.cache.capacity_bytes = 0;
+        scfg.metrics = &reg_base;
+        EpochRun base;
+        {
+          serve::DataService service(shared_dataset(), shared_codec(), scfg);
+          const int s = service.open_session(spec).session;
+          const double cpu0 = process_cpu_seconds();
+          const double wall0 = wall_seconds_now();
+          pipeline::Batch batch;
+          while (service.next_batch(s, batch)) {
+            base.samples += static_cast<std::uint64_t>(batch.size());
+          }
+          base.wall_seconds = wall_seconds_now() - wall0;
+          base.cpu_seconds = process_cpu_seconds() - cpu0;
+          service.close_session(s);
+        }
+
+        obs::MetricsRegistry reg_wire;
+        scfg.metrics = &reg_wire;
+        serve::DataService service(shared_dataset(), shared_codec(), scfg);
+        wire::WireServerConfig wcfg;
+        wcfg.socket_path = fmt("/tmp/sciprep_bench_{}.sock", ::getpid());
+        wire::WireServer server(service, {spec}, wcfg);
+        server.start();
+        wire::WireClientConfig ccfg;
+        ccfg.socket_path = wcfg.socket_path;
+        ccfg.tenant = "w";
+        // The base arm runs without verify_stream, so the wire arm skips
+        // the client digest too — this prices the transport, not the
+        // opt-in bit-identity proof.
+        ccfg.record_digest = false;
+        wire::WireClient client(ccfg);
+        client.attach();
+        EpochRun inst;
+        const double cpu0 = process_cpu_seconds();
+        const double wall0 = wall_seconds_now();
+        pipeline::Batch batch;
+        while (client.next(batch)) {
+          inst.samples += static_cast<std::uint64_t>(batch.size());
+        }
+        inst.wall_seconds = wall_seconds_now() - wall0;
+        inst.cpu_seconds = process_cpu_seconds() - cpu0;
+        (void)client.detach();
+        server.stop();
+
+        const double per_base =
+            base.wall_seconds / std::max<double>(1, base.samples);
+        const double per_wire =
+            inst.wall_seconds / std::max<double>(1, inst.samples);
+        r.add_metric("wire.wall_overhead_fraction",
+                     per_wire / std::max(per_base, 1e-12) - 1.0, "fraction",
+                     "measured", /*better_higher=*/false,
+                     /*noise_floor=*/0.25);
+        r.add_metric("wire.samples_per_wall_second",
+                     static_cast<double>(inst.samples) /
+                         std::max(inst.wall_seconds, 1e-9),
+                     "samples/s", "measured");
       }});
 
   return probes;

@@ -11,9 +11,17 @@
 // Prints the per-bench verdict table (perfscope::CompareReport::human_table)
 // and exits nonzero when any metric regressed or disappeared — the culprit
 // bench + metric are named in the table, not just a boolean.
+//
+// A history that does not exist yet is not a failure: a missing or empty
+// trajectory (self mode) or baseline (pair mode) prints a "no history yet —
+// seeding" verdict and exits 0, so the gate can be wired into a fresh
+// checkout or a first CI run without a bootstrap step. A file that exists
+// but cannot be parsed is still an error — corrupt history must never pass
+// silently as "no history".
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <string>
 
 #include "sciprep/perfscope/perfscope.hpp"
@@ -75,14 +83,32 @@ Args parse_args(int argc, char** argv) {
   return a;
 }
 
+enum class Load { kOk, kMissing, kBad };
+
+/// Distinguish a history that does not exist yet (seedable) from one that
+/// exists but cannot be parsed (an error load_trajectory folds into `false`).
+Load load(const std::string& path, perfscope::Trajectory& t) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return Load::kMissing;
+  return perfscope::load_trajectory(path, t) ? Load::kOk : Load::kBad;
+}
+
 perfscope::Trajectory load_or_die(const std::string& path) {
   perfscope::Trajectory t;
-  if (!perfscope::load_trajectory(path, t)) {
+  if (load(path, t) != Load::kOk) {
     std::fprintf(stderr, "perfcompare: cannot read trajectory %s\n",
                  path.c_str());
     std::exit(2);
   }
   return t;
+}
+
+int seeding(const std::string& path) {
+  std::printf(
+      "perfcompare: no history yet in %s — seeding; the next perfbench run "
+      "establishes the baseline\n",
+      path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -92,7 +118,16 @@ int main(int argc, char** argv) {
   try {
     perfscope::CompareReport report;
     if (!args.trajectory.empty()) {
-      const perfscope::Trajectory t = load_or_die(args.trajectory);
+      perfscope::Trajectory t;
+      const Load state = load(args.trajectory, t);
+      if (state == Load::kBad) {
+        std::fprintf(stderr, "perfcompare: cannot read trajectory %s\n",
+                     args.trajectory.c_str());
+        return 2;
+      }
+      if (state == Load::kMissing || t.empty()) {
+        return seeding(args.trajectory);
+      }
       if (t.runs.size() < 2) {
         std::printf(
             "perfcompare: %s holds %zu run(s); nothing to compare yet\n",
@@ -101,10 +136,22 @@ int main(int argc, char** argv) {
       }
       report = perfscope::compare_latest(t, args.options);
     } else {
-      const perfscope::Trajectory baseline = load_or_die(args.baseline);
+      perfscope::Trajectory baseline;
+      const Load base_state = load(args.baseline, baseline);
+      if (base_state == Load::kBad) {
+        std::fprintf(stderr, "perfcompare: cannot read trajectory %s\n",
+                     args.baseline.c_str());
+        return 2;
+      }
+      if (base_state == Load::kMissing || baseline.empty()) {
+        return seeding(args.baseline);
+      }
+      // The *current* side is different: the caller claims to have just
+      // benchmarked something, so nothing-there is a broken invocation.
       const perfscope::Trajectory current = load_or_die(args.current);
-      if (baseline.empty() || current.empty()) {
-        std::fprintf(stderr, "perfcompare: empty trajectory\n");
+      if (current.empty()) {
+        std::fprintf(stderr, "perfcompare: empty trajectory %s\n",
+                     args.current.c_str());
         return 2;
       }
       report = perfscope::compare_trajectories(baseline, current,

@@ -76,6 +76,8 @@
 #include "sciprep/pipeline/pipeline.hpp"
 #include "sciprep/serve/service.hpp"
 #include "sciprep/shard/coordinator.hpp"
+#include "sciprep/wire/client.hpp"
+#include "sciprep/wire/server.hpp"
 
 namespace {
 
@@ -132,8 +134,17 @@ struct TrainerArgs {
   bool overload = false;             // shrink the byte budget below demand
   std::uint64_t serve_cache_mb = 64; // shared decode cache size (0 = off)
   double lease_ms = 200;             // session lease deadline
+  // Wire: cross-process serving over AF_UNIX sockets (sciprep::wire).
+  std::string serve_socket;          // server mode: listen on this path
+  std::string connect;               // client mode: attach to this path
+  std::string tenant_name;           // client mode: tenant to attach as
+  bool expect_resumed = false;       // client: assert this process resumed
+  double inject_wire_corrupt = 0;    // server: P(outgoing frame corrupted)
+  double inject_wire_drop = 0;       // server: P(connection severed mid-reply)
 
   [[nodiscard]] bool sharded() const { return ranks > 0; }
+  [[nodiscard]] bool wire_server() const { return !serve_socket.empty(); }
+  [[nodiscard]] bool wire_client() const { return !connect.empty(); }
 
   [[nodiscard]] bool injecting() const {
     return inject_transient > 0 || inject_corrupt > 0 || inject_truncate > 0 ||
@@ -163,7 +174,10 @@ struct TrainerArgs {
       "          [--checkpoint-dir DIR]\n"
       "          [--serve] [--tenants N] [--faulty-tenant T]\n"
       "          [--kill-tenant T] [--overload] [--serve-cache-mb N]\n"
-      "          [--lease-ms MS]\n",
+      "          [--lease-ms MS]\n"
+      "          [--serve-socket PATH] [--connect PATH] [--tenant-name T]\n"
+      "          [--resumed] [--inject-wire-corrupt P]\n"
+      "          [--inject-wire-drop P]\n",
       argv0);
   std::exit(2);
 }
@@ -266,6 +280,18 @@ TrainerArgs parse_args(int argc, char** argv) {
       args.serve_cache_mb = static_cast<std::uint64_t>(std::atoll(value()));
     } else if (a == "--lease-ms") {
       args.lease_ms = std::atof(value());
+    } else if (a == "--serve-socket") {
+      args.serve_socket = value();
+    } else if (a == "--connect") {
+      args.connect = value();
+    } else if (a == "--tenant-name") {
+      args.tenant_name = value();
+    } else if (a == "--resumed") {
+      args.expect_resumed = true;
+    } else if (a == "--inject-wire-corrupt") {
+      args.inject_wire_corrupt = std::atof(value());
+    } else if (a == "--inject-wire-drop") {
+      args.inject_wire_drop = std::atof(value());
     } else {
       std::fprintf(stderr, "trainer: unknown flag '%s'\n", argv[i]);
       usage(argv[0]);
@@ -285,6 +311,20 @@ TrainerArgs parse_args(int argc, char** argv) {
     if (args.sharded()) usage(argv[0]);  // serve and shard modes are exclusive
     if (args.tenants < 1 || args.faulty_tenant >= args.tenants ||
         args.kill_tenant >= args.tenants || args.lease_ms <= 0) {
+      usage(argv[0]);
+    }
+  }
+  if (args.wire_server()) {
+    // The wire server is the serve drill behind a socket: same tenant knobs,
+    // but consumers are separate processes, so in-process consumer drills
+    // (--kill-tenant) don't apply.
+    if (args.wire_client() || args.serve || args.sharded() ||
+        args.kill_tenant >= 0 || args.tenants < 1 || args.lease_ms <= 0) {
+      usage(argv[0]);
+    }
+  }
+  if (args.wire_client()) {
+    if (args.serve || args.sharded() || args.tenant_name.empty()) {
       usage(argv[0]);
     }
   }
@@ -322,6 +362,13 @@ void configure_injector(fault::Injector& injector, const TrainerArgs& args) {
   injector.configure(fault::Site::kTfrecordPayloadCrc, corrupt);
   injector.configure(fault::Site::kH5ChunkCrc, corrupt);
   injector.configure(fault::Site::kCodecDecode, corrupt);
+  // Wire transport drills (server side): bit-flip outgoing frames and sever
+  // connections mid-reply. Both must be absorbed by the client's CRC check +
+  // reconnect/ack protocol without perturbing the delivered stream.
+  injector.configure(fault::Site::kWireFrameCrc,
+                     {.corrupt_probability = args.inject_wire_corrupt});
+  injector.configure(fault::Site::kWireConnDrop,
+                     {.transient_probability = args.inject_wire_drop});
 }
 
 /// Arm the pipeline's guard features from the command line: one deadline for
@@ -875,18 +922,21 @@ struct ServeRunResult {
   std::size_t queue_end = 0;  // shared-pool backlog after every close
 };
 
-/// Run the serve arm (sciprep::serve, DESIGN.md §13): one resident
-/// DataService, N tenant sessions with distinct shuffle seeds multiplexed on
-/// the shared pool + cache, driven round-robin by one consumer. Drills:
-/// --faulty-tenant T gives exactly one tenant the injector, fault policy, and
-/// stage deadlines; --kill-tenant T simulates a consumer death (the drill
-/// stops calling next_batch) that is lease-swept, checkpointed, reattached,
-/// and completed bit-identically; --overload shrinks the in-flight byte
-/// budget below aggregate demand so admissions shed deterministically.
-void run_serve(const TrainerArgs& args, fault::Injector& injector,
-               insight::FlightRecorder* recorder, ServeRunResult& out) {
+/// Everything a resident service needs to exist: the dataset, its codec, and
+/// the DataService itself, built from the trainer flags. Shared between the
+/// in-process serve drill and the wire server.
+struct ServeContext {
   std::unique_ptr<codec::SampleCodec> codec;
   std::unique_ptr<pipeline::InMemoryDataset> dataset;
+  std::uint64_t probe_bytes = 0;
+  std::unique_ptr<serve::DataService> service;
+};
+
+ServeContext make_serve_context(const TrainerArgs& args,
+                                insight::FlightRecorder* recorder) {
+  ServeContext ctx;
+  std::unique_ptr<codec::SampleCodec>& codec = ctx.codec;
+  std::unique_ptr<pipeline::InMemoryDataset>& dataset = ctx.dataset;
   if (args.workload == "cosmo") {
     data::CosmoGenConfig gen_cfg;
     gen_cfg.dim = args.dim;
@@ -932,6 +982,7 @@ void run_serve(const TrainerArgs& args, fault::Injector& injector,
     const pipeline::DataPipeline probe_pipe(*dataset, *codec, probe, nullptr);
     probe_bytes = serve::tensor_bytes(probe_pipe.decode_sample(0));
   }
+  ctx.probe_bytes = probe_bytes;
   const std::uint64_t full_charge =
       static_cast<std::uint64_t>(args.batch) * probe_bytes * 2;
 
@@ -963,7 +1014,49 @@ void run_serve(const TrainerArgs& args, fault::Injector& injector,
     if (forward) forward(event);
   };
 
-  serve::DataService service(*dataset, *codec, std::move(scfg), nullptr);
+  ctx.service = std::make_unique<serve::DataService>(*dataset, *codec,
+                                                     std::move(scfg), nullptr);
+  return ctx;
+}
+
+/// Tenant `t`'s spec, identical between the in-process serve drill and the
+/// wire server — the per-tenant stream is defined by the spec, not by which
+/// side of a socket the consumer sits on.
+serve::TenantSpec make_tenant_spec(const TrainerArgs& args, int t,
+                                   fault::Injector& injector) {
+  serve::TenantSpec spec;
+  spec.name = fmt("tenant{}", t);
+  spec.epochs = static_cast<std::uint64_t>(args.epochs);
+  spec.weight = 1 + static_cast<std::uint32_t>(t % 2);
+  pipeline::PipelineConfig& pcfg = spec.pipeline;
+  pcfg.batch_size = args.batch;
+  pcfg.seed = 7 + static_cast<std::uint64_t>(t);
+  pcfg.decode_placement = codec::Placement::kCpu;
+  if (args.workload == "cosmo") {
+    pcfg.ops.push_back(std::make_shared<pipeline::ScaleOp>(1.0F));
+  } else {
+    pcfg.ops.push_back(std::make_shared<pipeline::RandomFlipX>());
+  }
+  if (t == args.faulty_tenant) {
+    pcfg.fault_policy = make_fault_policy(args);
+    pcfg.injector = args.injecting() ? &injector : nullptr;
+    apply_guard_config(pcfg, args);
+  }
+  return spec;
+}
+
+/// Run the serve arm (sciprep::serve, DESIGN.md §13): one resident
+/// DataService, N tenant sessions with distinct shuffle seeds multiplexed on
+/// the shared pool + cache, driven round-robin by one consumer. Drills:
+/// --faulty-tenant T gives exactly one tenant the injector, fault policy, and
+/// stage deadlines; --kill-tenant T simulates a consumer death (the drill
+/// stops calling next_batch) that is lease-swept, checkpointed, reattached,
+/// and completed bit-identically; --overload shrinks the in-flight byte
+/// budget below aggregate demand so admissions shed deterministically.
+void run_serve(const TrainerArgs& args, fault::Injector& injector,
+               insight::FlightRecorder* recorder, ServeRunResult& out) {
+  ServeContext ctx = make_serve_context(args, recorder);
+  serve::DataService& service = *ctx.service;
 
   out.tenants.resize(static_cast<std::size_t>(args.tenants));
   std::vector<int> sessions(static_cast<std::size_t>(args.tenants), -1);
@@ -972,27 +1065,8 @@ void run_serve(const TrainerArgs& args, fault::Injector& injector,
     tr.name = fmt("tenant{}", t);
     tr.faulty = t == args.faulty_tenant;
 
-    serve::TenantSpec spec;
-    spec.name = tr.name;
-    spec.epochs = static_cast<std::uint64_t>(args.epochs);
-    spec.weight = 1 + static_cast<std::uint32_t>(t % 2);
-    pipeline::PipelineConfig& pcfg = spec.pipeline;
-    pcfg.batch_size = args.batch;
-    pcfg.seed = 7 + static_cast<std::uint64_t>(t);
-    pcfg.decode_placement = codec::Placement::kCpu;
-    if (args.workload == "cosmo") {
-      pcfg.ops.push_back(std::make_shared<pipeline::ScaleOp>(1.0F));
-    } else {
-      pcfg.ops.push_back(std::make_shared<pipeline::RandomFlipX>());
-    }
-    if (tr.faulty) {
-      pcfg.fault_policy = make_fault_policy(args);
-      pcfg.injector = args.injecting() ? &injector : nullptr;
-      apply_guard_config(pcfg, args);
-    }
-
     const serve::DataService::OpenResult open =
-        service.open_session(std::move(spec));
+        service.open_session(make_tenant_spec(args, t, injector));
     tr.session = open.session;
     tr.admission = open.admission;
     sessions[static_cast<std::size_t>(t)] = open.session;
@@ -1138,10 +1212,11 @@ void run_serve(const TrainerArgs& args, fault::Injector& injector,
 /// plus a footer), named <digest_out>.tenant<t>. The chaos smoke compares
 /// these byte-for-byte across fault-free and chaos runs to prove isolation
 /// and reattach bit-identity.
-void finish_serve_digest(const TrainerArgs& args, const ServeRunResult& run) {
+void finish_serve_digest(const TrainerArgs& args,
+                         const std::vector<ServeTenantResult>& tenants) {
   if (args.digest_out.empty()) return;
-  for (std::size_t t = 0; t < run.tenants.size(); ++t) {
-    const ServeTenantResult& tr = run.tenants[t];
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const ServeTenantResult& tr = tenants[t];
     if (tr.session < 0) continue;  // rejected tenants have no stream
     const std::string path = fmt("{}.tenant{}", args.digest_out, t);
     std::ofstream file(path, std::ios::trunc);
@@ -1153,7 +1228,7 @@ void finish_serve_digest(const TrainerArgs& args, const ServeRunResult& run) {
                 tr.stream);
   }
   std::printf("digest: %zu tenant stream(s) -> %s.tenant*\n",
-              run.tenants.size(), args.digest_out.c_str());
+              tenants.size(), args.digest_out.c_str());
 }
 
 /// --validate for serve mode: the drill's own admission bookkeeping must
@@ -1229,6 +1304,313 @@ int validate_serve(const TrainerArgs& args, const ServeRunResult& run) {
   check(run.queue_end == 0,
         fmt("shared pool drained ({} tasks still queued)", run.queue_end));
   if (failures == 0) std::printf("validate(serve): OK\n");
+  return failures;
+}
+
+/// Wire-server run summary: the serve harvest plus transport accounting.
+struct WireServerRunResult {
+  bool all_detached = false;
+  std::uint64_t sweeps = 0;
+  std::vector<ServeTenantResult> tenants;
+  std::vector<wire::TenantWireStats> wire_stats;
+};
+
+/// Run the wire server arm (--serve-socket, DESIGN.md §14): the serve
+/// drill's resident DataService fronted by a WireServer on an AF_UNIX
+/// socket, with every consumer a separate process. The server registers the
+/// same tenant specs the in-process drill would open, serves until every
+/// tenant has cleanly detached (or the deadline passes), and harvests the
+/// same per-tenant digests — so digest files from a socket-served run can be
+/// byte-compared against an in-process run. --inject-wire-corrupt /
+/// --inject-wire-drop arm the transport fault sites.
+void run_wire_server(const TrainerArgs& args, fault::Injector& injector,
+                     insight::FlightRecorder* recorder,
+                     WireServerRunResult& out) {
+  ServeContext ctx = make_serve_context(args, recorder);
+  serve::DataService& service = *ctx.service;
+
+  std::vector<serve::TenantSpec> tenants;
+  tenants.reserve(static_cast<std::size_t>(args.tenants));
+  for (int t = 0; t < args.tenants; ++t) {
+    tenants.push_back(make_tenant_spec(args, t, injector));
+  }
+
+  wire::WireServerConfig wcfg;
+  wcfg.socket_path = args.serve_socket;
+  // Short enough that stop() and lease sweeps never wait long on an idle
+  // connection, long enough that a healthy client never times out a request.
+  wcfg.request_timeout_seconds = 2.0;
+  wcfg.sweep_interval_seconds = args.lease_ms / 2e3;
+  if (args.inject_wire_corrupt > 0 || args.inject_wire_drop > 0) {
+    wcfg.injector = &injector;
+    std::printf(
+        "wire: injecting frame corruption %.2f%% + connection drops %.2f%% "
+        "(seed %llu)\n",
+        args.inject_wire_corrupt * 100, args.inject_wire_drop * 100,
+        static_cast<unsigned long long>(args.inject_seed));
+  }
+  fault::RecoveryListener forward =
+      recorder != nullptr ? recorder->listener() : fault::RecoveryListener{};
+  wcfg.on_event = [forward](const fault::RecoveryEvent& event) {
+    if (event.kind == fault::EventKind::kWireFault) {
+      std::printf("wire: [%s] %s\n", event.scope.c_str(),
+                  event.detail.c_str());
+    }
+    if (forward) forward(event);
+  };
+
+  wire::WireServer server(service, std::move(tenants), wcfg);
+  server.start();
+  std::printf("wire: serving %d tenant(s) on %s\n", args.tenants,
+              args.serve_socket.c_str());
+  std::fflush(stdout);
+
+  // Serve until the roster drains. The deadline is generous — consumers may
+  // be SIGKILLed and replaced while we wait — but bounded, so an abandoned
+  // server exits instead of lingering forever.
+  out.all_detached = server.wait_all_detached(120.0);
+  server.stop();
+  out.sweeps = server.sweeps_total();
+
+  out.tenants.resize(static_cast<std::size_t>(args.tenants));
+  out.wire_stats.resize(static_cast<std::size_t>(args.tenants));
+  for (int t = 0; t < args.tenants; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    ServeTenantResult& tr = out.tenants[ti];
+    tr.name = fmt("tenant{}", t);
+    tr.faulty = t == args.faulty_tenant;
+    tr.session = server.tenant_session(tr.name);
+    if (tr.session < 0) continue;  // never attached
+    const wire::TenantWireStats ws = server.tenant_stats(tr.name);
+    out.wire_stats[ti] = ws;
+    tr.admission = service.session_admission(tr.session);
+    tr.state = service.session_state(tr.session);
+    tr.batches = ws.batches;
+    tr.samples = ws.samples;
+    const shard::GlobalStreamDigest& digest = service.digest(tr.session);
+    tr.stream = digest.stream_digest();
+    for (int epoch = 0; epoch < args.epochs; ++epoch) {
+      for (const auto& [position, crc] :
+           digest.entries(static_cast<std::uint64_t>(epoch))) {
+        tr.digest_lines.push_back(fmt("U {} {} {:08x}", epoch, position, crc));
+      }
+    }
+    std::printf(
+        "wire: tenant%d %s/%s — %llu batches, %llu samples, %llu attach(es), "
+        "%llu resend(s), %llu sweep(s), stream %08x\n",
+        t, serve::admission_name(tr.admission),
+        serve::session_state_name(tr.state),
+        static_cast<unsigned long long>(ws.batches),
+        static_cast<unsigned long long>(ws.samples),
+        static_cast<unsigned long long>(ws.attaches),
+        static_cast<unsigned long long>(ws.resends),
+        static_cast<unsigned long long>(ws.sweeps), tr.stream);
+  }
+}
+
+/// --validate for the wire server: the roster must have drained cleanly,
+/// every attached tenant's digest must cover its delivered samples, and when
+/// transport faults were injected the recovery machinery must actually have
+/// been exercised (resends for drops, re-attaches for corruption).
+int validate_wire_server(const TrainerArgs& args,
+                         const WireServerRunResult& run) {
+  int failures = 0;
+  auto check = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      std::fprintf(stderr, "validate: FAIL %s\n", what.c_str());
+      ++failures;
+    }
+  };
+  check(run.all_detached, "every tenant detached before the serve deadline");
+  std::uint64_t attaches = 0;
+  std::uint64_t resends = 0;
+  const std::uint64_t expected_samples =
+      static_cast<std::uint64_t>(args.samples) *
+      static_cast<std::uint64_t>(args.epochs);
+  for (std::size_t t = 0; t < run.tenants.size(); ++t) {
+    const ServeTenantResult& tr = run.tenants[t];
+    const wire::TenantWireStats& ws = run.wire_stats[t];
+    attaches += ws.attaches;
+    resends += ws.resends;
+    check(tr.session >= 0, fmt("tenant{} was attached at least once", t));
+    if (tr.session < 0) continue;
+    check(ws.detached, fmt("tenant{} detached cleanly", t));
+    check(tr.state == serve::SessionState::kClosed,
+          fmt("tenant{} reached a clean close (state: {})", t,
+              serve::session_state_name(tr.state)));
+    if (!tr.faulty) {
+      check(tr.samples == expected_samples,
+            fmt("tenant{}: {} samples served over the wire == dataset size x "
+                "epochs {} (exact-once per tenant)",
+                t, tr.samples, expected_samples));
+    }
+    check(tr.digest_lines.size() == tr.samples,
+          fmt("tenant{}: digest covers every served sample ({} vs {})", t,
+              tr.digest_lines.size(), tr.samples));
+  }
+  if (args.inject_wire_drop > 0) {
+    check(resends > 0,
+          "injected connection drops actually exercised redelivery");
+  }
+  if (args.inject_wire_corrupt > 0 || args.inject_wire_drop > 0) {
+    check(attaches > static_cast<std::uint64_t>(args.tenants),
+          fmt("injected transport faults forced at least one re-attach "
+              "({} attaches across {} tenants)",
+              attaches, args.tenants));
+  }
+  if (failures == 0) std::printf("validate(wire-server): OK\n");
+  return failures;
+}
+
+/// Wire-client run summary.
+struct WireClientRunResult {
+  std::uint64_t batches = 0;
+  std::uint64_t samples = 0;
+  bool resumed = false;
+  bool degraded = false;
+  wire::WireClientStats stats;
+  wire::DetachedPayload server_stats;
+  std::uint32_t stream = 0;  // this process's delivered-stream digest
+  std::vector<std::string> digest_lines;
+};
+
+/// Run the wire client arm (--connect --tenant-name): attach to a wire
+/// server, consume the tenant's whole stream, detach. --kill-after-batches
+/// simulates a consumer crash (exit 42, no cleanup — the server's lease
+/// sweep must notice); a replacement process passes --resumed and takes the
+/// stream over from where the server says it stands.
+void run_wire_client(const TrainerArgs& args, WireClientRunResult& out) {
+  wire::WireClientConfig ccfg;
+  ccfg.socket_path = args.connect;
+  ccfg.tenant = args.tenant_name;
+  ccfg.request_timeout_seconds = 5.0;
+  wire::WireClient client(ccfg);
+  client.attach();
+  out.resumed = client.resumed();
+  std::printf("wire: attached '%s' (session %d%s%s)\n",
+              args.tenant_name.c_str(), client.server_session(),
+              client.resumed() ? ", resumed" : "",
+              client.degraded() ? ", degraded" : "");
+
+  pipeline::Batch batch;
+  while (client.next(batch)) {
+    ++out.batches;
+    out.samples += batch.samples.size();
+    if (args.kill_after_batches > 0 && out.batches >= args.kill_after_batches) {
+      // Simulated consumer crash: no DETACH, no close, no destructors. The
+      // server finds out the hard way (EOF, then a lease sweep).
+      std::printf("kill: simulating crash after batch %llu\n",
+                  static_cast<unsigned long long>(out.batches));
+      std::fflush(stdout);
+      std::_Exit(42);
+    }
+  }
+  out.server_stats = client.detach();
+  out.stats = client.stats();
+  out.degraded = client.degraded();
+  out.stream = client.digest().stream_digest();
+  for (int epoch = 0; epoch < args.epochs; ++epoch) {
+    for (const auto& [position, crc] :
+         client.digest().entries(static_cast<std::uint64_t>(epoch))) {
+      out.digest_lines.push_back(fmt("U {} {} {:08x}", epoch, position, crc));
+    }
+  }
+  std::printf(
+      "wire: '%s' done — %llu batches, %llu samples, %llu attach(es), "
+      "%llu reconnect(s), %llu corrupt frame(s), stream %08x\n",
+      args.tenant_name.c_str(), static_cast<unsigned long long>(out.batches),
+      static_cast<unsigned long long>(out.samples),
+      static_cast<unsigned long long>(out.stats.attaches),
+      static_cast<unsigned long long>(out.stats.reconnects),
+      static_cast<unsigned long long>(out.stats.corrupt_frames), out.stream);
+}
+
+/// Wire-client digest file: same "U <epoch> <pos> <crc>" + footer format as
+/// the server's per-tenant files, so client-side and server-side views of
+/// one tenant's stream can be byte-compared with cmp(1).
+int finish_wire_client_digest(const TrainerArgs& args,
+                              const WireClientRunResult& run) {
+  std::string body;
+  for (const std::string& line : run.digest_lines) {
+    body += line;
+    body += '\n';
+  }
+  body += fmt("T samples {} stream {:08x}\n", run.digest_lines.size(),
+              run.stream);
+  if (!args.digest_out.empty()) {
+    std::ofstream file(args.digest_out, std::ios::trunc);
+    if (!file) {
+      throw IoError(fmt("trainer: cannot write '{}'", args.digest_out));
+    }
+    file << body;
+    std::printf("digest: %zu samples -> %s\n", run.digest_lines.size(),
+                args.digest_out.c_str());
+  }
+  if (args.expect_digest.empty()) return 0;
+  std::ifstream in(args.expect_digest, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "digest: FAIL cannot read expected digest '%s'\n",
+                 args.expect_digest.c_str());
+    return 1;
+  }
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  if (expected.str() != body) {
+    std::fprintf(stderr,
+                 "digest: FAIL delivered stream differs from '%s' — the "
+                 "wire run is not bit-identical\n",
+                 args.expect_digest.c_str());
+    return 1;
+  }
+  std::printf("digest: matches %s (bit-identical delivery)\n",
+              args.expect_digest.c_str());
+  return 0;
+}
+
+/// --validate for a wire client: the server's DETACHED accounting must agree
+/// with what this process saw, and for a full (non-resumed) run the two
+/// sides' stream digests must be identical — exactly-once delivery of the
+/// exact bytes. A --resumed replacement instead proves the crash machinery
+/// ran: the server swept the dead predecessor's lease and this process
+/// re-attached the same session.
+int validate_wire_client(const TrainerArgs& args,
+                         const WireClientRunResult& run) {
+  int failures = 0;
+  auto check = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      std::fprintf(stderr, "validate: FAIL %s\n", what.c_str());
+      ++failures;
+    }
+  };
+  check(run.digest_lines.size() == run.samples,
+        fmt("digest covers every delivered sample ({} vs {})",
+            run.digest_lines.size(), run.samples));
+  check(run.server_stats.batches >= run.batches,
+        fmt("server served at least the batches this process delivered "
+            "({} vs {})",
+            run.server_stats.batches, run.batches));
+  if (args.expect_resumed) {
+    check(run.resumed, "this process resumed an existing session");
+    check(run.server_stats.sweeps >= 1,
+          fmt("the dead predecessor's lease was swept ({} sweeps)",
+              run.server_stats.sweeps));
+    check(run.server_stats.attaches >= 2,
+          fmt("the tenant attached at least twice ({} attaches)",
+              run.server_stats.attaches));
+  } else {
+    check(!run.resumed, "a fresh tenant did not resume anything");
+    const std::uint64_t expected_samples =
+        static_cast<std::uint64_t>(args.samples) *
+        static_cast<std::uint64_t>(args.epochs);
+    check(run.samples == expected_samples,
+          fmt("{} samples delivered == dataset size x epochs {} "
+              "(exactly-once)",
+              run.samples, expected_samples));
+    check(run.stream == run.server_stats.digest_crc,
+          fmt("client and server stream digests agree ({:08x} vs {:08x})",
+              run.stream, run.server_stats.digest_crc));
+  }
+  if (failures == 0) std::printf("validate(wire-client): OK\n");
   return failures;
 }
 
@@ -1530,9 +1912,16 @@ int main(int argc, char** argv) {
 
   ShardRunResult shard_run;
   ServeRunResult serve_run;
+  WireServerRunResult wire_server_run;
+  WireClientRunResult wire_client_run;
   const auto wall_t0 = std::chrono::steady_clock::now();
   try {
-    if (args.serve) {
+    if (args.wire_server()) {
+      run_wire_server(args, injector, recorder ? &*recorder : nullptr,
+                      wire_server_run);
+    } else if (args.wire_client()) {
+      run_wire_client(args, wire_client_run);
+    } else if (args.serve) {
       run_serve(args, injector, recorder ? &*recorder : nullptr, serve_run);
     } else if (args.sharded()) {
       run_shard(args, injector, recorder ? &*recorder : nullptr, shard_run);
@@ -1553,7 +1942,26 @@ int main(int argc, char** argv) {
   if (exporter) exporter->stop();  // final flush covers the partial interval
 
   if (args.sharded()) stats = shard_run.stats.totals;
-  if (args.serve) {
+  if (args.wire_server()) {
+    std::uint64_t samples = 0;
+    std::uint64_t batches = 0;
+    for (const ServeTenantResult& tr : wire_server_run.tenants) {
+      samples += tr.samples;
+      batches += tr.batches;
+    }
+    std::printf(
+        "\nwire: served %llu samples in %llu batches to %d tenant(s), "
+        "%llu lease sweep(s)\n",
+        static_cast<unsigned long long>(samples),
+        static_cast<unsigned long long>(batches), args.tenants,
+        static_cast<unsigned long long>(wire_server_run.sweeps));
+  } else if (args.wire_client()) {
+    std::printf(
+        "\nwire: delivered %llu samples in %llu batches over %s\n",
+        static_cast<unsigned long long>(wire_client_run.samples),
+        static_cast<unsigned long long>(wire_client_run.batches),
+        args.connect.c_str());
+  } else if (args.serve) {
     std::uint64_t samples = 0;
     std::uint64_t batches = 0;
     for (const ServeTenantResult& tr : serve_run.tenants) {
@@ -1599,8 +2007,12 @@ int main(int argc, char** argv) {
 
   try {
     int failures = 0;
-    if (args.serve) {
-      finish_serve_digest(args, serve_run);
+    if (args.wire_server()) {
+      finish_serve_digest(args, wire_server_run.tenants);
+    } else if (args.wire_client()) {
+      failures = finish_wire_client_digest(args, wire_client_run);
+    } else if (args.serve) {
+      finish_serve_digest(args, serve_run.tenants);
     } else if (args.sharded()) {
       failures = finish_shard_digest(args, shard_run);
     } else {
@@ -1640,7 +2052,11 @@ int main(int argc, char** argv) {
           args.flightrec_dir.c_str());
     }
     if (args.validate) {
-      if (args.serve) {
+      if (args.wire_server()) {
+        failures += validate_wire_server(args, wire_server_run);
+      } else if (args.wire_client()) {
+        failures += validate_wire_client(args, wire_client_run);
+      } else if (args.serve) {
         // Tenant pipelines run on private registries, so the unsharded
         // registry cross-checks don't apply; the serve validator covers
         // per-tenant exact-once accounting, counter reconciliation, and

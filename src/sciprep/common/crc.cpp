@@ -1,43 +1,105 @@
 #include "sciprep/common/crc.hpp"
 
 #include <array>
+#include <cstring>
 
 namespace sciprep {
 
 namespace {
 
-constexpr std::array<std::uint32_t, 256> make_table(std::uint32_t poly) {
-  std::array<std::uint32_t, 256> table{};
+// Slice-by-8: eight derived tables let the loop fold 8 input bytes per
+// iteration instead of 1, lifting the software CRC from ~0.4 GB/s to a few
+// GB/s. table[0] is the classic byte-at-a-time table; table[k][i] is the
+// CRC of byte i followed by k zero bytes, so eight lookups XOR into the
+// same running value one 64-bit load covers.
+using Table8 = std::array<std::array<std::uint32_t, 256>, 8>;
+
+constexpr Table8 make_table8(std::uint32_t poly) {
+  Table8 t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
       c = (c & 1u) ? (poly ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[k][i] = t[0][t[k - 1][i] & 0xFFu] ^ (t[k - 1][i] >> 8);
+    }
+  }
+  return t;
 }
 
-constexpr auto kTableIso = make_table(0xEDB8'8320u);
-constexpr auto kTableCastagnoli = make_table(0x82F6'3B78u);
+constexpr auto kTableIso = make_table8(0xEDB8'8320u);
+constexpr auto kTableCastagnoli = make_table8(0x82F6'3B78u);
 
-std::uint32_t crc_generic(const std::array<std::uint32_t, 256>& table,
-                          ByteSpan data, std::uint32_t seed) noexcept {
+std::uint32_t crc_sliced(const Table8& t, ByteSpan data,
+                         std::uint32_t seed) noexcept {
   std::uint32_t c = seed ^ 0xFFFF'FFFFu;
-  for (const std::uint8_t byte : data) {
-    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    // Little-endian load: byte p[0] lands in the low lane, matching the
+    // reflected CRC's low-byte-first fold order. The whole codebase's
+    // on-disk/on-wire formats already assume little-endian hosts.
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= c;
+    c = t[7][word & 0xFFu] ^ t[6][(word >> 8) & 0xFFu] ^
+        t[5][(word >> 16) & 0xFFu] ^ t[4][(word >> 24) & 0xFFu] ^
+        t[3][(word >> 32) & 0xFFu] ^ t[2][(word >> 40) & 0xFFu] ^
+        t[1][(word >> 48) & 0xFFu] ^ t[0][(word >> 56) & 0xFFu];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFF'FFFFu;
 }
 
+// Hardware CRC-32C: SSE4.2's crc32 instruction implements exactly the
+// reflected Castagnoli polynomial. Detected once at startup; the software
+// slice-by-8 path is the fallback and the two produce identical values.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SCIPREP_CRC32C_HW 1
+
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(
+    ByteSpan data, std::uint32_t seed) noexcept {
+  std::uint64_t c = seed ^ 0xFFFF'FFFFu;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    c = __builtin_ia32_crc32di(c, word);
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = __builtin_ia32_crc32qi(static_cast<std::uint32_t>(c), *p++);
+  }
+  return static_cast<std::uint32_t>(c) ^ 0xFFFF'FFFFu;
+}
+
+bool crc32c_hw_available() noexcept {
+  static const bool available = __builtin_cpu_supports("sse4.2");
+  return available;
+}
+#endif
+
 }  // namespace
 
 std::uint32_t crc32(ByteSpan data, std::uint32_t seed) noexcept {
-  return crc_generic(kTableIso, data, seed);
+  return crc_sliced(kTableIso, data, seed);
 }
 
 std::uint32_t crc32c(ByteSpan data, std::uint32_t seed) noexcept {
-  return crc_generic(kTableCastagnoli, data, seed);
+#ifdef SCIPREP_CRC32C_HW
+  if (crc32c_hw_available()) return crc32c_hw(data, seed);
+#endif
+  return crc_sliced(kTableCastagnoli, data, seed);
 }
 
 }  // namespace sciprep

@@ -45,6 +45,10 @@ const char* site_name(Site site) noexcept {
       return "rank.heartbeat";
     case Site::kRankCrash:
       return "rank.crash";
+    case Site::kWireFrameCrc:
+      return "wire.frame_crc";
+    case Site::kWireConnDrop:
+      return "wire.conn_drop";
   }
   return "?";
 }
@@ -89,6 +93,8 @@ const char* event_kind_name(EventKind kind) noexcept {
       return "tenant_evicted";
     case EventKind::kSessionShed:
       return "session_shed";
+    case EventKind::kWireFault:
+      return "wire_fault";
   }
   return "?";
 }

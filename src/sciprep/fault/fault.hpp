@@ -46,9 +46,11 @@ enum class Site : int {
   kGpuLaunch,           // "gpu.launch": submitting a decode kernel
   kRankHeartbeat,       // "rank.heartbeat": a rank's liveness beat going out
   kRankCrash,           // "rank.crash": a rank mid-batch (process death)
+  kWireFrameCrc,        // "wire.frame_crc": a serving frame on the socket
+  kWireConnDrop,        // "wire.conn_drop": a serving connection mid-request
 };
 
-inline constexpr int kSiteCount = 7;
+inline constexpr int kSiteCount = 9;
 
 const char* site_name(Site site) noexcept;
 
@@ -175,6 +177,7 @@ enum class EventKind : int {
   kTenantLost,       // a serve tenant's session lease expired (dead consumer)
   kTenantEvicted,    // a serve tenant evicted (error budget / cancellation)
   kSessionShed,      // admission control rejected or degraded a session
+  kWireFault,        // a wire transport fault (bad frame, dropped connection)
 };
 
 const char* event_kind_name(EventKind kind) noexcept;

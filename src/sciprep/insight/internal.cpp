@@ -3,35 +3,23 @@
 #include <cstdio>
 
 #include "sciprep/common/error.hpp"
+#include "sciprep/common/sysio.hpp"
 
 namespace sciprep::insight::detail {
 
+// Telemetry/incident emits go through the shared EINTR/partial-op-safe
+// loops in sysio: a signal landing mid-fwrite must not tear a JSONL line or
+// an incident file.
 void write_file_atomic(const std::string& path, const std::string& body) {
   const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    throw IoError(fmt("insight: cannot open '{}' for writing", tmp));
-  }
-  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
-  const int close_rc = std::fclose(f);
-  if (written != body.size() || close_rc != 0) {
-    throw IoError(fmt("insight: short write to '{}'", tmp));
-  }
+  sysio::write_file(tmp, as_bytes(body));
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw IoError(fmt("insight: cannot rename '{}' over '{}'", tmp, path));
   }
 }
 
 void append_file(const std::string& path, const std::string& line) {
-  std::FILE* f = std::fopen(path.c_str(), "ab");
-  if (f == nullptr) {
-    throw IoError(fmt("insight: cannot open '{}' for appending", path));
-  }
-  const std::size_t written = std::fwrite(line.data(), 1, line.size(), f);
-  const int close_rc = std::fclose(f);
-  if (written != line.size() || close_rc != 0) {
-    throw IoError(fmt("insight: short append to '{}'", path));
-  }
+  sysio::append_file(path, as_bytes(line));
 }
 
 }  // namespace sciprep::insight::detail

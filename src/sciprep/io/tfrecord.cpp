@@ -1,10 +1,8 @@
 #include "sciprep/io/tfrecord.hpp"
 
-#include <cstdio>
-#include <memory>
-
 #include "sciprep/common/crc.hpp"
 #include "sciprep/common/error.hpp"
+#include "sciprep/common/sysio.hpp"
 #include "sciprep/guard/cancel.hpp"
 
 namespace sciprep::io {
@@ -85,37 +83,12 @@ Bytes gunzip_tfrecord_stream(ByteSpan stream) {
   return compress::gzip_decompress(stream);
 }
 
+// Dataset/checkpoint file movement rides the shared EINTR/partial-op-safe
+// loops in sysio; these wrappers only keep the historical io:: spelling.
 void write_file(const std::string& path, ByteSpan data) {
-  struct Closer {
-    void operator()(std::FILE* f) const { std::fclose(f); }
-  };
-  const std::unique_ptr<std::FILE, Closer> f(std::fopen(path.c_str(), "wb"));
-  if (!f) {
-    throw IoError(fmt("cannot open '{}' for writing", path));
-  }
-  if (!data.empty() &&
-      std::fwrite(data.data(), 1, data.size(), f.get()) != data.size()) {
-    throw IoError(fmt("short write to '{}'", path));
-  }
+  sysio::write_file(path, data);
 }
 
-Bytes read_file(const std::string& path) {
-  struct Closer {
-    void operator()(std::FILE* f) const { std::fclose(f); }
-  };
-  const std::unique_ptr<std::FILE, Closer> f(std::fopen(path.c_str(), "rb"));
-  if (!f) {
-    throw IoError(fmt("cannot open '{}' for reading", path));
-  }
-  std::fseek(f.get(), 0, SEEK_END);
-  const long size = std::ftell(f.get());
-  std::fseek(f.get(), 0, SEEK_SET);
-  Bytes data(static_cast<std::size_t>(size));
-  if (size > 0 &&
-      std::fread(data.data(), 1, data.size(), f.get()) != data.size()) {
-    throw IoError(fmt("short read from '{}'", path));
-  }
-  return data;
-}
+Bytes read_file(const std::string& path) { return sysio::read_file(path); }
 
 }  // namespace sciprep::io

@@ -4,6 +4,7 @@
 
 #include "sciprep/common/error.hpp"
 #include "sciprep/common/log.hpp"
+#include "sciprep/common/sysio.hpp"
 #include "sciprep/obs/json.hpp"
 
 namespace sciprep::obs {
@@ -143,16 +144,7 @@ std::string MetricsRegistry::human_dump() const {
 }
 
 void MetricsRegistry::write_json(const std::string& path) const {
-  const std::string doc = to_json();
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    throw IoError(fmt("metrics: cannot open '{}' for writing", path));
-  }
-  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
-  const int close_rc = std::fclose(f);
-  if (written != doc.size() || close_rc != 0) {
-    throw IoError(fmt("metrics: short write to '{}'", path));
-  }
+  sysio::write_file(path, as_bytes(to_json()));
 }
 
 void MetricsRegistry::reset() {

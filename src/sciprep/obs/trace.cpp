@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "sciprep/common/error.hpp"
+#include "sciprep/common/sysio.hpp"
 #include "sciprep/common/threadpool.hpp"
 #include "sciprep/obs/json.hpp"
 #include "sciprep/obs/metrics.hpp"
@@ -145,16 +146,7 @@ std::string Tracer::to_chrome_json() const {
 }
 
 void Tracer::write_chrome_json(const std::string& path) const {
-  const std::string doc = to_chrome_json();
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    throw IoError(fmt("trace: cannot open '{}' for writing", path));
-  }
-  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
-  const int close_rc = std::fclose(f);
-  if (written != doc.size() || close_rc != 0) {
-    throw IoError(fmt("trace: short write to '{}'", path));
-  }
+  sysio::write_file(path, as_bytes(to_chrome_json()));
 }
 
 }  // namespace sciprep::obs

@@ -8,7 +8,9 @@
 #include <unistd.h>
 #endif
 
+#include "sciprep/common/error.hpp"
 #include "sciprep/common/format.hpp"
+#include "sciprep/common/sysio.hpp"
 #include "sciprep/obs/json.hpp"
 
 namespace sciprep::perfscope {
@@ -42,15 +44,12 @@ namespace {
 /// Read a whole small procfs file into `buf`; returns false when the file is
 /// unavailable (non-Linux host, restricted /proc/self/io permissions).
 bool slurp(const char* path, std::string& buf) {
-  std::FILE* f = std::fopen(path, "rb");
-  if (f == nullptr) return false;
-  buf.clear();
-  char chunk[4096];
-  std::size_t n = 0;
-  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
-    buf.append(chunk, n);
+  try {
+    const Bytes data = sysio::read_file(path);
+    buf.assign(data.begin(), data.end());
+  } catch (const IoError&) {
+    return false;
   }
-  std::fclose(f);
   return !buf.empty();
 }
 

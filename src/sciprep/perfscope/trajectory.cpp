@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <utility>
 
+#include "sciprep/common/error.hpp"
 #include "sciprep/common/format.hpp"
+#include "sciprep/common/sysio.hpp"
 #include "sciprep/insight/internal.hpp"
 #include "sciprep/obs/json.hpp"
 
@@ -12,15 +14,12 @@ namespace sciprep::perfscope {
 namespace {
 
 bool read_file(const std::string& path, std::string& out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return false;
-  out.clear();
-  char chunk[1 << 16];
-  std::size_t n = 0;
-  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
-    out.append(chunk, n);
+  try {
+    const Bytes data = sysio::read_file(path);
+    out.assign(data.begin(), data.end());
+  } catch (const IoError&) {
+    return false;
   }
-  std::fclose(f);
   return true;
 }
 

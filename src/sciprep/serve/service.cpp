@@ -1,11 +1,14 @@
 #include "sciprep/serve/service.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <filesystem>
 #include <utility>
 
+#include "sciprep/common/crc.hpp"
 #include "sciprep/common/error.hpp"
 #include "sciprep/common/log.hpp"
+#include "sciprep/common/rng.hpp"
 
 namespace sciprep::serve {
 
@@ -112,6 +115,21 @@ DataService::DataService(const pipeline::InMemoryDataset& dataset,
   for (std::size_t slot = limits.max_tenants; slot > 0; --slot) {
     free_slots_.push_back(static_cast<int>(slot - 1));
   }
+  // The wire handshake's identity: everything that decides what bytes a
+  // tenant's stream contains. Two services agree on the fingerprint exactly
+  // when a session could migrate between them bit-identically.
+  std::uint64_t fp = 0x73637770u;  // arbitrary non-zero anchor ("scwp")
+  const auto mix = [&fp](std::uint64_t v) {
+    std::uint64_t state = fp ^ v;
+    fp = splitmix64(state);
+  };
+  mix(dataset_.size());
+  mix(dataset_.mean_sample_bytes());
+  mix(crc32c(as_bytes(codec_.name())));
+  mix(std::bit_cast<std::uint64_t>(config_.lease_deadline_seconds));
+  mix(config_.verify_stream ? 1 : 0);
+  mix(probe_bytes_);
+  fingerprint_ = fp != 0 ? fp : 1;  // 0 is the wire's "first contact" marker
 }
 
 DataService::~DataService() {
@@ -380,6 +398,16 @@ bool DataService::next_batch(int session, pipeline::Batch& batch) {
   }
 }
 
+void DataService::beat(int session) {
+  std::lock_guard lock(mutex_);
+  Tenant& tenant = tenant_checked(session);
+  if (tenant.state != SessionState::kActive) {
+    throw ConfigError(fmt("serve: cannot beat session {} ('{}'): {}", session,
+                          tenant.spec.name, session_state_name(tenant.state)));
+  }
+  leases_.beat(tenant.slot);
+}
+
 void DataService::close_session(int session) {
   std::lock_guard lock(mutex_);
   Tenant& tenant = tenant_checked(session);
@@ -470,6 +498,11 @@ DataService::OpenResult DataService::reattach(const std::string& name) {
 SessionState DataService::session_state(int session) const {
   std::lock_guard lock(mutex_);
   return tenant_checked(session).state;
+}
+
+Admission DataService::session_admission(int session) const {
+  std::lock_guard lock(mutex_);
+  return tenant_checked(session).admission;
 }
 
 const std::string& DataService::session_name(int session) const {

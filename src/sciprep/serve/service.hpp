@@ -176,6 +176,11 @@ class DataService {
   /// the session and rethrows to this tenant's caller only.
   bool next_batch(int session, pipeline::Batch& batch);
 
+  /// Beat `session`'s lease without producing a batch. The wire transport
+  /// pumps this from real socket liveness (BEAT frames), so a connected but
+  /// momentarily idle consumer is not swept as dead.
+  void beat(int session);
+
   /// Clean shutdown of an active session; releases its charge and slot.
   void close_session(int session);
 
@@ -194,6 +199,9 @@ class DataService {
   // -- Introspection ------------------------------------------------------
 
   [[nodiscard]] SessionState session_state(int session) const;
+  /// The admission level the session is currently running at (it can change
+  /// across a suspend/reattach cycle as pressure shifts).
+  [[nodiscard]] Admission session_admission(int session) const;
   [[nodiscard]] const std::string& session_name(int session) const;
   /// The session currently holding `name` (any state), or -1.
   [[nodiscard]] int find_session(const std::string& name) const;
@@ -207,6 +215,13 @@ class DataService {
 
   [[nodiscard]] std::uint64_t committed_bytes() const;
   [[nodiscard]] bool shedding() const;
+  /// Stable hash of the serving surface (dataset shape, codec, lease
+  /// deadline, stream verification). The wire handshake carries it so a
+  /// reconnecting client can prove it is resuming against the same service
+  /// configuration it first attached to, not a restarted look-alike.
+  [[nodiscard]] std::uint64_t config_fingerprint() const noexcept {
+    return fingerprint_;
+  }
   /// Admission charge probe: decoded bytes of sample 0 (what one in-flight
   /// sample costs resident).
   [[nodiscard]] std::uint64_t probe_sample_bytes() const noexcept {
@@ -259,6 +274,7 @@ class DataService {
   obs::MetricsRegistry* metrics_;
   fault::Injector probe_injector_;  // zero-probability; masks any global one
   std::uint64_t probe_bytes_ = 0;
+  std::uint64_t fingerprint_ = 0;
 
   // Declared before the pool so the workers (who call the observer) are
   // joined before the observer dies.

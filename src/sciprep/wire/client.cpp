@@ -1,0 +1,254 @@
+#include "sciprep/wire/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "sciprep/common/error.hpp"
+#include "sciprep/common/log.hpp"
+
+namespace sciprep::wire {
+
+WireClient::WireClient(WireClientConfig config) : config_(std::move(config)) {
+  if (config_.socket_path.empty()) {
+    throw ConfigError("wire: client socket_path must be non-empty");
+  }
+  if (config_.tenant.empty()) {
+    throw ConfigError("wire: client tenant must be non-empty");
+  }
+  if (config_.max_reconnect_attempts < 1) {
+    throw ConfigError("wire: max_reconnect_attempts must be >= 1");
+  }
+  ignore_sigpipe();
+}
+
+WireClient::~WireClient() = default;
+
+void WireClient::backoff(int attempt) {
+  const double seconds =
+      std::min(config_.backoff_initial_seconds *
+                   static_cast<double>(std::uint64_t{1} << std::min(attempt, 30)),
+               config_.backoff_max_seconds);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+void WireClient::ensure_attached() {
+  if (attached_ && conn_.valid()) return;
+  next_in_flight_ = false;  // a fresh connection has no outstanding request
+  conn_ = connect_unix(config_.socket_path);
+  set_io_deadline(conn_, config_.request_timeout_seconds);
+  set_socket_buffers(conn_, 4 << 20);
+
+  HelloPayload hello;
+  hello.fingerprint = fingerprint_;  // 0 on first contact: accept any server
+  hello.client = fmt("sciprep-wire/{}", kProtocolVersion);
+  send_frame(conn_, Frame{FrameType::kHello, 0, hello.encode()});
+  Frame reply;
+  (void)recv_frame(conn_, reply, /*eof_ok=*/false);
+  if (reply.type == FrameType::kError) {
+    throw_error_payload(ErrorPayload::decode(reply.payload));
+  }
+  if (reply.type != FrameType::kWelcome) {
+    throw ProtocolError(fmt("wire: expected WELCOME, got {}",
+                            frame_type_name(reply.type)));
+  }
+  const WelcomePayload welcome = WelcomePayload::decode(reply.payload);
+  if (welcome.schema_version != kSchemaVersion) {
+    throw ProtocolError(
+        fmt("wire: server batch schema version {} differs from ours ({})",
+            welcome.schema_version, kSchemaVersion));
+  }
+  if (fingerprint_ != 0 && welcome.fingerprint != fingerprint_) {
+    // A different service answered on the same path mid-stream; resuming
+    // against it would silently change the data. Refuse loudly.
+    throw ConfigError(
+        fmt("wire: server config fingerprint changed mid-stream "
+            "(0x{:x} -> 0x{:x})",
+            fingerprint_, welcome.fingerprint));
+  }
+  fingerprint_ = welcome.fingerprint;
+
+  AttachPayload attach;
+  attach.tenant = config_.tenant;
+  send_frame(conn_, Frame{FrameType::kAttach, 0, attach.encode()});
+  (void)recv_frame(conn_, reply, /*eof_ok=*/false);
+  if (reply.type == FrameType::kError) {
+    throw_error_payload(ErrorPayload::decode(reply.payload));
+  }
+  if (reply.type != FrameType::kAttached) {
+    throw ProtocolError(fmt("wire: expected ATTACHED, got {}",
+                            frame_type_name(reply.type)));
+  }
+  const AttachedPayload attached = AttachedPayload::decode(reply.payload);
+  session_ = attached.session;
+  degraded_ = (reply.flags & kFlagDegraded) != 0;
+  if (!first_attach_done_) {
+    first_attach_done_ = true;
+    if (attached.resumed != 0) {
+      // This process replaces a dead consumer: adopt the server's cursor.
+      // The retained batch (if any) is redelivered; the delivered stream
+      // from here on is the exact suffix the dead consumer never got.
+      resumed_ = true;
+      stats_.delivered = attached.resume_seq;
+    }
+  }
+  // On reconnects our own delivered count is authoritative — the server may
+  // not know whether its retained frame reached us; the next ack tells it.
+  attached_ = true;
+  stats_.attaches += 1;
+}
+
+FrameView WireClient::roundtrip(const Frame& request) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      ensure_attached();
+      if (next_in_flight_ && request.type == FrameType::kNext) {
+        // The pipelined NEXT carried this very ack (delivered is only
+        // bumped after a reply is consumed); its reply answers the caller.
+        (void)recv_frame_envelope(conn_, reply_buf_, /*eof_ok=*/false);
+        next_in_flight_ = false;
+      } else {
+        if (next_in_flight_) {
+          // The caller wants BEAT/DETACH while a pipelined NEXT is
+          // outstanding: drain and drop its reply (still validating the
+          // envelope — torn/corrupt bytes must reconnect, not desync). The
+          // server retained the frame, so a later NEXT's one-behind ack
+          // redelivers the batch (and a dropped END is re-sent) — nothing
+          // is lost.
+          (void)recv_frame_envelope(conn_, reply_buf_, /*eof_ok=*/false);
+          (void)decode_frame_view(reply_buf_);
+          next_in_flight_ = false;
+        }
+        send_frame(conn_, request);
+        (void)recv_frame_envelope(conn_, reply_buf_, /*eof_ok=*/false);
+      }
+      // Decoded in place: the payload view points into reply_buf_ and stays
+      // valid until the next receive.
+      const FrameView reply = decode_frame_view(reply_buf_);
+      if (reply.type == FrameType::kError) {
+        const ErrorPayload error = ErrorPayload::decode(reply.payload);
+        if (static_cast<ErrorClass>(error.error_class) ==
+            ErrorClass::kTransient) {
+          // Server-side pressure (admission shed, reattach contention):
+          // the connection is healthy, just back off and re-ask.
+          stats_.retries += 1;
+          if (attempt + 1 >= config_.max_reconnect_attempts) {
+            throw_error_payload(error);
+          }
+          backoff(attempt);
+          continue;
+        }
+        throw_error_payload(error);  // typed; not a transport failure
+      }
+      return reply;
+    } catch (const TransientError& e) {
+      if (attempt + 1 >= config_.max_reconnect_attempts) throw;
+      log_warn(
+          fmt("wire: transport stall ({}); reconnecting", e.what()));
+      conn_.close();
+      attached_ = false;
+      stats_.reconnects += 1;
+      backoff(attempt);
+    } catch (const TruncatedError& e) {
+      if (attempt + 1 >= config_.max_reconnect_attempts) throw;
+      log_warn(fmt("wire: torn frame ({}); reconnecting", e.what()));
+      conn_.close();
+      attached_ = false;
+      stats_.reconnects += 1;
+      stats_.corrupt_frames += 1;
+      backoff(attempt);
+    } catch (const FormatError& e) {
+      // A frame that failed its CRC or structure checks is wire damage, not
+      // data damage — the server's retained copy is intact, so reconnect
+      // and let the ack protocol redeliver it. (Server-reported kCorrupt
+      // errors rethrow above and are NOT retried.)
+      if (attempt + 1 >= config_.max_reconnect_attempts) throw;
+      log_warn(
+          fmt("wire: corrupt frame ({}); reconnecting", e.what()));
+      conn_.close();
+      attached_ = false;
+      stats_.reconnects += 1;
+      stats_.corrupt_frames += 1;
+      backoff(attempt);
+    } catch (const IoError& e) {
+      if (attempt + 1 >= config_.max_reconnect_attempts) throw;
+      log_warn(
+          fmt("wire: transport error ({}); reconnecting", e.what()));
+      conn_.close();
+      attached_ = false;
+      stats_.reconnects += 1;
+      backoff(attempt);
+    }
+  }
+}
+
+void WireClient::attach() { ensure_attached(); }
+
+bool WireClient::next(pipeline::Batch& batch) {
+  if (ended_) return false;
+  NextPayload next;
+  next.ack = stats_.delivered;
+  const FrameView reply =
+      roundtrip(Frame{FrameType::kNext, 0, next.encode()});
+  if (reply.type == FrameType::kEnd) {
+    ended_ = true;
+    return false;
+  }
+  if (reply.type != FrameType::kBatch) {
+    throw ProtocolError(
+        fmt("wire: expected BATCH or END, got {}", frame_type_name(reply.type)));
+  }
+  BatchPayload payload = BatchPayload::decode(reply.payload);
+  if (payload.seq != stats_.delivered) {
+    throw ProtocolError(fmt("wire: batch seq {} does not match ack {}",
+                            payload.seq, stats_.delivered));
+  }
+  degraded_ = (reply.flags & kFlagDegraded) != 0;
+  if (config_.record_digest) {
+    for (std::size_t i = 0; i < payload.batch.samples.size(); ++i) {
+      digest_.record(payload.batch.epoch, payload.batch.order_positions[i],
+                     shard::sample_crc(payload.batch.samples[i]));
+    }
+  }
+  stats_.delivered += 1;
+  if (config_.pipeline_requests && attached_ && conn_.valid()) {
+    // Ask for the following batch before the caller consumes this one: the
+    // server overlaps produce + encode + send with the caller's work. A
+    // send failure here is not an error yet — the connection is closed and
+    // the next call's reconnect path re-sends the same ack.
+    NextPayload ahead;
+    ahead.ack = stats_.delivered;
+    try {
+      send_frame(conn_, Frame{FrameType::kNext, 0, ahead.encode()});
+      next_in_flight_ = true;
+    } catch (const IoError&) {
+      conn_.close();
+      attached_ = false;
+    }
+  }
+  batch = std::move(payload.batch);
+  return true;
+}
+
+void WireClient::beat() {
+  const FrameView reply = roundtrip(Frame{FrameType::kBeat, 0, {}});
+  if (reply.type != FrameType::kBeat) {
+    throw ProtocolError(
+        fmt("wire: expected BEAT, got {}", frame_type_name(reply.type)));
+  }
+}
+
+DetachedPayload WireClient::detach() {
+  const FrameView reply = roundtrip(Frame{FrameType::kDetach, 0, {}});
+  if (reply.type != FrameType::kDetached) {
+    throw ProtocolError(
+        fmt("wire: expected DETACHED, got {}", frame_type_name(reply.type)));
+  }
+  const DetachedPayload stats = DetachedPayload::decode(reply.payload);
+  attached_ = false;
+  conn_.close();
+  return stats;
+}
+
+}  // namespace sciprep::wire

@@ -1,0 +1,153 @@
+// WireClient — consumer side of the sciprep::wire transport.
+//
+// A WireClient speaks the framed protocol to a WireServer over an AF_UNIX
+// socket and presents the same next-batch surface a local consumer gets
+// from DataService, with the process boundary absorbed:
+//
+//   * Deadlines everywhere. Every request carries the configured socket
+//     deadline; a stalled or dead server surfaces as a TransientError after
+//     request_timeout_seconds, never as an indefinite hang.
+//
+//   * Crash-safe reconnect. Any transport-level failure — connect refused,
+//     read timeout, torn frame, CRC mismatch — closes the connection and
+//     retries with capped exponential backoff, re-running the
+//     HELLO/WELCOME/ATTACH handshake. The NEXT ack protocol makes retried
+//     requests idempotent: the server redelivers its retained frame
+//     byte-for-byte, so the delivered stream is exactly-once per process
+//     and bit-identical across any number of disconnects.
+//
+//   * Resume after process death. A replacement process attaches under the
+//     same tenant name; the server reports resumed=1 and the seq to ack
+//     from, and the client continues the stream from there. The delivered
+//     samples are recorded into a GlobalStreamDigest so the continuation
+//     can be byte-compared against a fault-free run.
+//
+// Server-reported errors keep their type across the wire: a transient
+// rejection (admission shed) is retried under the same backoff, while
+// config/corrupt/fatal errors rethrow as ConfigError/FormatError/Error. A
+// server speaking a different protocol version raises ProtocolError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sciprep/pipeline/pipeline.hpp"
+#include "sciprep/shard/digest.hpp"
+#include "sciprep/wire/frame.hpp"
+#include "sciprep/wire/socket.hpp"
+
+namespace sciprep::wire {
+
+struct WireClientConfig {
+  /// AF_UNIX socket path the server listens on.
+  std::string socket_path;
+  /// Tenant name to attach as; must be registered on the server.
+  std::string tenant;
+  /// Socket send/receive deadline per request.
+  double request_timeout_seconds = 10.0;
+  /// Reconnect/backoff budget: each transport failure sleeps
+  /// min(backoff_initial * 2^attempt, backoff_max) and retries, up to
+  /// max_reconnect_attempts consecutive failures before the last error is
+  /// rethrown to the caller.
+  int max_reconnect_attempts = 8;
+  double backoff_initial_seconds = 0.05;
+  double backoff_max_seconds = 2.0;
+  /// Send the following NEXT as soon as a batch is handed to the caller, so
+  /// the server produces and ships batch n+1 while the caller consumes
+  /// batch n. Protocol-transparent: the ack window already makes an
+  /// unconsumed in-flight reply redeliverable, so reconnects and takeovers
+  /// behave exactly as in stop-and-wait mode — this only overlaps the wire
+  /// with the work.
+  bool pipeline_requests = true;
+  /// Record every delivered sample into digest(). The CRC pass over each
+  /// tensor is a real fraction of small-sample delivery cost; turn it off
+  /// when the run does not need the bit-identity proof (mirrors
+  /// ServiceConfig::verify_stream defaulting off server-side).
+  bool record_digest = true;
+};
+
+/// Client-side transport accounting.
+struct WireClientStats {
+  std::uint64_t delivered = 0;    // batches received (== next ack)
+  std::uint64_t attaches = 0;     // successful ATTACH handshakes
+  std::uint64_t reconnects = 0;   // transport failures that forced one
+  std::uint64_t retries = 0;      // server-side transient rejections retried
+  std::uint64_t corrupt_frames = 0;  // torn/bit-flipped frames detected
+};
+
+class WireClient {
+ public:
+  explicit WireClient(WireClientConfig config);
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Connect and run the HELLO/WELCOME/ATTACH handshake. Implicit in the
+  /// first next()/beat() call; explicit attach lets a trainer observe
+  /// resumed()/degraded() before consuming.
+  void attach();
+
+  /// Receive the next batch; false once the stream ended. Retries and
+  /// reconnects internally per the config; throws only when the backoff
+  /// budget is exhausted or the server reports a non-transient error.
+  bool next(pipeline::Batch& batch);
+
+  /// Beat the tenant's lease without consuming — for gaps where the
+  /// consumer computes for longer than the lease deadline.
+  void beat();
+
+  /// Cleanly close the tenant's session; returns the server-side stats.
+  DetachedPayload detach();
+
+  [[nodiscard]] const WireClientStats& stats() const noexcept {
+    return stats_;
+  }
+  /// Whether the server flagged the last ATTACHED/BATCH as DEGRADED.
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+  /// Whether the first ATTACH resumed an existing session (this process is
+  /// a replacement consumer).
+  [[nodiscard]] bool resumed() const noexcept { return resumed_; }
+  /// The server's DataService session id, -1 before the first attach.
+  [[nodiscard]] int server_session() const noexcept { return session_; }
+  /// The server's config fingerprint, learned from the first WELCOME.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
+  /// Position-keyed digest over every sample this client delivered.
+  [[nodiscard]] const shard::GlobalStreamDigest& digest() const noexcept {
+    return digest_;
+  }
+
+ private:
+  /// Connect + handshake if not currently connected; throws on failure
+  /// (the caller's retry loop owns backoff).
+  void ensure_attached();
+  void backoff(int attempt);
+  /// Send `request`, receive one reply, reconnecting/backing off on any
+  /// transport failure and retrying on server-side transient errors. The
+  /// returned view is never kError; its payload points into reply_buf_ and
+  /// is valid until the next roundtrip.
+  FrameView roundtrip(const Frame& request);
+
+  WireClientConfig config_;
+  Socket conn_;
+  /// Reusable receive buffer: a BATCH frame is decoded in place from here
+  /// (no payload copy), and steady-state delivery does not allocate.
+  Bytes reply_buf_;
+  bool attached_ = false;
+  /// A pipelined NEXT has been sent whose reply has not been received yet;
+  /// the next frame on the wire answers it. Reset on every reconnect (a
+  /// fresh connection has no outstanding request).
+  bool next_in_flight_ = false;
+  bool first_attach_done_ = false;
+  bool ended_ = false;
+  bool degraded_ = false;
+  bool resumed_ = false;
+  int session_ = -1;
+  std::uint64_t fingerprint_ = 0;  // 0 until the first WELCOME
+  WireClientStats stats_;
+  shard::GlobalStreamDigest digest_;
+};
+
+}  // namespace sciprep::wire

@@ -1,0 +1,222 @@
+// Wire frame codec for cross-process serving (sciprep::wire).
+//
+// Everything crossing the AF_UNIX socket between a WireServer and its
+// clients is one `Frame` in a fixed envelope:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     4  magic "SWIR" (0x52495753 little-endian)
+//        4     2  protocol version (kProtocolVersion)
+//        6     1  frame type (FrameType)
+//        7     1  flags (kFlagDegraded, ...)
+//        8     4  payload length N (<= kMaxPayload)
+//       12     N  payload (per-type schema below)
+//    12 + N     4  crc32c over bytes [4, 12 + N)
+//
+// The CRC covers every field except the magic, so a single flipped bit
+// anywhere in a frame is detected: in the magic it fails the magic check,
+// anywhere else it fails the CRC. Parsing is hostile-input-safe by
+// construction — decode_frame() classifies every malformed input into the
+// sciprep error taxonomy and never reads out of bounds:
+//
+//   * input shorter than its own framing      -> TruncatedError
+//   * bad magic, oversized declared length,
+//     CRC mismatch, trailing garbage          -> FormatError
+//   * valid envelope from a different-version
+//     or unknown-type speaker                 -> ProtocolError
+//
+// Payload schemas are little-endian field lists over ByteWriter/ByteReader;
+// each payload struct's decode() re-validates its own bounds, so a frame
+// whose envelope checks out but whose body lies about its array lengths
+// still fails typed, not undefined.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sciprep/common/buffer.hpp"
+#include "sciprep/common/error.hpp"
+#include "sciprep/pipeline/pipeline.hpp"
+
+namespace sciprep::wire {
+
+/// The peer speaks a different protocol than this build (wrong version,
+/// unknown frame type, out-of-window acknowledgement, handshake violation).
+/// Classifies as kFatal: neither retrying nor skipping can reconcile two
+/// incompatible speakers.
+class ProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+inline constexpr std::uint32_t kMagic = 0x52495753u;  // "SWIR"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Version of the batch payload schema, carried in the HELLO/WELCOME
+/// handshake separately from the envelope version: the envelope can stay
+/// stable while the tensor encoding evolves.
+inline constexpr std::uint32_t kSchemaVersion = 1;
+inline constexpr std::size_t kHeaderSize = 12;
+inline constexpr std::size_t kTrailerSize = 4;
+/// Hard cap on a declared payload length. A hostile or corrupt header
+/// cannot make the receiver allocate more than this.
+inline constexpr std::uint32_t kMaxPayload = 256u << 20;
+
+/// Frame flags. kFlagDegraded rides ATTACHED and BATCH frames when the
+/// session is running at Admission::kDegraded — overload surfaces to the
+/// client as a visible flag, never as a hang.
+inline constexpr std::uint8_t kFlagDegraded = 0x01;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,    // client -> server: schema version + expected fingerprint
+  kWelcome,      // server -> client: schema version + config fingerprint
+  kAttach,       // client -> server: attach to a registered tenant by name
+  kAttached,     // server -> client: session id, admission, resume state
+  kNext,         // client -> server: request a batch, acking delivery so far
+  kBatch,        // server -> client: one sequenced batch
+  kEnd,          // server -> client: stream exhausted (all epochs delivered)
+  kBeat,         // either direction: lease keep-alive (server echoes it)
+  kDetach,       // client -> server: clean close
+  kDetached,     // server -> client: final per-tenant accounting
+  kError,        // server -> client: typed failure (ErrorClass + message)
+};
+
+const char* frame_type_name(FrameType type) noexcept;
+
+struct Frame {
+  FrameType type = FrameType::kBeat;
+  std::uint8_t flags = 0;
+  Bytes payload;
+};
+
+/// Serialize a frame into its wire envelope. Throws ConfigError if the
+/// payload exceeds kMaxPayload.
+[[nodiscard]] Bytes encode_frame(const Frame& frame);
+
+/// Single-buffer encode for the batch hot path: begin_frame() hands out a
+/// writer with the 12-byte header stubbed in, the payload is serialized
+/// straight after it, and finish_frame() patches type/flags/length and
+/// appends the CRC. Identical bytes to encode_frame(), minus the
+/// payload-to-envelope copy a separate payload buffer would cost. Passing a
+/// retired frame's Bytes as `reuse` recycles its storage (the contents are
+/// discarded), so steady-state re-encoding never grows a buffer from zero.
+[[nodiscard]] ByteWriter begin_frame(Bytes reuse = {});
+[[nodiscard]] Bytes finish_frame(ByteWriter&& w, FrameType type,
+                                 std::uint8_t flags);
+
+/// Parse exactly one frame from `data` (the entire span must be the frame).
+/// Throws TruncatedError / FormatError / ProtocolError as documented above.
+[[nodiscard]] Frame decode_frame(ByteSpan data);
+
+/// A validated envelope whose payload is still a view into the caller's
+/// buffer — decode_frame() without the payload copy, for the batch hot
+/// path. The view lives only as long as the bytes passed in.
+struct FrameView {
+  FrameType type = FrameType::kBeat;
+  std::uint8_t flags = 0;
+  ByteSpan payload;
+};
+
+/// Same checks and error taxonomy as decode_frame(); no payload copy.
+[[nodiscard]] FrameView decode_frame_view(ByteSpan data);
+
+/// Validate the 12-byte header of an incoming frame and return its declared
+/// payload length, before the payload has been read — a stream reader calls
+/// this to size its read without trusting the peer. Checks the magic and the
+/// length cap only; everything else waits for decode_frame() once the full
+/// envelope is in memory. Throws TruncatedError / FormatError.
+[[nodiscard]] std::uint32_t decode_header(ByteSpan header);
+
+// -- Payload schemas -------------------------------------------------------
+
+struct HelloPayload {
+  std::uint32_t schema_version = kSchemaVersion;
+  /// The service fingerprint the client expects, 0 on first contact. A
+  /// reconnecting client sends the fingerprint it learned from WELCOME, so
+  /// resuming against a differently-configured server fails the handshake
+  /// instead of corrupting the stream.
+  std::uint64_t fingerprint = 0;
+  std::string client;  // diagnostic label for server-side incidents
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static HelloPayload decode(ByteSpan data);
+};
+
+struct WelcomePayload {
+  std::uint32_t schema_version = kSchemaVersion;
+  std::uint64_t fingerprint = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static WelcomePayload decode(ByteSpan data);
+};
+
+struct AttachPayload {
+  std::string tenant;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static AttachPayload decode(ByteSpan data);
+};
+
+struct AttachedPayload {
+  std::int32_t session = -1;
+  std::uint8_t admission = 0;  // serve::Admission as int
+  /// True when this attach resumed existing server-side session state
+  /// (takeover of a live session or reattach of a swept one).
+  std::uint8_t resumed = 0;
+  /// The server's produced-batch sequence number: what a client that lost
+  /// its local state (a restarted process) must set its ack counter to.
+  std::uint64_t resume_seq = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static AttachedPayload decode(ByteSpan data);
+};
+
+struct NextPayload {
+  /// Count of batches the client has received so far == the sequence number
+  /// it expects next. The server produces fresh when ack matches its own
+  /// counter and re-sends its retained frame when the client is one behind
+  /// (the in-flight reply was lost); anything else is a protocol error.
+  std::uint64_t ack = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static NextPayload decode(ByteSpan data);
+};
+
+struct BatchPayload {
+  std::uint64_t seq = 0;
+  pipeline::Batch batch;
+
+  [[nodiscard]] Bytes encode() const;
+  /// Serialize in place — into a begin_frame() writer on the send path, so
+  /// the tensors are copied once, directly into the wire envelope.
+  void encode_into(ByteWriter& w) const;
+  [[nodiscard]] static BatchPayload decode(ByteSpan data);
+};
+
+struct DetachedPayload {
+  std::uint64_t batches = 0;   // batches produced for this tenant
+  std::uint64_t samples = 0;   // samples across those batches
+  std::uint64_t attaches = 0;  // ATTACHes accepted (1 + reconnects)
+  std::uint64_t sweeps = 0;    // lease sweeps that suspended this tenant
+  /// CRC folded over the tenant's server-side stream digest entries, 0 when
+  /// verify_stream is off. A client that kept its own digest cross-checks
+  /// exact-once delivery against this at detach time.
+  std::uint32_t digest_crc = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static DetachedPayload decode(ByteSpan data);
+};
+
+struct ErrorPayload {
+  std::uint8_t error_class = 0;  // sciprep::ErrorClass as int
+  std::string message;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static ErrorPayload decode(ByteSpan data);
+};
+
+/// Rebuild the typed exception an ErrorPayload describes and throw it: the
+/// client surfaces server-side failures to its caller under the same error
+/// taxonomy an in-process DataService would have used.
+[[noreturn]] void throw_error_payload(const ErrorPayload& payload);
+
+}  // namespace sciprep::wire

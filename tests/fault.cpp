@@ -159,6 +159,8 @@ TEST(Injector, SiteNamesMatchTheDocumentedAddresses) {
   EXPECT_STREQ(fault::site_name(fault::Site::kH5ChunkCrc), "h5lite.chunk_crc");
   EXPECT_STREQ(fault::site_name(fault::Site::kCodecDecode), "codec.decode");
   EXPECT_STREQ(fault::site_name(fault::Site::kGpuLaunch), "gpu.launch");
+  EXPECT_STREQ(fault::site_name(fault::Site::kWireFrameCrc), "wire.frame_crc");
+  EXPECT_STREQ(fault::site_name(fault::Site::kWireConnDrop), "wire.conn_drop");
 }
 
 TEST(Injector, GlobalInstallAppliesToNewPipelines) {

@@ -1,0 +1,140 @@
+#!/bin/sh
+# Cross-process serving chaos smoke (ctest -L wire). One trainer process runs
+# a WireServer fronting a resident DataService; every consumer is a separate
+# trainer process attached over the AF_UNIX socket. The acceptance bar is the
+# wire's whole contract at once:
+#
+#   1. A fault-free run: server + 3 client processes, one per tenant. Every
+#      client and the server pass --validate, and each client's delivered-
+#      stream digest file is byte-identical to the server's view of the same
+#      tenant — the wire moved the bytes without changing them.
+#   2. A chaos run on a fresh socket: frame corruption + connection drops are
+#      injected into the transport, client 0 hard-exits mid-epoch without
+#      detaching (exit 42, no cleanup — the kernel closes its socket exactly
+#      like a SIGKILL), and after the lease lapses a replacement process
+#      attaches with --resumed and finishes the stream. The surviving
+#      clients' digest files must be byte-identical to stage 1, and every
+#      tenant's server-side digest file — including the killed tenant's,
+#      spanning the death — must be byte-identical to the fault-free run's.
+#
+# Usage: wire_chaos_smoke.sh <trainer> <work_dir>
+set -u
+
+TRAINER=$1
+WORK=$2
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# sockaddr_un caps paths at ~107 bytes; the build tree can be deeper than
+# that, so sockets live under /tmp, keyed by PID against parallel ctest.
+SOCK_REF="/tmp/sciprep_wire_ref_$$.sock"
+SOCK_CHAOS="/tmp/sciprep_wire_chaos_$$.sock"
+trap 'rm -f "$SOCK_REF" "$SOCK_CHAOS"' EXIT
+
+COMMON="--workload cosmo --samples 24 --epochs 2 --dim 16 --batch 4
+        --workers 4 --placement cpu"
+
+fail() {
+  echo "wire_chaos_smoke: FAIL: $1" >&2
+  for log in "$WORK"/*.log; do
+    echo "--- $log ---" >&2
+    cat "$log" >&2
+  done
+  exit 1
+}
+
+wait_for_socket() {
+  i=0
+  while [ ! -S "$1" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "server never bound $1"
+    sleep 0.1
+  done
+}
+
+# --- Stage 1: fault-free reference ------------------------------------------
+
+# shellcheck disable=SC2086  # COMMON is a flag list, splitting is the point
+"$TRAINER" $COMMON --serve-socket "$SOCK_REF" --tenants 3 --lease-ms 500 \
+  --digest-out "$WORK/ref.digest" --validate >"$WORK/ref.server.log" 2>&1 &
+SERVER=$!
+wait_for_socket "$SOCK_REF"
+
+for t in 0 1 2; do
+  # shellcheck disable=SC2086
+  "$TRAINER" $COMMON --connect "$SOCK_REF" --tenant-name "tenant$t" \
+    --digest-out "$WORK/ref.c$t.digest" --validate \
+    >"$WORK/ref.c$t.log" 2>&1 &
+  eval "C$t=\$!"
+done
+for t in 0 1 2; do
+  eval "pid=\$C$t"
+  wait "$pid" || fail "fault-free client $t exited non-zero"
+done
+wait "$SERVER" || fail "fault-free server exited non-zero"
+
+# The wire is transparent: each client's delivered stream is byte-identical
+# to the server's per-tenant digest of what it produced.
+for t in 0 1 2; do
+  cmp -s "$WORK/ref.c$t.digest" "$WORK/ref.digest.tenant$t" ||
+    fail "client $t digest differs from the server's (wire not transparent)"
+done
+
+# --- Stage 2: chaos — corruption + drops + a mid-epoch process death --------
+
+# shellcheck disable=SC2086
+"$TRAINER" $COMMON --serve-socket "$SOCK_CHAOS" --tenants 3 --lease-ms 500 \
+  --inject-wire-corrupt 0.05 --inject-wire-drop 0.05 --inject-seed 77 \
+  --digest-out "$WORK/chaos.digest" --validate \
+  >"$WORK/chaos.server.log" 2>&1 &
+SERVER=$!
+wait_for_socket "$SOCK_CHAOS"
+
+# Client 0 dies mid-epoch (3 of 12 batches) without detaching.
+# shellcheck disable=SC2086
+"$TRAINER" $COMMON --connect "$SOCK_CHAOS" --tenant-name tenant0 \
+  --kill-after-batches 3 >"$WORK/chaos.c0.log" 2>&1 &
+DOOMED=$!
+for t in 1 2; do
+  # shellcheck disable=SC2086
+  "$TRAINER" $COMMON --connect "$SOCK_CHAOS" --tenant-name "tenant$t" \
+    --digest-out "$WORK/chaos.c$t.digest" --validate \
+    >"$WORK/chaos.c$t.log" 2>&1 &
+  eval "C$t=\$!"
+done
+
+wait "$DOOMED"
+[ $? -eq 42 ] || fail "doomed client was supposed to hard-exit 42"
+
+# Let the lease lapse (500ms) and the sweep suspend + checkpoint tenant0,
+# then attach a replacement process that resumes the stream.
+sleep 1.5
+# shellcheck disable=SC2086
+"$TRAINER" $COMMON --connect "$SOCK_CHAOS" --tenant-name tenant0 --resumed \
+  --digest-out "$WORK/chaos.c0r.digest" --validate \
+  >"$WORK/chaos.c0r.log" 2>&1 ||
+  fail "replacement client failed to resume tenant0"
+
+for t in 1 2; do
+  eval "pid=\$C$t"
+  wait "$pid" || fail "surviving client $t exited non-zero under chaos"
+done
+wait "$SERVER" || fail "chaos server exited non-zero"
+
+# Isolation: the surviving tenants' delivered streams are byte-identical to
+# the fault-free run — a corrupting transport and a dying co-tenant are
+# invisible to them.
+for t in 1 2; do
+  cmp -s "$WORK/chaos.c$t.digest" "$WORK/ref.c$t.digest" ||
+    fail "surviving client $t stream diverged under chaos"
+done
+
+# Recovery: every tenant's server-side stream — including tenant0's, which
+# spans a process death, a lease sweep, and a resumed replacement — is
+# byte-identical to the fault-free run's.
+for t in 0 1 2; do
+  cmp -s "$WORK/chaos.digest.tenant$t" "$WORK/ref.digest.tenant$t" ||
+    fail "tenant $t server digest diverged under chaos (not bit-identical)"
+done
+
+echo "wire_chaos_smoke: OK"
