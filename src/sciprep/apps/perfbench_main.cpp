@@ -612,6 +612,76 @@ std::vector<Probe> build_probes(const Args& args) {
                      "samples/s", "measured");
       }});
 
+  // sciprep::flow: the same socket-served drain with trace propagation off
+  // vs on. Prices the full flow tax — the 17-byte trace-context prefix on
+  // every NEXT, the CLOCK_SYNC handshake at attach, and the per-batch span +
+  // histogram recording on both sides. The healthy-path contract is <1%
+  // wall cost; the noise floor is sized for two short timed loops on a
+  // shared host, so the committed trajectory (not one run) enforces it.
+  probes.push_back(Probe{
+      "flow_overhead", fmt("epochs={}", args.epochs),
+      [&args](perfscope::BenchReporter& r) {
+        pipeline::PipelineConfig cfg = base_pipeline_config();
+        cfg.seed = 4;
+        serve::TenantSpec spec;
+        spec.name = "f";
+        spec.pipeline = cfg;
+        spec.epochs = static_cast<std::uint64_t>(args.epochs);
+
+        auto timed_drain = [&spec](bool propagate, EpochRun& out) {
+          obs::MetricsRegistry reg_srv;
+          serve::ServiceConfig scfg;
+          scfg.worker_threads = 2;
+          scfg.cache.capacity_bytes = 0;
+          scfg.metrics = &reg_srv;
+          serve::DataService service(shared_dataset(), shared_codec(), scfg);
+          wire::WireServerConfig wcfg;
+          wcfg.socket_path =
+              fmt("/tmp/sciprep_bench_flow_{}.sock", ::getpid());
+          wire::WireServer server(service, {spec}, wcfg);
+          server.start();
+          obs::MetricsRegistry reg_client;
+          obs::Tracer tracer;
+          wire::WireClientConfig ccfg;
+          ccfg.socket_path = wcfg.socket_path;
+          ccfg.tenant = "f";
+          ccfg.record_digest = false;
+          ccfg.trace_propagate = propagate;
+          ccfg.metrics = &reg_client;
+          ccfg.tracer = &tracer;
+          wire::WireClient client(ccfg);
+          client.attach();
+          const double cpu0 = process_cpu_seconds();
+          const double wall0 = wall_seconds_now();
+          pipeline::Batch batch;
+          while (client.next(batch)) {
+            out.samples += static_cast<std::uint64_t>(batch.size());
+          }
+          out.wall_seconds = wall_seconds_now() - wall0;
+          out.cpu_seconds = process_cpu_seconds() - cpu0;
+          (void)client.detach();
+          server.stop();
+        };
+
+        EpochRun base;
+        EpochRun inst;
+        timed_drain(false, base);
+        timed_drain(true, inst);
+
+        const double per_base =
+            base.wall_seconds / std::max<double>(1, base.samples);
+        const double per_flow =
+            inst.wall_seconds / std::max<double>(1, inst.samples);
+        r.add_metric("flow.wall_overhead_fraction",
+                     per_flow / std::max(per_base, 1e-12) - 1.0, "fraction",
+                     "measured", /*better_higher=*/false,
+                     /*noise_floor=*/0.25);
+        r.add_metric("flow.samples_per_wall_second",
+                     static_cast<double>(inst.samples) /
+                         std::max(inst.wall_seconds, 1e-9),
+                     "samples/s", "measured");
+      }});
+
   return probes;
 }
 

@@ -41,6 +41,8 @@
 //   recorder: every recovery/guard event dumps a rate-limited incident file
 //   with the last spans, a metrics snapshot, the recovery-decision log, and
 //   the pipeline's config fingerprint. --validate extends to these files.
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -70,6 +72,8 @@
 #include "sciprep/dnn/loss.hpp"
 #include "sciprep/dnn/optimizer.hpp"
 #include "sciprep/fault/fault.hpp"
+#include "sciprep/flow/fleet.hpp"
+#include "sciprep/flow/merge.hpp"
 #include "sciprep/insight/insight.hpp"
 #include "sciprep/obs/obs.hpp"
 #include "sciprep/perfscope/resource.hpp"
@@ -141,6 +145,11 @@ struct TrainerArgs {
   bool expect_resumed = false;       // client: assert this process resumed
   double inject_wire_corrupt = 0;    // server: P(outgoing frame corrupted)
   double inject_wire_drop = 0;       // server: P(connection severed mid-reply)
+  // Flow: cross-process tracing + fleet federation (sciprep::flow).
+  bool trace_propagate = false;      // client: trace context on every NEXT
+  std::string flow_merge_out;        // client: merged two-process trace file
+  std::string fleet_out;             // client: fleet.v1 JSONL of server deltas
+  double throttle_wire_ms = 0;       // server: per-reply send throttle (drill)
 
   [[nodiscard]] bool sharded() const { return ranks > 0; }
   [[nodiscard]] bool wire_server() const { return !serve_socket.empty(); }
@@ -177,7 +186,9 @@ struct TrainerArgs {
       "          [--lease-ms MS]\n"
       "          [--serve-socket PATH] [--connect PATH] [--tenant-name T]\n"
       "          [--resumed] [--inject-wire-corrupt P]\n"
-      "          [--inject-wire-drop P]\n",
+      "          [--inject-wire-drop P]\n"
+      "          [--trace-propagate] [--flow-merge FILE] [--fleet-out FILE]\n"
+      "          [--throttle-wire-ms MS]\n",
       argv0);
   std::exit(2);
 }
@@ -292,6 +303,14 @@ TrainerArgs parse_args(int argc, char** argv) {
       args.inject_wire_corrupt = std::atof(value());
     } else if (a == "--inject-wire-drop") {
       args.inject_wire_drop = std::atof(value());
+    } else if (a == "--trace-propagate") {
+      args.trace_propagate = true;
+    } else if (a == "--flow-merge") {
+      args.flow_merge_out = value();
+    } else if (a == "--fleet-out") {
+      args.fleet_out = value();
+    } else if (a == "--throttle-wire-ms") {
+      args.throttle_wire_ms = std::atof(value());
     } else {
       std::fprintf(stderr, "trainer: unknown flag '%s'\n", argv[i]);
       usage(argv[0]);
@@ -328,6 +347,14 @@ TrainerArgs parse_args(int argc, char** argv) {
       usage(argv[0]);
     }
   }
+  // Flow flags bind to a specific arm: propagation (and everything riding on
+  // it) is a client feature, the send throttle a server drill.
+  if (args.trace_propagate && !args.wire_client()) usage(argv[0]);
+  if ((!args.flow_merge_out.empty() || !args.fleet_out.empty()) &&
+      !args.trace_propagate) {
+    usage(argv[0]);
+  }
+  if (args.throttle_wire_ms > 0 && !args.wire_server()) usage(argv[0]);
   return args;
 }
 
@@ -1341,6 +1368,11 @@ void run_wire_server(const TrainerArgs& args, fault::Injector& injector,
   // connection, long enough that a healthy client never times out a request.
   wcfg.request_timeout_seconds = 2.0;
   wcfg.sweep_interval_seconds = args.lease_ms / 2e3;
+  wcfg.throttle_send_seconds = args.throttle_wire_ms / 1e3;
+  if (args.throttle_wire_ms > 0) {
+    std::printf("wire: throttling every reply by %.1f ms\n",
+                args.throttle_wire_ms);
+  }
   if (args.inject_wire_corrupt > 0 || args.inject_wire_drop > 0) {
     wcfg.injector = &injector;
     std::printf(
@@ -1358,6 +1390,10 @@ void run_wire_server(const TrainerArgs& args, fault::Injector& injector,
     }
     if (forward) forward(event);
   };
+
+  // Name the server's track in merged traces; clients pull this (plus the
+  // real pid) over the TRACE control frame.
+  obs::Tracer::global().set_process_name("trainer-server");
 
   wire::WireServer server(service, std::move(tenants), wcfg);
   server.start();
@@ -1472,6 +1508,13 @@ struct WireClientRunResult {
   wire::DetachedPayload server_stats;
   std::uint32_t stream = 0;  // this process's delivered-stream digest
   std::vector<std::string> digest_lines;
+  // sciprep::flow state (populated when --trace-propagate is on).
+  std::uint64_t trace_id = 0;
+  flow::ClockOffset clock_offset;
+  wire::TracePayload server_trace;    // server span ring + identity
+  obs::MetricsSnapshot server_totals; // accumulated per-tenant STATS deltas
+  std::string server_scope;           // "tenant/<name>" per the server
+  std::string fleet_jsonl;            // fleet.v1 lines for --fleet-out
 };
 
 /// Run the wire client arm (--connect --tenant-name): attach to a wire
@@ -1484,6 +1527,11 @@ void run_wire_client(const TrainerArgs& args, WireClientRunResult& out) {
   ccfg.socket_path = args.connect;
   ccfg.tenant = args.tenant_name;
   ccfg.request_timeout_seconds = 5.0;
+  ccfg.trace_propagate = args.trace_propagate;
+  if (args.trace_propagate) {
+    // Name this process's track in merged traces by the tenant it consumes.
+    obs::Tracer::global().set_process_name(fmt("trainer-{}", args.tenant_name));
+  }
   wire::WireClient client(ccfg);
   client.attach();
   out.resumed = client.resumed();
@@ -1492,10 +1540,22 @@ void run_wire_client(const TrainerArgs& args, WireClientRunResult& out) {
               client.resumed() ? ", resumed" : "",
               client.degraded() ? ", degraded" : "");
 
+  // One STATS pull = one fleet.v1 line: the server's per-tenant snapshot
+  // delta since the previous pull, stamped with this process's run clock.
+  auto pull_fleet_line = [&]() {
+    const wire::StatsPayload pulled = client.pull_server_stats();
+    out.fleet_jsonl += flow::fleet_line(
+        pulled.scope, client.stats_pulls(),
+        static_cast<double>(obs::Tracer::global().now_ns()) / 1e9,
+        client.server_totals(), pulled.delta);
+    out.fleet_jsonl += '\n';
+  };
+
   pipeline::Batch batch;
   while (client.next(batch)) {
     ++out.batches;
     out.samples += batch.samples.size();
+    if (!args.fleet_out.empty() && out.batches % 16 == 0) pull_fleet_line();
     if (args.kill_after_batches > 0 && out.batches >= args.kill_after_batches) {
       // Simulated consumer crash: no DETACH, no close, no destructors. The
       // server finds out the hard way (EOF, then a lease sweep).
@@ -1504,6 +1564,22 @@ void run_wire_client(const TrainerArgs& args, WireClientRunResult& out) {
       std::fflush(stdout);
       std::_Exit(42);
     }
+  }
+  if (args.trace_propagate) {
+    // Final pulls before DETACH tears the session down: the closing STATS
+    // delta completes the fleet series (sum of deltas == the server's tenant
+    // registry), and the TRACE pull captures the server-side spans for this
+    // client's whole stream.
+    if (args.fleet_out.empty()) {
+      (void)client.pull_server_stats();  // totals still feed the analyzer
+    } else {
+      pull_fleet_line();
+    }
+    out.server_trace = client.pull_server_trace();
+    out.trace_id = client.trace_id();
+    out.clock_offset = client.clock_offset();
+    out.server_totals = client.server_totals();
+    out.server_scope = client.server_scope();
   }
   out.server_stats = client.detach();
   out.stats = client.stats();
@@ -1565,6 +1641,101 @@ int finish_wire_client_digest(const TrainerArgs& args,
   std::printf("digest: matches %s (bit-identical delivery)\n",
               args.expect_digest.c_str());
   return 0;
+}
+
+/// Flow artifacts for a traced wire client: the fleet.v1 JSONL of server
+/// snapshot deltas (--fleet-out) and the merged two-process Chrome trace
+/// (--flow-merge), with the server's track shifted onto this process's
+/// timeline by the CLOCK_SYNC offset.
+void finish_flow(const TrainerArgs& args, const WireClientRunResult& run) {
+  if (!args.fleet_out.empty()) {
+    std::ofstream file(args.fleet_out, std::ios::trunc);
+    if (!file) {
+      throw IoError(fmt("trainer: cannot write '{}'", args.fleet_out));
+    }
+    file << run.fleet_jsonl;
+    std::printf("fleet: scope '%s' -> %s\n", run.server_scope.c_str(),
+                args.fleet_out.c_str());
+  }
+  if (args.flow_merge_out.empty()) return;
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  std::vector<flow::ProcessTrace> procs(2);
+  flow::ProcessTrace& local = procs[0];
+  local.process_name = tracer.process_name();
+  local.pid = static_cast<std::int64_t>(::getpid());
+  local.spans = tracer.snapshot();
+  for (const obs::TraceSpan& span : local.spans) {
+    local.thread_names.emplace(span.thread, thread_name(span.thread));
+  }
+  flow::ProcessTrace& remote = procs[1];
+  remote.process_name = run.server_trace.process_name;
+  remote.pid = run.server_trace.pid;
+  // local = remote - offset, applied by the merger as a per-track shift.
+  remote.shift_ns = -run.clock_offset.offset_ns;
+  remote.spans = run.server_trace.spans;
+
+  std::ofstream file(args.flow_merge_out, std::ios::trunc);
+  if (!file) {
+    throw IoError(fmt("trainer: cannot write '{}'", args.flow_merge_out));
+  }
+  file << flow::merge_chrome_json(procs);
+  std::printf(
+      "flow: merged %zu local + %zu server span(s) -> %s "
+      "(clock offset %.3f ms +/- %.3f ms over %u sample(s))\n",
+      local.spans.size(), remote.spans.size(), args.flow_merge_out.c_str(),
+      static_cast<double>(run.clock_offset.offset_ns) / 1e6,
+      static_cast<double>(run.clock_offset.error_bound_ns) / 1e6,
+      run.clock_offset.samples);
+}
+
+/// --validate for flow: walk the cross-process span linkage and prove the
+/// end-to-end decomposition materialized — nearly every client batch span
+/// must link to a server span tree with the queue-wait/encode/send children,
+/// span time must agree with the attribution histograms recorded at the same
+/// sites, and the fleet series must reconcile (sum of pulled deltas == the
+/// server's declared tenant totals).
+int validate_flow_client(const TrainerArgs& args,
+                         const WireClientRunResult& run) {
+  int failures = 0;
+  auto check = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      std::fprintf(stderr, "validate: FAIL %s\n", what.c_str());
+      ++failures;
+    }
+  };
+  obs::Tracer& tracer = obs::Tracer::global();
+  const flow::FlowValidation v = flow::validate_flow(
+      tracer.snapshot(), run.server_trace.spans,
+      obs::MetricsRegistry::global().snapshot(), run.server_totals,
+      tracer.dropped_total(), run.server_trace.spans_dropped);
+  std::printf("flow: %s\n", v.to_json().c_str());
+
+  check(run.trace_id != 0, "a trace id was negotiated at attach");
+  check(run.clock_offset.valid,
+        "the CLOCK_SYNC handshake produced a usable offset");
+  check(v.client_batches > 0, "the client recorded batch spans");
+  check(v.linked > 0, "client batch spans link to server-side spans");
+  check(v.decomposed_fraction >= 0.95,
+        fmt("at least 95% of batch spans fully decomposed ({} of {})",
+            v.decomposed, v.client_batches));
+  check(v.histograms_consistent,
+        fmt("span time agrees with attribution histograms "
+            "(client {:.6f}s vs {:.6f}s, server {:.6f}s vs {:.6f}s)",
+            v.client_span_seconds, v.client_hist_seconds,
+            v.server_span_seconds, v.server_hist_seconds));
+  if (!args.fleet_out.empty()) {
+    const flow::FleetMergeResult fleet =
+        flow::merge_fleet({{run.server_scope, run.fleet_jsonl}});
+    check(fleet.reconciled,
+          fmt("fleet series reconciles: sum of '{}' deltas equals the "
+              "server's declared totals",
+              run.server_scope));
+    check(fleet.lines_skipped == 0,
+          fmt("every fleet line parsed ({} skipped)", fleet.lines_skipped));
+  }
+  if (failures == 0) std::printf("validate(flow): OK\n");
+  return failures;
 }
 
 /// --validate for a wire client: the server's DETACHED accounting must agree
@@ -1902,6 +2073,9 @@ int main(int argc, char** argv) {
     ecfg.interval_seconds = args.metrics_interval_ms / 1e3;
     ecfg.jsonl_path = args.metrics_jsonl;
     ecfg.prom_path = args.metrics_prom;
+    // Scope the series for fleet federation: a wire client's ticks merge
+    // into the fleet view keyed by the tenant it consumes.
+    if (args.wire_client()) ecfg.scope = fmt("client/{}", args.tenant_name);
     if (args.resource_sampling) {
       sampler.emplace();
       ecfg.pre_tick = sampler->exporter_hook();
@@ -2011,6 +2185,7 @@ int main(int argc, char** argv) {
       finish_serve_digest(args, wire_server_run.tenants);
     } else if (args.wire_client()) {
       failures = finish_wire_client_digest(args, wire_client_run);
+      if (args.trace_propagate) finish_flow(args, wire_client_run);
     } else if (args.serve) {
       finish_serve_digest(args, serve_run.tenants);
     } else if (args.sharded()) {
@@ -2031,6 +2206,11 @@ int main(int argc, char** argv) {
       insight::AnalyzerInput input;
       input.wall_seconds = wall_seconds;
       input.workers = args.workers;
+      if (args.wire_client() && args.trace_propagate) {
+        // Wire-aware attribution: the accumulated server-side deltas let the
+        // analyzer split client wait into queue/encode/send/socket stages.
+        input.server_metrics = &wire_client_run.server_totals;
+      }
       const insight::BottleneckReport report =
           insight::analyze_critical_path(input);
       insight::write_report(args.report_out, report);
@@ -2056,6 +2236,9 @@ int main(int argc, char** argv) {
         failures += validate_wire_server(args, wire_server_run);
       } else if (args.wire_client()) {
         failures += validate_wire_client(args, wire_client_run);
+        if (args.trace_propagate) {
+          failures += validate_flow_client(args, wire_client_run);
+        }
       } else if (args.serve) {
         // Tenant pipelines run on private registries, so the unsharded
         // registry cross-checks don't apply; the serve validator covers

@@ -1,0 +1,33 @@
+#include "sciprep/flow/clock.hpp"
+
+namespace sciprep::flow {
+
+void ClockSyncEstimator::add_sample(const ClockSample& sample) {
+  ++seen_;
+  if (sample.t_recv_ns < sample.t_send_ns) {
+    return;  // non-causal exchange; nothing trustworthy to extract
+  }
+  const std::uint64_t rtt = sample.t_recv_ns - sample.t_send_ns;
+  if (best_.valid && rtt >= best_.rtt_ns) {
+    best_.samples = seen_;
+    return;
+  }
+  // Midpoint of the local send/recv window, computed without overflow.
+  const std::uint64_t mid =
+      sample.t_send_ns + (sample.t_recv_ns - sample.t_send_ns) / 2;
+  best_.offset_ns = static_cast<std::int64_t>(sample.t_remote_ns) -
+                    static_cast<std::int64_t>(mid);
+  best_.rtt_ns = rtt;
+  best_.error_bound_ns = rtt / 2;
+  best_.samples = seen_;
+  best_.valid = true;
+}
+
+std::uint64_t remap_remote_ns(std::uint64_t remote_ns,
+                              const ClockOffset& offset) noexcept {
+  const std::int64_t local =
+      static_cast<std::int64_t>(remote_ns) - offset.offset_ns;
+  return local < 0 ? 0 : static_cast<std::uint64_t>(local);
+}
+
+}  // namespace sciprep::flow

@@ -1,0 +1,71 @@
+// Cross-process clock alignment for sciprep::flow.
+//
+// Every process in a served run keeps its own steady-clock timeline (the
+// tracer's now_ns() is relative to tracer construction), so client and
+// server span timestamps are mutually meaningless until the offset between
+// the two timelines is known. The estimator here implements the classic
+// NTP-style exchange: the client stamps t_send, the server echoes its own
+// steady clock t_remote, the client stamps t_recv, and under a
+// symmetric-delay assumption the remote clock read happened at the midpoint
+//
+//   offset = t_remote - (t_send + t_recv) / 2
+//
+// so `local = remote - offset`. The assumption can be wrong by at most the
+// one-way delay, which bounds the error by RTT/2 — and since network and
+// scheduling noise only ever *add* delay, the sample with the smallest RTT
+// carries the tightest bound. The estimator therefore keeps the minimum-RTT
+// sample rather than averaging: one quiet exchange beats ten noisy ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sciprep::flow {
+
+/// One request/echo/response exchange, all fields in nanoseconds. t_send and
+/// t_recv are on the local steady timeline; t_remote is the remote peer's
+/// steady-clock read taken somewhere between the two.
+struct ClockSample {
+  std::uint64_t t_send_ns = 0;
+  std::uint64_t t_remote_ns = 0;
+  std::uint64_t t_recv_ns = 0;
+};
+
+/// The winning estimate. `offset_ns` maps remote timestamps onto the local
+/// timeline as `local = remote - offset`; `error_bound_ns` is the worst-case
+/// error under arbitrary delay asymmetry (half the round trip of the sample
+/// that produced the estimate).
+struct ClockOffset {
+  std::int64_t offset_ns = 0;
+  std::uint64_t rtt_ns = 0;
+  std::uint64_t error_bound_ns = 0;
+  std::uint32_t samples = 0;
+  bool valid = false;
+};
+
+class ClockSyncEstimator {
+ public:
+  /// Feed one exchange. Samples with t_recv < t_send (a clock bug or a
+  /// hostile peer echoing garbage) are counted but never selected.
+  void add_sample(const ClockSample& sample);
+
+  /// Minimum-RTT midpoint estimate; `valid` is false until at least one
+  /// usable sample arrived.
+  [[nodiscard]] ClockOffset estimate() const noexcept { return best_; }
+
+  [[nodiscard]] std::uint32_t samples_seen() const noexcept { return seen_; }
+
+ private:
+  ClockOffset best_;
+  std::uint32_t seen_ = 0;
+};
+
+/// Map a remote steady-clock timestamp onto the local timeline using
+/// `offset`. Saturates at zero instead of wrapping when the remote span
+/// predates the local epoch (a server started long before the client). A
+/// fixed shift preserves ordering, so remapped timestamps of a monotone
+/// remote sequence stay monotone.
+[[nodiscard]] std::uint64_t remap_remote_ns(std::uint64_t remote_ns,
+                                            const ClockOffset& offset) noexcept;
+
+}  // namespace sciprep::flow

@@ -1,0 +1,64 @@
+// Fleet-level telemetry federation (`sciprep.flow.fleet.v1`).
+//
+// A served fleet produces one metrics time-series per scope — a wire client
+// appending the per-tenant snapshot deltas it pulls from the server
+// (fleet.v1 lines, written by fleet_line()), or a rank's insight exporter
+// JSONL. merge_fleet() ingests N such series, normalizes both formats into
+// fleet.v1, orders the global series by timestamp, accumulates running
+// totals per scope, and emits an aggregated Prometheus text body with a
+// {scope="..."} label per source plus an unlabelled fleet-wide sum.
+//
+// Every fleet.v1 line carries both cumulative totals and the delta since the
+// previous line, which makes the stream self-checking: reconciled means the
+// sum of a scope's deltas equals its last declared totals — i.e. the merged
+// view equals the per-tenant registry it came from, with no line lost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sciprep/obs/metrics.hpp"
+
+namespace sciprep::flow {
+
+inline constexpr const char* kFleetSchema = "sciprep.flow.fleet.v1";
+
+/// Render one fleet.v1 JSONL line (no trailing newline).
+/// `t_seconds` is seconds since the emitting process's run start.
+[[nodiscard]] std::string fleet_line(const std::string& scope,
+                                     std::uint64_t seq, double t_seconds,
+                                     const obs::MetricsSnapshot& totals,
+                                     const obs::MetricsSnapshot& delta);
+
+/// One input series: the full text of a JSONL file (fleet.v1 lines, insight
+/// exporter ticks, or a mix). `scope_hint` names lines that carry no scope
+/// of their own (exporter ticks from a pre-flow trainer).
+struct FleetInput {
+  std::string scope_hint;
+  std::string text;
+};
+
+struct FleetScope {
+  obs::MetricsSnapshot totals;    // accumulated from the scope's deltas
+  obs::MetricsSnapshot declared;  // last line's declared cumulative totals
+  std::uint64_t lines = 0;
+  bool reconciled = false;        // totals == declared
+};
+
+struct FleetMergeResult {
+  std::map<std::string, FleetScope> scopes;
+  std::string merged_jsonl;  // global fleet.v1 series, time-ordered
+  std::string prometheus;    // per-scope labelled + fleet-aggregate text
+  std::uint64_t lines_parsed = 0;
+  std::uint64_t lines_skipped = 0;  // blank or unparseable lines
+  bool reconciled = false;          // every scope reconciled
+
+  [[nodiscard]] std::string summary_json() const;
+};
+
+[[nodiscard]] FleetMergeResult merge_fleet(
+    const std::vector<FleetInput>& inputs);
+
+}  // namespace sciprep::flow

@@ -1,0 +1,98 @@
+// Multi-process trace splicing (the `flowmerge` step) and flow validation.
+//
+// Each process in a served run exports its span ring on its own steady
+// timeline; merge_chrome_json() shifts every foreign timeline onto a common
+// one (the shift comes from the clock-offset handshake, see clock.hpp) and
+// emits a single Chrome/Perfetto document with one named, pid-tagged track
+// per process. Span linkage is carried in span args: a client batch span
+// publishes {"trace_id","span_id"} and every server-side span for that
+// request carries {"trace_id","parent_span_id"} — validate_flow() walks
+// those links to prove the end-to-end decomposition actually materialized
+// and cross-checks span time against the attribution histograms recorded at
+// the same instrumentation sites.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sciprep/obs/metrics.hpp"
+#include "sciprep/obs/trace.hpp"
+
+namespace sciprep::flow {
+
+// Span names recorded by the wire layer when trace propagation is on; the
+// validator and smoke tooling key on these.
+inline constexpr const char* kClientBatchSpan = "flow.batch";
+inline constexpr const char* kClientEncodeSpan = "flow.client.encode";
+inline constexpr const char* kClientWaitSpan = "flow.client.wait";
+inline constexpr const char* kClientDecodeSpan = "flow.client.decode";
+inline constexpr const char* kServerNextSpan = "flow.server.next";
+inline constexpr const char* kServerQueueWaitSpan = "flow.server.queue_wait";
+inline constexpr const char* kServerEncodeSpan = "flow.server.encode";
+inline constexpr const char* kServerSendSpan = "flow.server.send";
+/// Overlapped read-ahead produce+encode of the *following* batch, parented
+/// to the request that triggered it. Trace enrichment only — it is client-
+/// invisible time, so it carries no attribution histogram and the validator
+/// ignores it.
+inline constexpr const char* kServerReadaheadSpan = "flow.server.readahead";
+
+// Attribution histograms recorded from the same measured intervals as the
+// spans above (client registry / server-side tenant registry respectively).
+inline constexpr const char* kClientEncodeSeconds = "flow.client.encode_seconds";
+inline constexpr const char* kClientWaitSeconds = "flow.client.wait_seconds";
+inline constexpr const char* kClientDecodeSeconds = "flow.client.decode_seconds";
+inline constexpr const char* kServerQueueWaitSeconds =
+    "flow.server.queue_wait_seconds";
+inline constexpr const char* kServerEncodeSeconds = "flow.server.encode_seconds";
+inline constexpr const char* kServerSendSeconds = "flow.server.send_seconds";
+
+/// One process's contribution to a merged trace.
+struct ProcessTrace {
+  std::string process_name;
+  std::int64_t pid = 0;
+  /// Added to every span timestamp to land it on the merged timeline
+  /// (0 for the reference process, -offset_ns for a remote peer whose
+  /// ClockOffset was estimated against the reference clock). Negative
+  /// results clamp to zero.
+  std::int64_t shift_ns = 0;
+  std::vector<obs::TraceSpan> spans;
+  /// Optional tid -> role-name labels (emitted as thread_name metadata).
+  std::map<std::uint32_t, std::string> thread_names;
+};
+
+/// One Chrome trace_event document: per-process process_name metadata with
+/// real pids, thread_name metadata, and every span as a "ph":"X" event on
+/// the common timeline.
+[[nodiscard]] std::string merge_chrome_json(
+    const std::vector<ProcessTrace>& processes);
+
+struct FlowValidation {
+  std::uint64_t client_batches = 0;  // client flow.batch spans found
+  std::uint64_t linked = 0;          // ... with a matching server next span
+  std::uint64_t decomposed = 0;      // ... with the full child decomposition
+  double decomposed_fraction = 0;    // decomposed / client_batches
+  double client_span_seconds = 0;    // Σ client encode+wait+decode span time
+  double client_hist_seconds = 0;    // Σ matching client histogram sums
+  double server_span_seconds = 0;    // Σ server queue_wait+encode+send spans
+  double server_hist_seconds = 0;    // Σ matching server histogram sums
+  /// Span sums agree with histogram sums on both sides (skipped — reported
+  /// true — when a ring wrapped, since dropped spans make the sums diverge
+  /// by construction).
+  bool histograms_consistent = false;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Walk span linkage and cross-check histograms. `*_spans_dropped` are the
+/// tracers' dropped_total() values; non-zero disables the strict sum check.
+[[nodiscard]] FlowValidation validate_flow(
+    const std::vector<obs::TraceSpan>& client_spans,
+    const std::vector<obs::TraceSpan>& server_spans,
+    const obs::MetricsSnapshot& client_metrics,
+    const obs::MetricsSnapshot& server_metrics,
+    std::uint64_t client_spans_dropped = 0,
+    std::uint64_t server_spans_dropped = 0);
+
+}  // namespace sciprep::flow

@@ -137,24 +137,83 @@ BottleneckReport analyze_critical_path(const AnalyzerInput& input) {
     }
     report.stages.push_back(std::move(stage));
   }
+  // --- sciprep::flow wire attribution (served runs). Histogram names are
+  // kept in sync with sciprep/flow/merge.hpp; insight sits below flow in
+  // the link order, so the names are spelled out here. ---
+  const double wire_c_encode = hist_sum(snap, "flow.client.encode_seconds");
+  const double wire_c_wait = hist_sum(snap, "flow.client.wait_seconds");
+  const double wire_c_decode = hist_sum(snap, "flow.client.decode_seconds");
+  report.wire_attributed = hist_count(snap, "flow.client.wait_seconds") > 0;
+  if (report.wire_attributed) {
+    double srv_queue = 0;
+    double srv_encode = 0;
+    double srv_send = 0;
+    std::uint64_t srv_events = 0;
+    if (input.server_metrics != nullptr) {
+      srv_queue =
+          hist_sum(*input.server_metrics, "flow.server.queue_wait_seconds");
+      srv_encode =
+          hist_sum(*input.server_metrics, "flow.server.encode_seconds");
+      srv_send = hist_sum(*input.server_metrics, "flow.server.send_seconds");
+      srv_events = hist_count(*input.server_metrics,
+                              "flow.server.queue_wait_seconds");
+    }
+    // What remains of the client's blocked time after the server has
+    // accounted for its queue-wait, encode, and send: kernel buffering,
+    // scheduling, and the bytes actually in flight — the socket itself.
+    const double socket =
+        std::max(0.0, wire_c_wait - srv_queue - srv_encode - srv_send);
+    const struct {
+      const char* name;
+      const char* histogram;  // client-side source, nullptr for server-side
+      double busy;
+      std::uint64_t events;
+    } wire[] = {
+        {"wire.client.encode", "flow.client.encode_seconds", wire_c_encode, 0},
+        {"wire.client.decode", "flow.client.decode_seconds", wire_c_decode, 0},
+        {"server.queue_wait", nullptr, srv_queue, srv_events},
+        {"wire.server.encode", nullptr, srv_encode, srv_events},
+        {"wire.server.send", nullptr, srv_send, srv_events},
+        {"wire.socket", "flow.client.wait_seconds", socket, 0},
+    };
+    for (const auto& w : wire) {
+      StageCost stage;
+      stage.name = w.name;
+      stage.busy_seconds = w.busy;
+      stage.events = w.histogram != nullptr ? hist_count(snap, w.histogram)
+                                            : w.events;
+      stage.occupancy = w.busy / capacity;
+      report.stages.push_back(std::move(stage));
+    }
+  }
+
   std::sort(report.stages.begin(), report.stages.end(),
             [](const StageCost& a, const StageCost& b) {
               return a.busy_seconds > b.busy_seconds;
             });
 
+  // Over the wire the batch-wait lives in flow.client.wait_seconds instead
+  // of the local prefetch histogram; the two are disjoint by construction
+  // (a consumer either pulls from a local pipeline or from a WireClient).
   report.prefetch_stall_seconds =
-      hist_sum(snap, "pipeline.stage.prefetch_wait_seconds");
+      hist_sum(snap, "pipeline.stage.prefetch_wait_seconds") + wire_c_wait;
   report.prefetch_stall_fraction = report.prefetch_stall_seconds / wall;
 
   // --- What-if speedups: with stage i free, epoch time is bounded below by
   // the consumer's own compute and by the remaining pipeline work spread
-  // over the workers (the paper's Fig. 12 stage-removal estimate). ---
+  // over the workers (the paper's Fig. 12 stage-removal estimate). Wire and
+  // server stages are serial consumer-path time, not worker-parallel work:
+  // removing one shortens the wall directly instead of freeing capacity. ---
   const double consumer_compute =
       std::max(0.0, wall - report.prefetch_stall_seconds);
   for (StageCost& stage : report.stages) {
-    const double remaining =
-        (pipeline_busy - stage.busy_seconds) / static_cast<double>(report.workers);
-    const double bound = std::max(consumer_compute, remaining);
+    const bool serial = stage.name.rfind("wire.", 0) == 0 ||
+                        stage.name == "server.queue_wait";
+    const double bound =
+        serial ? std::max(consumer_compute, wall - stage.busy_seconds)
+               : std::max(consumer_compute,
+                          (pipeline_busy - stage.busy_seconds) /
+                              static_cast<double>(report.workers));
     stage.whatif_speedup = std::max(1.0, wall / std::max(bound, 1e-9));
   }
 
@@ -167,6 +226,10 @@ BottleneckReport analyze_critical_path(const AnalyzerInput& input) {
     // The consumer almost never waited for a batch: the pipeline keeps up
     // and epoch time is the training step's problem.
     report.verdict = "consumer-bound";
+  } else if (report.dominant_stage == "server.queue_wait") {
+    report.verdict = "server-queue-bound";
+  } else if (report.dominant_stage.rfind("wire.", 0) == 0) {
+    report.verdict = "wire-bound";
   } else if (report.dominant_stage == "io.read" ||
              report.dominant_stage == "gunzip" ||
              report.dominant_stage == "retry.backoff") {
@@ -216,12 +279,14 @@ std::string BottleneckReport::to_json() const {
       "\"workers\":{},\"scope\":\"{}\",\"dominant_stage\":\"{}\","
       "\"verdict\":\"{}\","
       "\"prefetch_stall_seconds\":{},\"prefetch_stall_fraction\":{},"
+      "\"wire_attributed\":{},"
       "\"spans_complete\":{},\"ring_wrapped\":{},\"max_drift_fraction\":{},"
       "\"stages\":[",
       obs::json_number(wall_seconds), workers, obs::json_escape(scope),
       obs::json_escape(dominant_stage),
       obs::json_escape(verdict), obs::json_number(prefetch_stall_seconds),
-      obs::json_number(prefetch_stall_fraction), spans_complete, ring_wrapped,
+      obs::json_number(prefetch_stall_fraction), wire_attributed,
+      spans_complete, ring_wrapped,
       obs::json_number(max_drift_fraction));
   bool first = true;
   for (const StageCost& stage : stages) {

@@ -57,10 +57,16 @@ struct BottleneckReport {
   std::string dominant_stage;
   /// "io-bound", "decode-bound", or "consumer-bound" — whether epoch time is
   /// limited by the pipeline (and which side of it) or by the training step.
+  /// Served runs (sciprep::flow attribution present) extend the taxonomy
+  /// with "wire-bound" (transport encode/socket/decode dominates) and
+  /// "server-queue-bound" (waiting on the server to produce dominates).
   std::string verdict;
 
   double prefetch_stall_seconds = 0;   // consumer-visible batch-wait time
   double prefetch_stall_fraction = 0;  // of wall_seconds
+  /// True when flow.client.* wire-attribution histograms were found (the
+  /// run consumed batches over sciprep::wire with trace propagation on).
+  bool wire_attributed = false;
 
   /// True when the span ring held every recorded span (no wrap, no drops);
   /// only then is the span-vs-histogram drift check meaningful.
@@ -95,6 +101,12 @@ struct AnalyzerInput {
   std::string scope{};
   /// Span source for the cross-check; null means Tracer::global().
   const obs::Tracer* tracer = nullptr;
+  /// sciprep::flow — the server-side tenant MetricsSnapshot pulled over the
+  /// wire (WireClient::server_totals()), or null for a local run. Splits the
+  /// client's batch-wait into server queue-wait / server encode / server
+  /// send / socket residual, so the verdict can tell a slow producer from a
+  /// slow transport.
+  const obs::MetricsSnapshot* server_metrics = nullptr;
   /// End-to-end wall time of the analyzed run (epoch loop), in seconds.
   double wall_seconds = 0;
   /// Decode worker count (PipelineConfig::worker_threads).

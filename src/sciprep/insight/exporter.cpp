@@ -121,9 +121,11 @@ void ContinuousExporter::tick_locked() {
     if (!config_.jsonl_path.empty()) {
       std::string line;
       line.reserve(1024);
-      line += fmt("{{\"t\":{},\"dt\":{},\"tick\":{},\"counters\":{{",
+      line += fmt("{{\"t\":{},\"dt\":{},\"tick\":{},\"scope\":\"{}\","
+                  "\"counters\":{{",
                   obs::json_number(t), obs::json_number(dt),
-                  ticks_.load(std::memory_order_relaxed));
+                  ticks_.load(std::memory_order_relaxed),
+                  obs::json_escape(config_.scope));
       bool first = true;
       for (const auto& [name, total] : snap.counters) {
         const auto it = last_.counters.find(name);

@@ -43,6 +43,11 @@ struct ExporterConfig {
   /// Registry to sample; null means obs::MetricsRegistry::global(). Must
   /// outlive the exporter.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Scope label stamped into every JSONL tick ("tenant/<name>", "rank<N>",
+  /// "" for a whole-process series). flow::merge_fleet() keys federated
+  /// series by this field, so per-tenant exports from different processes
+  /// stay distinguishable after they are merged into one file.
+  std::string scope;
   /// Called at the start of every tick, before the registry snapshot — the
   /// hook by which slow-changing sources (e.g. perfscope's ResourceSampler)
   /// refresh their gauges on the exporter's cadence so each JSONL line

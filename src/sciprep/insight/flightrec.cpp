@@ -1,5 +1,8 @@
 #include "sciprep/insight/flightrec.hpp"
 
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <filesystem>
 #include <utility>
 
@@ -10,6 +13,27 @@
 #include "sciprep/obs/json.hpp"
 
 namespace sciprep::insight {
+
+namespace {
+
+/// ISO-8601 UTC with millisecond precision, e.g. "2026-08-09T12:34:56.789Z".
+std::string iso8601_utc_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+}  // namespace
 
 FlightRecorder::FlightRecorder(FlightRecorderConfig config)
     : config_(std::move(config)),
@@ -55,7 +79,7 @@ void FlightRecorder::record_incident(
     const fault::RecoveryEvent& event) noexcept {
   try {
     std::lock_guard lock(mutex_);
-    LoggedEvent logged{event, tracer_->now_ns()};
+    LoggedEvent logged{event, tracer_->now_ns(), iso8601_utc_now()};
     decision_log_.push_back(logged);
     while (decision_log_.size() > config_.max_decision_log) {
       decision_log_.pop_front();
@@ -101,13 +125,14 @@ void FlightRecorder::dump_locked(const LoggedEvent& logged) {
   body += fmt(
       "{{\"schema\":\"sciprep.insight.incident.v1\",\"seq\":{},"
       "\"kind\":\"{}\",\"stage\":\"{}\",\"detail\":\"{}\",\"scope\":\"{}\","
-      "\"sample_index\":{},\"attempt\":{},\"t_ns\":{},"
+      "\"sample_index\":{},\"attempt\":{},\"t_ns\":{},\"t_wall\":\"{}\","
       "\"config_fingerprint\":\"{:x}\",",
       written_, fault::event_kind_name(logged.event.kind),
       obs::json_escape(logged.event.stage),
       obs::json_escape(logged.event.detail),
       obs::json_escape(logged.event.scope), logged.event.sample_index,
-      logged.event.attempt, logged.t_ns, config_.config_fingerprint);
+      logged.event.attempt, logged.t_ns, obs::json_escape(logged.t_wall),
+      config_.config_fingerprint);
 
   // Last-K spans, oldest first, with role names resolved so the timeline
   // reads without a separate thread table.
@@ -133,12 +158,13 @@ void FlightRecorder::dump_locked(const LoggedEvent& logged) {
     first = false;
     body += fmt(
         "{{\"kind\":\"{}\",\"stage\":\"{}\",\"detail\":\"{}\","
-        "\"scope\":\"{}\",\"sample_index\":{},\"attempt\":{},\"t_ns\":{}}}",
+        "\"scope\":\"{}\",\"sample_index\":{},\"attempt\":{},\"t_ns\":{},"
+        "\"t_wall\":\"{}\"}}",
         fault::event_kind_name(entry.event.kind),
         obs::json_escape(entry.event.stage),
         obs::json_escape(entry.event.detail),
         obs::json_escape(entry.event.scope), entry.event.sample_index,
-        entry.event.attempt, entry.t_ns);
+        entry.event.attempt, entry.t_ns, obs::json_escape(entry.t_wall));
   }
   body += "],";
 

@@ -98,7 +98,11 @@ class FlightRecorder {
  private:
   struct LoggedEvent {
     fault::RecoveryEvent event;
-    std::uint64_t t_ns = 0;  // tracer timebase
+    std::uint64_t t_ns = 0;  // tracer timebase (steady clock)
+    /// Wall-clock stamp (ISO-8601 UTC), captured at record time. The steady
+    /// stamp orders the incident against spans; this one lets a human line
+    /// the incident up against logs from *other* machines and processes.
+    std::string t_wall;
   };
 
   /// Per-scope rate-limit bookkeeping (keyed by RecoveryEvent::scope).

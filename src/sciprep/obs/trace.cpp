@@ -1,5 +1,7 @@
 #include "sciprep/obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <mutex>
@@ -32,6 +34,16 @@ std::uint64_t Tracer::now_ns() const noexcept {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - epoch_)
           .count());
+}
+
+void Tracer::set_process_name(std::string name) {
+  std::unique_lock lock(mutex_);
+  process_name_ = std::move(name);
+}
+
+std::string Tracer::process_name() const {
+  std::unique_lock lock(mutex_);
+  return process_name_;
 }
 
 void Tracer::record(std::string_view name, std::string_view category,
@@ -99,10 +111,18 @@ std::vector<TraceSpan> Tracer::snapshot_tail(std::size_t max_spans) const {
 
 std::string Tracer::to_chrome_json() const {
   const std::vector<TraceSpan> spans = snapshot();
+  // Real pid + a process_name metadata event: a trace merged from several
+  // processes (sciprep::flow) must render distinct named tracks, so even the
+  // single-process export identifies itself honestly.
+  const long pid = static_cast<long>(::getpid());
   std::string out;
   out.reserve(spans.size() * 96 + 64);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  bool first = true;
+  out += fmt(
+      "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},"
+      "\"args\":{{\"name\":\"{}\"}}}}",
+      pid, json_escape(process_name()));
+  bool first = false;
   // Perfetto "M" metadata events: label each tid that registered a role name
   // (pool workers, watchdog, consumer) so the timeline rows are readable.
   {
@@ -119,9 +139,9 @@ std::string Tracer::to_chrome_json() const {
       if (!first) out += ',';
       first = false;
       out += fmt(
-          "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},"
+          "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},"
           "\"args\":{{\"name\":\"{}\"}}}}",
-          tid, json_escape(name));
+          pid, tid, json_escape(name));
     }
   }
   for (const TraceSpan& span : spans) {
@@ -131,9 +151,9 @@ std::string Tracer::to_chrome_json() const {
     const double dur_us =
         static_cast<double>(span.t_end_ns - span.t_start_ns) / 1e3;
     out += fmt(
-        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,"
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{},"
         "\"tid\":{},\"ts\":{},\"dur\":{}",
-        json_escape(span.name), json_escape(span.category), span.thread,
+        json_escape(span.name), json_escape(span.category), pid, span.thread,
         json_number(ts_us), json_number(dur_us));
     if (!span.args_json.empty()) {
       out += ",\"args\":";

@@ -56,6 +56,12 @@ class Tracer {
   /// Monotonic nanoseconds since this tracer was constructed.
   [[nodiscard]] std::uint64_t now_ns() const noexcept;
 
+  /// Label for this process's track in exported traces. Defaults to
+  /// "sciprep"; multi-process runs (wire server/client) set distinct names
+  /// so a merged trace renders one named track per process.
+  void set_process_name(std::string name);
+  [[nodiscard]] std::string process_name() const;
+
   /// Append one completed span (records regardless of enabled(); the
   /// enabled flag gates ScopedSpan, not explicit recording).
   void record(std::string_view name, std::string_view category,
@@ -92,6 +98,7 @@ class Tracer {
       std::size_t max_spans) const;
 
   std::vector<TraceSpan> ring_;
+  std::string process_name_ = "sciprep";  // guarded by mutex_
   std::atomic<std::uint64_t> next_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<bool> enabled_{false};

@@ -533,6 +533,10 @@ obs::MetricsRegistry& DataService::tenant_metrics(int session) const {
   return *tenant.metrics;
 }
 
+obs::MetricsSnapshot DataService::tenant_snapshot(int session) const {
+  return tenant_metrics(session).snapshot();
+}
+
 std::uint64_t DataService::committed_bytes() const {
   std::lock_guard lock(mutex_);
   return committed_;

@@ -212,6 +212,10 @@ class DataService {
   [[nodiscard]] const shard::GlobalStreamDigest& digest(int session) const;
   /// The tenant's private pipeline metrics registry.
   [[nodiscard]] obs::MetricsRegistry& tenant_metrics(int session) const;
+  /// Point-in-time copy of that registry — the federation unit: the wire
+  /// STATS frame ships deltas of this snapshot and flow::merge_fleet()
+  /// accumulates them back into per-tenant totals.
+  [[nodiscard]] obs::MetricsSnapshot tenant_snapshot(int session) const;
 
   [[nodiscard]] std::uint64_t committed_bytes() const;
   [[nodiscard]] bool shedding() const;

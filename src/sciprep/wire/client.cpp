@@ -1,14 +1,28 @@
 #include "sciprep/wire/client.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <thread>
 #include <utility>
 
 #include "sciprep/common/error.hpp"
 #include "sciprep/common/log.hpp"
+#include "sciprep/flow/merge.hpp"
+#include "sciprep/flow/snapshot.hpp"
 
 namespace sciprep::wire {
+
+namespace {
+
+/// CLOCK_SYNC exchanges per attach. The estimator keeps the min-RTT sample,
+/// so a few quick roundtrips on a fresh connection are enough for a bound
+/// far below any span of interest.
+constexpr int kClockSyncRounds = 8;
+
+}  // namespace
 
 WireClient::WireClient(WireClientConfig config) : config_(std::move(config)) {
   if (config_.socket_path.empty()) {
@@ -21,6 +35,23 @@ WireClient::WireClient(WireClientConfig config) : config_(std::move(config)) {
     throw ConfigError("wire: max_reconnect_attempts must be >= 1");
   }
   ignore_sigpipe();
+  if (config_.trace_propagate) {
+    metrics_ = config_.metrics != nullptr ? config_.metrics
+                                          : &obs::MetricsRegistry::global();
+    tracer_ = config_.tracer != nullptr ? config_.tracer
+                                        : &obs::Tracer::global();
+    h_encode_ = &metrics_->histogram(flow::kClientEncodeSeconds);
+    h_wait_ = &metrics_->histogram(flow::kClientWaitSeconds);
+    h_decode_ = &metrics_->histogram(flow::kClientDecodeSeconds);
+    // 48-bit trace id: unique enough per (tenant, pid, wall time) and small
+    // enough to survive a double-precision JSON parse exactly.
+    const auto wall = static_cast<std::uint64_t>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+    const std::uint64_t mixed =
+        std::hash<std::string>{}(config_.tenant) ^
+        (static_cast<std::uint64_t>(::getpid()) << 32) ^ wall;
+    trace_id_ = (mixed & ((std::uint64_t{1} << 48) - 1)) | 1;
+  }
 }
 
 WireClient::~WireClient() = default;
@@ -97,6 +128,31 @@ void WireClient::ensure_attached() {
   // not know whether its retained frame reached us; the next ack tells it.
   attached_ = true;
   stats_.attaches += 1;
+
+  if (config_.trace_propagate) {
+    // Clock-offset handshake: a few stop-and-wait exchanges on the fresh
+    // connection. Re-running it on every reconnect keeps the estimate tied
+    // to the lowest RTT ever observed.
+    for (int i = 0; i < kClockSyncRounds; ++i) {
+      ClockSyncPayload ping;
+      ping.t_client_ns = tracer_->now_ns();
+      send_frame(conn_, Frame{FrameType::kClockSync, 0, ping.encode()});
+      Frame pong_frame;
+      (void)recv_frame(conn_, pong_frame, /*eof_ok=*/false);
+      const std::uint64_t t_recv = tracer_->now_ns();
+      if (pong_frame.type == FrameType::kError) {
+        throw_error_payload(ErrorPayload::decode(pong_frame.payload));
+      }
+      if (pong_frame.type != FrameType::kClockSync) {
+        throw ProtocolError(fmt("wire: expected CLOCK_SYNC, got {}",
+                                frame_type_name(pong_frame.type)));
+      }
+      const ClockSyncPayload pong = ClockSyncPayload::decode(pong_frame.payload);
+      clock_estimator_.add_sample(
+          flow::ClockSample{ping.t_client_ns, pong.t_server_ns, t_recv});
+    }
+    clock_offset_ = clock_estimator_.estimate();
+  }
 }
 
 FrameView WireClient::roundtrip(const Frame& request) {
@@ -185,12 +241,39 @@ FrameView WireClient::roundtrip(const Frame& request) {
 
 void WireClient::attach() { ensure_attached(); }
 
+Frame WireClient::make_next(std::uint64_t ack) const {
+  Frame frame;
+  frame.type = FrameType::kNext;
+  if (config_.trace_propagate) {
+    frame.flags = kFlagTraceContext;
+    ByteWriter w;
+    // Span id ack+1: the id of the client batch span this request belongs
+    // to (0 is reserved for "no context").
+    encode_trace_context(w, TraceContext{trace_id_, ack + 1});
+    w.put<std::uint64_t>(ack);
+    frame.payload = std::move(w).take();
+  } else {
+    NextPayload next;
+    next.ack = ack;
+    frame.payload = next.encode();
+  }
+  return frame;
+}
+
 bool WireClient::next(pipeline::Batch& batch) {
   if (ended_) return false;
-  NextPayload next;
-  next.ack = stats_.delivered;
-  const FrameView reply =
-      roundtrip(Frame{FrameType::kNext, 0, next.encode()});
+  const bool flow_on = config_.trace_propagate;
+  const std::uint64_t span_id = stats_.delivered + 1;
+  // Per-batch decomposition, all four stamps from the tracer clock so the
+  // spans and the histograms describe the exact same intervals:
+  //   issue -> encoded     request serialization
+  //   encoded -> replied   kernel/socket + server queue/produce/encode/send
+  //   replied -> decoded   response deserialization
+  const std::uint64_t t_issue = flow_on ? tracer_->now_ns() : 0;
+  const Frame request = make_next(stats_.delivered);
+  const std::uint64_t t_encoded = flow_on ? tracer_->now_ns() : 0;
+  const FrameView reply = roundtrip(request);
+  const std::uint64_t t_replied = flow_on ? tracer_->now_ns() : 0;
   if (reply.type == FrameType::kEnd) {
     ended_ = true;
     return false;
@@ -200,6 +283,7 @@ bool WireClient::next(pipeline::Batch& batch) {
         fmt("wire: expected BATCH or END, got {}", frame_type_name(reply.type)));
   }
   BatchPayload payload = BatchPayload::decode(reply.payload);
+  const std::uint64_t t_decoded = flow_on ? tracer_->now_ns() : 0;
   if (payload.seq != stats_.delivered) {
     throw ProtocolError(fmt("wire: batch seq {} does not match ack {}",
                             payload.seq, stats_.delivered));
@@ -211,16 +295,29 @@ bool WireClient::next(pipeline::Batch& batch) {
                      shard::sample_crc(payload.batch.samples[i]));
     }
   }
+  if (flow_on) {
+    const std::string link = fmt("{{\"trace_id\":{},\"parent_span_id\":{}}}",
+                                 trace_id_, span_id);
+    tracer_->record(flow::kClientEncodeSpan, "flow", t_issue, t_encoded, link);
+    tracer_->record(flow::kClientWaitSpan, "flow", t_encoded, t_replied, link);
+    tracer_->record(flow::kClientDecodeSpan, "flow", t_replied, t_decoded,
+                    link);
+    tracer_->record(
+        flow::kClientBatchSpan, "flow", t_issue, t_decoded,
+        fmt("{{\"trace_id\":{},\"span_id\":{},\"seq\":{}}}", trace_id_,
+            span_id, payload.seq));
+    h_encode_->record(static_cast<double>(t_encoded - t_issue) / 1e9);
+    h_wait_->record(static_cast<double>(t_replied - t_encoded) / 1e9);
+    h_decode_->record(static_cast<double>(t_decoded - t_replied) / 1e9);
+  }
   stats_.delivered += 1;
   if (config_.pipeline_requests && attached_ && conn_.valid()) {
     // Ask for the following batch before the caller consumes this one: the
     // server overlaps produce + encode + send with the caller's work. A
     // send failure here is not an error yet — the connection is closed and
     // the next call's reconnect path re-sends the same ack.
-    NextPayload ahead;
-    ahead.ack = stats_.delivered;
     try {
-      send_frame(conn_, Frame{FrameType::kNext, 0, ahead.encode()});
+      send_frame(conn_, make_next(stats_.delivered));
       next_in_flight_ = true;
     } catch (const IoError&) {
       conn_.close();
@@ -237,6 +334,31 @@ void WireClient::beat() {
     throw ProtocolError(
         fmt("wire: expected BEAT, got {}", frame_type_name(reply.type)));
   }
+}
+
+StatsPayload WireClient::pull_server_stats() {
+  const FrameView reply = roundtrip(Frame{FrameType::kStats, 0, {}});
+  if (reply.type != FrameType::kStats) {
+    throw ProtocolError(
+        fmt("wire: expected STATS, got {}", frame_type_name(reply.type)));
+  }
+  StatsPayload payload = StatsPayload::decode(reply.payload);
+  flow::snapshot_accumulate(server_totals_, payload.delta);
+  server_scope_ = payload.scope;
+  stats_pulls_ += 1;
+  return payload;
+}
+
+TracePayload WireClient::pull_server_trace(std::uint32_t max_spans) {
+  TraceRequestPayload request;
+  request.max_spans = max_spans;
+  const FrameView reply =
+      roundtrip(Frame{FrameType::kTrace, 0, request.encode()});
+  if (reply.type != FrameType::kTrace) {
+    throw ProtocolError(
+        fmt("wire: expected TRACE, got {}", frame_type_name(reply.type)));
+  }
+  return TracePayload::decode(reply.payload);
 }
 
 DetachedPayload WireClient::detach() {

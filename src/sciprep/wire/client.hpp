@@ -31,6 +31,9 @@
 #include <cstdint>
 #include <string>
 
+#include "sciprep/flow/clock.hpp"
+#include "sciprep/obs/metrics.hpp"
+#include "sciprep/obs/trace.hpp"
 #include "sciprep/pipeline/pipeline.hpp"
 #include "sciprep/shard/digest.hpp"
 #include "sciprep/wire/frame.hpp"
@@ -64,6 +67,18 @@ struct WireClientConfig {
   /// when the run does not need the bit-identity proof (mirrors
   /// ServiceConfig::verify_stream defaulting off server-side).
   bool record_digest = true;
+  /// sciprep::flow — propagate a (trace_id, span_id) context on every NEXT
+  /// (kFlagTraceContext extension), run the CLOCK_SYNC handshake at attach,
+  /// and record the per-batch client-side attribution spans + histograms
+  /// (flow.batch / flow.client.*). Off by default: the healthy path pays
+  /// nothing.
+  bool trace_propagate = false;
+  /// Registry the flow.client.* histograms record into when trace_propagate
+  /// is on; nullptr = the process-global registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Tracer for flow spans and the clock-sync timestamps; nullptr = the
+  /// process-global tracer.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Client-side transport accounting.
@@ -100,6 +115,16 @@ class WireClient {
   /// Cleanly close the tenant's session; returns the server-side stats.
   DetachedPayload detach();
 
+  /// Pull the server's per-tenant MetricsSnapshot delta since the previous
+  /// pull on this session (full snapshot on the first). The delta is also
+  /// folded into server_totals(), so after the last pull the accumulated
+  /// view equals the server-side tenant registry.
+  StatsPayload pull_server_stats();
+
+  /// Pull the server's span ring tail (0 = whole ring) plus its pid and
+  /// process name, for a merged cross-process trace.
+  TracePayload pull_server_trace(std::uint32_t max_spans = 0);
+
   [[nodiscard]] const WireClientStats& stats() const noexcept {
     return stats_;
   }
@@ -118,12 +143,34 @@ class WireClient {
   [[nodiscard]] const shard::GlobalStreamDigest& digest() const noexcept {
     return digest_;
   }
+  /// This run's trace id (nonzero once attached with trace_propagate).
+  [[nodiscard]] std::uint64_t trace_id() const noexcept { return trace_id_; }
+  /// Clock offset mapping server tracer timestamps onto ours; valid after
+  /// the first attach with trace_propagate.
+  [[nodiscard]] const flow::ClockOffset& clock_offset() const noexcept {
+    return clock_offset_;
+  }
+  /// Server snapshot deltas accumulated across pull_server_stats() calls.
+  [[nodiscard]] const obs::MetricsSnapshot& server_totals() const noexcept {
+    return server_totals_;
+  }
+  /// The scope label ("tenant/<name>") the server reports in STATS replies,
+  /// empty before the first pull.
+  [[nodiscard]] const std::string& server_scope() const noexcept {
+    return server_scope_;
+  }
+  [[nodiscard]] std::uint64_t stats_pulls() const noexcept {
+    return stats_pulls_;
+  }
 
  private:
   /// Connect + handshake if not currently connected; throws on failure
   /// (the caller's retry loop owns backoff).
   void ensure_attached();
   void backoff(int attempt);
+  /// Build a NEXT frame for `ack`, prefixing the trace-context extension
+  /// (span id ack+1) when trace propagation is on.
+  [[nodiscard]] Frame make_next(std::uint64_t ack) const;
   /// Send `request`, receive one reply, reconnecting/backing off on any
   /// transport failure and retrying on server-side transient errors. The
   /// returned view is never kError; its payload points into reply_buf_ and
@@ -148,6 +195,19 @@ class WireClient {
   std::uint64_t fingerprint_ = 0;  // 0 until the first WELCOME
   WireClientStats stats_;
   shard::GlobalStreamDigest digest_;
+
+  // sciprep::flow state (populated only when config_.trace_propagate).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Histogram* h_encode_ = nullptr;  // flow.client.encode_seconds
+  obs::Histogram* h_wait_ = nullptr;    // flow.client.wait_seconds
+  obs::Histogram* h_decode_ = nullptr;  // flow.client.decode_seconds
+  std::uint64_t trace_id_ = 0;
+  flow::ClockSyncEstimator clock_estimator_;
+  flow::ClockOffset clock_offset_;
+  obs::MetricsSnapshot server_totals_;
+  std::string server_scope_;
+  std::uint64_t stats_pulls_ = 0;
 };
 
 }  // namespace sciprep::wire

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "sciprep/common/crc.hpp"
+#include "sciprep/flow/snapshot.hpp"
 
 namespace sciprep::wire {
 
@@ -39,6 +40,12 @@ const char* frame_type_name(FrameType type) noexcept {
       return "DETACHED";
     case FrameType::kError:
       return "ERROR";
+    case FrameType::kClockSync:
+      return "CLOCK_SYNC";
+    case FrameType::kStats:
+      return "STATS";
+    case FrameType::kTrace:
+      return "TRACE";
   }
   return "?";
 }
@@ -132,7 +139,7 @@ FrameView decode_frame_view(ByteSpan data) {
   }
   const auto type = r.get<std::uint8_t>();
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kError)) {
+      type > kMaxFrameType) {
     throw ProtocolError(fmt("wire: unknown frame type {}", type));
   }
   FrameView view;
@@ -362,6 +369,133 @@ ErrorPayload ErrorPayload::decode(ByteSpan data) {
   ErrorPayload p;
   p.error_class = r.get<std::uint8_t>();
   p.message = r.get_string();
+  return p;
+}
+
+// -- Flow extensions -------------------------------------------------------
+
+void encode_trace_context(ByteWriter& w, const TraceContext& ctx) {
+  w.put<std::uint8_t>(kTraceContextVersion);
+  w.put<std::uint64_t>(ctx.trace_id);
+  w.put<std::uint64_t>(ctx.parent_span_id);
+}
+
+TraceContext decode_trace_context(ByteSpan& payload) {
+  if (payload.size() < kTraceContextBytes) {
+    throw_format(
+        "wire: trace-context extension truncated: {} of {} bytes",
+        payload.size(), kTraceContextBytes);
+  }
+  ByteReader r(payload.first(kTraceContextBytes));
+  const auto version = r.get<std::uint8_t>();
+  if (version != kTraceContextVersion) {
+    throw ProtocolError(
+        fmt("wire: trace-context extension version {} not supported (this "
+            "build speaks version {})",
+            version, kTraceContextVersion));
+  }
+  TraceContext ctx;
+  ctx.trace_id = r.get<std::uint64_t>();
+  ctx.parent_span_id = r.get<std::uint64_t>();
+  payload = payload.subspan(kTraceContextBytes);
+  return ctx;
+}
+
+Bytes ClockSyncPayload::encode() const {
+  ByteWriter w;
+  w.put<std::uint64_t>(t_client_ns);
+  w.put<std::uint64_t>(t_server_ns);
+  return std::move(w).take();
+}
+
+ClockSyncPayload ClockSyncPayload::decode(ByteSpan data) {
+  ByteReader r(data);
+  ClockSyncPayload p;
+  p.t_client_ns = r.get<std::uint64_t>();
+  p.t_server_ns = r.get<std::uint64_t>();
+  return p;
+}
+
+Bytes StatsPayload::encode() const {
+  ByteWriter w;
+  w.put_string(scope);
+  w.put<std::uint64_t>(t_server_ns);
+  flow::encode_snapshot_into(w, delta);
+  return std::move(w).take();
+}
+
+StatsPayload StatsPayload::decode(ByteSpan data) {
+  ByteReader r(data);
+  StatsPayload p;
+  p.scope = r.get_string();
+  p.t_server_ns = r.get<std::uint64_t>();
+  p.delta = flow::decode_snapshot(r);
+  if (!r.done()) {
+    throw_format("wire: {} trailing bytes after a stats payload",
+                 r.remaining());
+  }
+  return p;
+}
+
+Bytes TraceRequestPayload::encode() const {
+  ByteWriter w;
+  w.put<std::uint32_t>(max_spans);
+  return std::move(w).take();
+}
+
+TraceRequestPayload TraceRequestPayload::decode(ByteSpan data) {
+  ByteReader r(data);
+  TraceRequestPayload p;
+  p.max_spans = r.get<std::uint32_t>();
+  return p;
+}
+
+Bytes TracePayload::encode() const {
+  ByteWriter w;
+  w.put<std::int64_t>(pid);
+  w.put_string(process_name);
+  w.put<std::uint64_t>(spans_dropped);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(spans.size()));
+  for (const obs::TraceSpan& span : spans) {
+    w.put_string(span.name);
+    w.put_string(span.category);
+    w.put<std::uint32_t>(span.thread);
+    w.put<std::uint64_t>(span.t_start_ns);
+    w.put<std::uint64_t>(span.t_end_ns);
+    w.put_string(span.args_json);
+  }
+  return std::move(w).take();
+}
+
+TracePayload TracePayload::decode(ByteSpan data) {
+  ByteReader r(data);
+  TracePayload p;
+  p.pid = r.get<std::int64_t>();
+  p.process_name = r.get_string();
+  p.spans_dropped = r.get<std::uint64_t>();
+  const auto count = r.get<std::uint32_t>();
+  // Bound the declared count by the bytes present before reserving.
+  constexpr std::size_t kMinSpanBytes = 4 + 4 + 4 + 8 + 8 + 4;
+  if (count > r.remaining() / kMinSpanBytes) {
+    throw_format("wire: trace payload declares {} spans but only {} bytes "
+                 "remain",
+                 count, r.remaining());
+  }
+  p.spans.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    obs::TraceSpan span;
+    span.name = r.get_string();
+    span.category = r.get_string();
+    span.thread = r.get<std::uint32_t>();
+    span.t_start_ns = r.get<std::uint64_t>();
+    span.t_end_ns = r.get<std::uint64_t>();
+    span.args_json = r.get_string();
+    p.spans.push_back(std::move(span));
+  }
+  if (!r.done()) {
+    throw_format("wire: {} trailing bytes after a trace payload",
+                 r.remaining());
+  }
   return p;
 }
 

@@ -33,9 +33,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sciprep/common/buffer.hpp"
 #include "sciprep/common/error.hpp"
+#include "sciprep/obs/metrics.hpp"
+#include "sciprep/obs/trace.hpp"
 #include "sciprep/pipeline/pipeline.hpp"
 
 namespace sciprep::wire {
@@ -63,8 +66,12 @@ inline constexpr std::uint32_t kMaxPayload = 256u << 20;
 
 /// Frame flags. kFlagDegraded rides ATTACHED and BATCH frames when the
 /// session is running at Admission::kDegraded — overload surfaces to the
-/// client as a visible flag, never as a hang.
+/// client as a visible flag, never as a hang. kFlagTraceContext marks a NEXT
+/// frame whose payload is prefixed with a versioned TraceContext extension
+/// (sciprep::flow distributed tracing); the CRC covers the extension like
+/// any other payload byte.
 inline constexpr std::uint8_t kFlagDegraded = 0x01;
+inline constexpr std::uint8_t kFlagTraceContext = 0x02;
 
 enum class FrameType : std::uint8_t {
   kHello = 1,    // client -> server: schema version + expected fingerprint
@@ -78,7 +85,15 @@ enum class FrameType : std::uint8_t {
   kDetach,       // client -> server: clean close
   kDetached,     // server -> client: final per-tenant accounting
   kError,        // server -> client: typed failure (ErrorClass + message)
+  kClockSync,    // both ways: steady-clock exchange for flow clock alignment
+  kStats,        // client -> server: pull; server -> client: snapshot delta
+  kTrace,        // client -> server: pull; server -> client: span ring tail
 };
+
+/// Highest valid FrameType value; decode rejects anything outside
+/// [kHello, kMaxFrameType] as a ProtocolError.
+inline constexpr std::uint8_t kMaxFrameType =
+    static_cast<std::uint8_t>(FrameType::kTrace);
 
 const char* frame_type_name(FrameType type) noexcept;
 
@@ -212,6 +227,75 @@ struct ErrorPayload {
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static ErrorPayload decode(ByteSpan data);
+};
+
+// -- Flow extensions (sciprep::flow over the wire) -------------------------
+
+/// Trace context prefixed to a NEXT payload when kFlagTraceContext is set:
+/// the client's trace id plus the span id of the batch span this request
+/// belongs to, so the server can open linked spans. The prefix carries its
+/// own version byte — the envelope version stays put while the extension
+/// evolves.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+};
+
+inline constexpr std::uint8_t kTraceContextVersion = 1;
+inline constexpr std::size_t kTraceContextBytes = 1 + 8 + 8;
+
+void encode_trace_context(ByteWriter& w, const TraceContext& ctx);
+
+/// Strip the extension off the front of `payload` (which is advanced past
+/// it) and return the context. Throws FormatError when the prefix is
+/// truncated, ProtocolError when its version is unknown.
+[[nodiscard]] TraceContext decode_trace_context(ByteSpan& payload);
+
+/// CLOCK_SYNC, both directions: the client stamps t_client_ns from its
+/// tracer clock; the server echoes it and fills t_server_ns with its own.
+/// The client's flow::ClockSyncEstimator turns a handful of these into a
+/// cross-process clock offset.
+struct ClockSyncPayload {
+  std::uint64_t t_client_ns = 0;
+  std::uint64_t t_server_ns = 0;  // 0 in the request
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static ClockSyncPayload decode(ByteSpan data);
+};
+
+/// STATS request (client -> server) is an empty payload; the reply carries
+/// the tenant's MetricsSnapshot *delta* since the previous STATS on this
+/// session (full snapshot on the first pull) — the federation unit a fleet
+/// view accumulates back into exact per-tenant totals.
+struct StatsPayload {
+  std::string scope;  // "tenant/<name>", matching the server's incident scope
+  std::uint64_t t_server_ns = 0;
+  obs::MetricsSnapshot delta;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static StatsPayload decode(ByteSpan data);
+};
+
+/// TRACE request (client -> server): pull at most max_spans of the server's
+/// span ring (0 = the whole ring).
+struct TraceRequestPayload {
+  std::uint32_t max_spans = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static TraceRequestPayload decode(ByteSpan data);
+};
+
+/// TRACE reply: the server's identity plus its span ring tail, timestamps on
+/// the server's steady clock — flow::remap_remote_ns() plus the CLOCK_SYNC
+/// offset puts them on the client timeline for a merged trace.
+struct TracePayload {
+  std::int64_t pid = 0;
+  std::string process_name;
+  std::uint64_t spans_dropped = 0;  // server ring wraps (trace incomplete)
+  std::vector<obs::TraceSpan> spans;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static TracePayload decode(ByteSpan data);
 };
 
 /// Rebuild the typed exception an ErrorPayload describes and throw it: the

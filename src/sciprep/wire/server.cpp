@@ -1,12 +1,17 @@
 #include "sciprep/wire/server.hpp"
 
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "sciprep/common/error.hpp"
 #include "sciprep/common/log.hpp"
+#include "sciprep/flow/merge.hpp"
+#include "sciprep/flow/snapshot.hpp"
+#include "sciprep/obs/trace.hpp"
 
 namespace sciprep::wire {
 
@@ -275,6 +280,19 @@ bool WireServer::dispatch(const Socket& conn, long conn_id,
       attached.clear();
       release_owner(conn_id);
       return true;
+    case FrameType::kClockSync:
+      handle_clock_sync(conn, request);
+      return true;
+    case FrameType::kStats:
+      if (attached.empty()) {
+        send_error(conn, ErrorClass::kConfig, "STATS before ATTACH");
+        return true;
+      }
+      handle_stats(conn, attached);
+      return true;
+    case FrameType::kTrace:
+      handle_trace(conn, request);
+      return true;
     default:
       // A client must never send server-side frame types; this speaker is
       // broken or hostile. One typed error, then sever.
@@ -381,7 +399,14 @@ void WireServer::handle_attach(const Socket& conn, long conn_id,
 void WireServer::handle_next(const Socket& conn, long conn_id,
                              const std::string& attached,
                              const Frame& request) {
-  const NextPayload next = NextPayload::decode(request.payload);
+  obs::Tracer& tracer = obs::Tracer::global();
+  ByteSpan body = request.payload;
+  TraceContext ctx;
+  const bool flow_on = (request.flags & kFlagTraceContext) != 0;
+  if (flow_on) ctx = decode_trace_context(body);
+  const std::int64_t t_request =
+      flow_on ? static_cast<std::int64_t>(tracer.now_ns()) : 0;
+  const NextPayload next = NextPayload::decode(body);
   const std::shared_lock sweep(sweep_mutex_);
   Session* session = nullptr;
   {
@@ -413,6 +438,12 @@ void WireServer::handle_next(const Socket& conn, long conn_id,
   }
   const bool degraded = service_.session_admission(session->session) ==
                         serve::Admission::kDegraded;
+  // flow attribution (only when the request carried a trace context): the
+  // spans and histograms below measure *client-visible* server time — a
+  // promoted read-ahead frame charges ~0 queue-wait and 0 encode, because
+  // that work was overlapped with the client's previous decode and never
+  // held this request up.
+  std::int64_t encode_ns = 0;
   if (session->retained_valid && next.ack == session->retained_seq) {
     // The previous reply died on the wire (or with the previous consumer
     // process): redeliver the retained frame byte-for-byte.
@@ -433,8 +464,9 @@ void WireServer::handle_next(const Socket& conn, long conn_id,
       return;
     }
     try {
+      std::int64_t produce_ns = 0;
       if (!encode_next_batch(*session, degraded, session->retained,
-                             session->retained_seq)) {
+                             session->retained_seq, produce_ns, encode_ns)) {
         session->stats.ended = true;
         send_frame(conn, Frame{FrameType::kEnd, 0, {}});
         frames_sent_.add(1);
@@ -461,6 +493,15 @@ void WireServer::handle_next(const Socket& conn, long conn_id,
                    session->ready_valid ? session->ready_seq
                                         : session->next_seq));
     return;
+  }
+  const std::int64_t t_ready =
+      flow_on ? static_cast<std::int64_t>(tracer.now_ns()) : 0;
+  const std::int64_t t_send0 = t_ready;
+  if (config_.throttle_send_seconds > 0) {
+    // Drill knob: a deliberately slow wire, charged to the send stage like
+    // any real socket stall would be.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(config_.throttle_send_seconds));
   }
   const Bytes& out = session->retained;
   if (config_.injector != nullptr) {
@@ -491,15 +532,56 @@ void WireServer::handle_next(const Socket& conn, long conn_id,
   }
   batches_sent_.add(1);
   frames_sent_.add(1);
+  std::string link;
+  if (flow_on) {
+    const std::int64_t t_send1 = static_cast<std::int64_t>(tracer.now_ns());
+    // Span args carry the linkage the validator and flowmerge walk: every
+    // server-side span for this request points at the client's batch span.
+    link = "{\"trace_id\":" + std::to_string(ctx.trace_id) +
+           ",\"parent_span_id\":" + std::to_string(ctx.parent_span_id) + "}";
+    const std::int64_t t_encode0 = t_ready - encode_ns;
+    const auto u = [](std::int64_t ns) {
+      return static_cast<std::uint64_t>(ns > 0 ? ns : 0);
+    };
+    tracer.record(flow::kServerQueueWaitSpan, "flow", u(t_request),
+                  u(t_encode0), link);
+    tracer.record(flow::kServerEncodeSpan, "flow", u(t_encode0), u(t_ready),
+                  link);
+    tracer.record(flow::kServerSendSpan, "flow", u(t_send0), u(t_send1), link);
+    tracer.record(flow::kServerNextSpan, "flow", u(t_request), u(t_send1),
+                  link);
+    // Histograms record the exact same measured intervals as the spans, so
+    // flow::validate_flow can cross-check the two books against each other.
+    obs::MetricsRegistry& reg = service_.tenant_metrics(session->session);
+    reg.histogram(flow::kServerQueueWaitSeconds)
+        .record(static_cast<double>(t_encode0 - t_request) / 1e9);
+    reg.histogram(flow::kServerEncodeSeconds)
+        .record(static_cast<double>(encode_ns) / 1e9);
+    reg.histogram(flow::kServerSendSeconds)
+        .record(static_cast<double>(t_send1 - t_send0) / 1e9);
+  }
   if (!session->stats.ended && !session->ready_valid &&
       session->terminal_error.empty()) {
     // Read ahead: the reply for this request is already on the wire, so the
     // produce + encode of the next batch runs while the client decodes and
     // consumes — a pipelined client's following NEXT is answered instantly.
+    const std::int64_t t_ra0 =
+        flow_on ? static_cast<std::int64_t>(tracer.now_ns()) : 0;
     try {
+      std::int64_t ra_produce_ns = 0;
+      std::int64_t ra_encode_ns = 0;
       if (encode_next_batch(*session, degraded, session->ready,
-                            session->ready_seq)) {
+                            session->ready_seq, ra_produce_ns,
+                            ra_encode_ns)) {
         session->ready_valid = true;
+        if (flow_on) {
+          // Client-invisible overlapped work: shown in the merged trace
+          // (parented to the request that triggered it), but deliberately
+          // not charged to any attribution histogram.
+          tracer.record(flow::kServerReadaheadSpan, "flow",
+                        static_cast<std::uint64_t>(t_ra0), tracer.now_ns(),
+                        link);
+        }
       } else {
         session->stats.ended = true;
       }
@@ -513,9 +595,14 @@ void WireServer::handle_next(const Socket& conn, long conn_id,
 }
 
 bool WireServer::encode_next_batch(Session& session, bool degraded, Bytes& out,
-                                   std::uint64_t& seq) {
+                                   std::uint64_t& seq,
+                                   std::int64_t& produce_ns,
+                                   std::int64_t& encode_ns) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  const std::int64_t t0 = static_cast<std::int64_t>(tracer.now_ns());
   pipeline::Batch batch;
   if (!service_.next_batch(session.session, batch)) return false;
+  const std::int64_t t1 = static_cast<std::int64_t>(tracer.now_ns());
   BatchPayload payload;
   payload.seq = session.next_seq;
   payload.batch = std::move(batch);
@@ -526,6 +613,8 @@ bool WireServer::encode_next_batch(Session& session, bool degraded, Bytes& out,
   payload.encode_into(w);
   out = finish_frame(std::move(w), FrameType::kBatch,
                      degraded ? kFlagDegraded : std::uint8_t{0});
+  produce_ns = t1 - t0;
+  encode_ns = static_cast<std::int64_t>(tracer.now_ns()) - t1;
   seq = session.next_seq;
   session.next_seq += 1;
   session.stats.batches += 1;
@@ -555,6 +644,60 @@ void WireServer::handle_detach(const Socket& conn,
   send_frame(conn, Frame{FrameType::kDetached, 0, reply.encode()});
   frames_sent_.add(1);
   roster_cv_.notify_all();
+}
+
+void WireServer::handle_clock_sync(const Socket& conn, const Frame& request) {
+  // Stamp as late as possible: the estimator's error bound is half the
+  // round trip, so every instruction between recv and this read widens it.
+  ClockSyncPayload sync = ClockSyncPayload::decode(request.payload);
+  sync.t_server_ns = obs::Tracer::global().now_ns();
+  send_frame(conn, Frame{FrameType::kClockSync, 0, sync.encode()});
+  frames_sent_.add(1);
+}
+
+void WireServer::handle_stats(const Socket& conn,
+                              const std::string& attached) {
+  const std::shared_lock sweep(sweep_mutex_);
+  Session* session = nullptr;
+  {
+    std::lock_guard lock(roster_mutex_);
+    const auto it = sessions_.find(attached);
+    SCIPREP_ASSERT(it != sessions_.end());
+    session = &it->second;
+    if (!session->terminal_error.empty()) {
+      send_error(conn, ErrorClass::kConfig,
+                 fmt("tenant '{}' was evicted: {}", attached,
+                     session->terminal_error));
+      return;
+    }
+  }
+  StatsPayload reply;
+  reply.scope = fmt("tenant/{}", attached);
+  reply.t_server_ns = obs::Tracer::global().now_ns();
+  // Delta federation: ship only what changed since the last pull on this
+  // session (the first pull ships everything). The client accumulates the
+  // deltas back into exact totals; the cost per pull stays proportional to
+  // activity, not to registry size history.
+  const obs::MetricsSnapshot current =
+      service_.tenant_snapshot(session->session);
+  reply.delta = flow::snapshot_delta(current, session->stats_sent);
+  session->stats_sent = current;
+  send_frame(conn, Frame{FrameType::kStats, 0, reply.encode()});
+  frames_sent_.add(1);
+}
+
+void WireServer::handle_trace(const Socket& conn, const Frame& request) {
+  const TraceRequestPayload req = TraceRequestPayload::decode(request.payload);
+  obs::Tracer& tracer = obs::Tracer::global();
+  TracePayload reply;
+  reply.pid = static_cast<std::int64_t>(::getpid());
+  reply.process_name = tracer.process_name();
+  reply.spans_dropped = tracer.dropped_total();
+  reply.spans = req.max_spans == 0
+                    ? tracer.snapshot()
+                    : tracer.snapshot_tail(req.max_spans);
+  send_frame(conn, Frame{FrameType::kTrace, 0, reply.encode()});
+  frames_sent_.add(1);
 }
 
 void WireServer::send_error(const Socket& conn, ErrorClass error_class,

@@ -72,6 +72,10 @@ struct WireServerConfig {
   fault::RecoveryListener on_event;
   /// wire.* counters land here; null means the fronted service's registry.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Artificial per-batch send delay (seconds), charged to the
+  /// flow.server.send stage like any real socket stall — a deterministic way
+  /// to drill the analyzer's wire-bound verdict without an actual slow link.
+  double throttle_send_seconds = 0;
 };
 
 /// Per-tenant transport accounting, exposed for validation and carried to
@@ -135,6 +139,9 @@ class WireServer {
     std::uint64_t send_ops = 0;  // injector op counter (fresh per send)
     long owner = -1;             // connection currently attached, -1 if none
     TenantWireStats stats;
+    /// Totals as of the last STATS reply on this session; the next reply
+    /// carries the delta against this (full snapshot on the first pull).
+    obs::MetricsSnapshot stats_sent;
     /// Set when the tenant's pipeline escalated: the service evicted the
     /// session and every further request gets this error back.
     std::string terminal_error;
@@ -152,10 +159,17 @@ class WireServer {
                    const std::string& attached, const Frame& request);
   /// Pull one batch from the service and encode it as a BATCH frame into
   /// `out` (seq tag in `seq`). False when the stream is exhausted; service
-  /// eviction propagates as the thrown exception.
+  /// eviction propagates as the thrown exception. `produce_ns`/`encode_ns`
+  /// receive the measured durations of the two phases for flow attribution.
   bool encode_next_batch(Session& session, bool degraded, Bytes& out,
-                         std::uint64_t& seq);
+                         std::uint64_t& seq, std::int64_t& produce_ns,
+                         std::int64_t& encode_ns);
   void handle_detach(const Socket& conn, const std::string& attached);
+  /// flow handlers: steady-clock exchange, per-tenant snapshot delta, and
+  /// the server span-ring pull.
+  void handle_clock_sync(const Socket& conn, const Frame& request);
+  void handle_stats(const Socket& conn, const std::string& attached);
+  void handle_trace(const Socket& conn, const Frame& request);
   void send_error(const Socket& conn, ErrorClass error_class,
                   std::string message);
   void emit_wire_fault(const std::string& tenant, std::string detail);

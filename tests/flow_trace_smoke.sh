@@ -1,0 +1,124 @@
+#!/bin/sh
+# End-to-end distributed-tracing smoke (ctest -L flow). A WireServer trainer
+# serves two tenants over AF_UNIX to two traced client processes, and the
+# acceptance bar is the whole sciprep::flow contract at once:
+#
+#   1. Healthy pass: both clients run --trace-propagate with --flow-merge,
+#      --fleet-out, --report-out, and --validate. The clients' validate mode
+#      enforces the flow invariants in-process: a non-zero trace id, a valid
+#      clock-offset estimate, >=95% of client batches fully decomposed via
+#      span linkage, span-vs-histogram sum agreement on both sides, and a
+#      reconciled fleet series. The merged Chrome trace must carry both
+#      processes' tracks (server + client process_name metadata).
+#   2. Throttled pass: the server delays every reply send (--throttle-wire-ms),
+#      which is charged to the flow.server.send attribution site — the
+#      client's bottleneck report must convict the wire path, not the
+#      pipeline ("wire-bound" or "server-queue-bound" verdict).
+#   3. Federation: fleetview merges both tenants' fleet series into one
+#      global series + Prometheus body; --require-reconciled makes any lost
+#      delta a hard failure, and the per-scope labels must survive.
+#
+# Usage: flow_trace_smoke.sh <trainer> <fleetview> <work_dir>
+set -u
+
+TRAINER=$1
+FLEETVIEW=$2
+WORK=$3
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# sockaddr_un caps paths at ~107 bytes; sockets live under /tmp, keyed by PID
+# against parallel ctest.
+SOCK="/tmp/sciprep_flow_smoke_$$.sock"
+SOCK_SLOW="/tmp/sciprep_flow_slow_$$.sock"
+trap 'rm -f "$SOCK" "$SOCK_SLOW"' EXIT
+
+COMMON="--workload cosmo --samples 24 --epochs 3 --dim 16 --batch 4
+        --workers 4 --placement cpu"
+
+fail() {
+  echo "flow_trace_smoke: FAIL: $1" >&2
+  for log in "$WORK"/*.log; do
+    echo "--- $log ---" >&2
+    cat "$log" >&2
+  done
+  exit 1
+}
+
+wait_for_socket() {
+  i=0
+  while [ ! -S "$1" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "server never bound $1"
+    sleep 0.1
+  done
+}
+
+# --- Stage 1: healthy traced run, two tenants --------------------------------
+
+# shellcheck disable=SC2086  # COMMON is a flag list, splitting is the point
+"$TRAINER" $COMMON --serve-socket "$SOCK" --tenants 2 --validate \
+  >"$WORK/server.log" 2>&1 &
+SERVER=$!
+wait_for_socket "$SOCK"
+
+for t in 0 1; do
+  # shellcheck disable=SC2086
+  "$TRAINER" $COMMON --connect "$SOCK" --tenant-name "tenant$t" \
+    --trace-propagate \
+    --flow-merge "$WORK/merged$t.json" \
+    --fleet-out "$WORK/fleet$t.jsonl" \
+    --report-out "$WORK/report$t.json" \
+    --validate >"$WORK/c$t.log" 2>&1 &
+  eval "C$t=\$!"
+done
+for t in 0 1; do
+  eval "pid=\$C$t"
+  wait "$pid" || fail "traced client $t failed --validate (flow invariants)"
+done
+wait "$SERVER" || fail "server exited non-zero"
+
+# The merged trace is one document spanning both processes: the server's
+# track and the client's own must both be present, with named processes.
+for t in 0 1; do
+  [ -s "$WORK/merged$t.json" ] || fail "client $t wrote no merged trace"
+  grep -q '"name":"trainer-server"' "$WORK/merged$t.json" ||
+    fail "merged trace $t lacks the server process track"
+  grep -q "\"name\":\"trainer-tenant$t\"" "$WORK/merged$t.json" ||
+    fail "merged trace $t lacks the client process track"
+  grep -q '"name":"flow.server.next"' "$WORK/merged$t.json" ||
+    fail "merged trace $t carries no server-side spans"
+done
+
+# --- Stage 2: throttled wire must show up in the verdict ---------------------
+
+# shellcheck disable=SC2086
+"$TRAINER" $COMMON --epochs 1 --serve-socket "$SOCK_SLOW" --tenants 1 \
+  --throttle-wire-ms 20 >"$WORK/slow.server.log" 2>&1 &
+SERVER=$!
+wait_for_socket "$SOCK_SLOW"
+# shellcheck disable=SC2086
+"$TRAINER" $COMMON --epochs 1 --connect "$SOCK_SLOW" --tenant-name tenant0 \
+  --trace-propagate --report-out "$WORK/slow.report.json" --validate \
+  >"$WORK/slow.client.log" 2>&1 ||
+  fail "throttled client exited non-zero"
+wait "$SERVER" || fail "throttled server exited non-zero"
+
+grep -Eq '"verdict":"(wire-bound|server-queue-bound)' "$WORK/slow.report.json" ||
+  fail "throttled run did not produce a wire-bound/server-queue-bound verdict"
+
+# --- Stage 3: fleet federation across both tenants ---------------------------
+
+"$FLEETVIEW" "$WORK/fleet0.jsonl" "$WORK/fleet1.jsonl" \
+  --out-jsonl "$WORK/fleet.merged.jsonl" --out-prom "$WORK/fleet.prom" \
+  --require-reconciled >"$WORK/fleetview.log" 2>&1 ||
+  fail "fleetview failed to reconcile the two tenants' series"
+
+for t in 0 1; do
+  grep -q "scope=\"tenant/tenant$t\"" "$WORK/fleet.prom" ||
+    fail "prometheus body lost the tenant$t scope label"
+done
+grep -q '"schema":"sciprep.flow.fleet.v1"' "$WORK/fleet.merged.jsonl" ||
+  fail "merged fleet series is not fleet.v1"
+
+echo "flow_trace_smoke: OK"

@@ -24,6 +24,7 @@
 #include "sciprep/common/rng.hpp"
 #include "sciprep/data/cam_gen.hpp"
 #include "sciprep/fault/fault.hpp"
+#include "sciprep/flow/merge.hpp"
 #include "sciprep/pipeline/pipeline.hpp"
 #include "sciprep/serve/service.hpp"
 #include "sciprep/wire/client.hpp"
@@ -53,7 +54,7 @@ Frame make_frame(FrameType type, std::uint8_t flags, std::size_t n) {
 
 TEST(WireFrame, RoundtripsEveryTypeAndFlagCombination) {
   for (int t = static_cast<int>(FrameType::kHello);
-       t <= static_cast<int>(FrameType::kError); ++t) {
+       t <= static_cast<int>(FrameType::kTrace); ++t) {
     for (const std::size_t n : {std::size_t{0}, std::size_t{1},
                                 std::size_t{13}, std::size_t{4096}}) {
       const Frame frame =
@@ -156,7 +157,8 @@ TEST(WireFrame, WrongVersionWithValidCrcIsProtocolError) {
 }
 
 TEST(WireFrame, UnknownTypeWithValidCrcIsProtocolError) {
-  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{12},
+  for (const std::uint8_t type : {std::uint8_t{0},
+                                  std::uint8_t{kMaxFrameType + 1},
                                   std::uint8_t{0xFF}}) {
     Bytes e = encode_frame(make_frame(FrameType::kBeat, 0, 4));
     e[6] = type;
@@ -322,6 +324,122 @@ TEST(WirePayload, ErrorPayloadRethrowsTheTaxonomy) {
   EXPECT_THROW(roundtrip_throw(ErrorClass::kConfig), ConfigError);
   EXPECT_THROW(roundtrip_throw(ErrorClass::kCancelled), CancelledError);
   EXPECT_THROW(roundtrip_throw(ErrorClass::kFatal), Error);
+}
+
+// --- Flow extensions: trace context + control payloads ----------------------
+
+TEST(WireTraceContext, RoundtripsAndAdvancesPastTheExtension) {
+  ByteWriter w;
+  encode_trace_context(w, {0xA1B2C3D4E5F60718ull, 42});
+  w.put<std::uint32_t>(0xCAFEBABE);  // the NEXT payload proper
+  const Bytes buf = std::move(w).take();
+  ByteSpan view(buf);
+  const TraceContext ctx = decode_trace_context(view);
+  EXPECT_EQ(ctx.trace_id, 0xA1B2C3D4E5F60718ull);
+  EXPECT_EQ(ctx.parent_span_id, 42u);
+  // The view advanced exactly past the extension; the payload is intact.
+  EXPECT_EQ(view.size(), 4u);
+  std::uint32_t rest = 0;
+  std::memcpy(&rest, view.data(), 4);
+  EXPECT_EQ(rest, 0xCAFEBABEu);
+}
+
+TEST(WireTraceContext, TruncationAtEveryOffsetIsFormatError) {
+  ByteWriter w;
+  encode_trace_context(w, {1, 2});
+  const Bytes full = std::move(w).take();
+  ASSERT_EQ(full.size(), kTraceContextBytes);
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    ByteSpan view(full.data(), n);
+    EXPECT_THROW((void)decode_trace_context(view), FormatError)
+        << "prefix " << n;
+  }
+}
+
+TEST(WireTraceContext, UnknownVersionIsProtocolError) {
+  for (const std::uint8_t version :
+       {std::uint8_t{0}, std::uint8_t{kTraceContextVersion + 1},
+        std::uint8_t{0xFF}}) {
+    ByteWriter w;
+    encode_trace_context(w, {1, 2});
+    Bytes buf = std::move(w).take();
+    buf[0] = version;
+    ByteSpan view(buf);
+    EXPECT_THROW((void)decode_trace_context(view), ProtocolError)
+        << int(version);
+  }
+}
+
+TEST(WireTraceContext, FuzzedExtensionBytesFailTypedNeverCrash) {
+  std::uint64_t state = 0xF10'F10;
+  int decoded = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    Bytes noise(splitmix64(state) % (kTraceContextBytes + 8));
+    for (std::uint8_t& b : noise) {
+      b = static_cast<std::uint8_t>(splitmix64(state));
+    }
+    ByteSpan view(noise);
+    try {
+      (void)decode_trace_context(view);
+      ++decoded;  // version byte happened to be valid and length sufficed
+    } catch (const ProtocolError&) {
+    } catch (const FormatError&) {
+    }
+  }
+  EXPECT_LT(decoded, 4000);
+}
+
+TEST(WireFlowPayloads, ClockSyncAndTraceControlRoundtrip) {
+  ClockSyncPayload sync;
+  sync.t_client_ns = 123456789;
+  sync.t_server_ns = 987654321;
+  const ClockSyncPayload sync_back = ClockSyncPayload::decode(sync.encode());
+  EXPECT_EQ(sync_back.t_client_ns, sync.t_client_ns);
+  EXPECT_EQ(sync_back.t_server_ns, sync.t_server_ns);
+
+  TraceRequestPayload req;
+  req.max_spans = 64;
+  EXPECT_EQ(TraceRequestPayload::decode(req.encode()).max_spans, 64u);
+
+  TracePayload trace;
+  trace.pid = 4242;
+  trace.process_name = "trainer-server";
+  trace.spans_dropped = 7;
+  obs::TraceSpan span;
+  span.name = "flow.server.next";
+  span.category = "flow";
+  span.thread = 3;
+  span.t_start_ns = 1000;
+  span.t_end_ns = 2000;
+  span.args_json = "{\"trace_id\":1,\"parent_span_id\":2}";
+  trace.spans.push_back(span);
+  const TracePayload trace_back = TracePayload::decode(trace.encode());
+  EXPECT_EQ(trace_back.pid, 4242);
+  EXPECT_EQ(trace_back.process_name, "trainer-server");
+  EXPECT_EQ(trace_back.spans_dropped, 7u);
+  ASSERT_EQ(trace_back.spans.size(), 1u);
+  EXPECT_EQ(trace_back.spans[0].name, span.name);
+  EXPECT_EQ(trace_back.spans[0].category, span.category);
+  EXPECT_EQ(trace_back.spans[0].thread, span.thread);
+  EXPECT_EQ(trace_back.spans[0].t_start_ns, span.t_start_ns);
+  EXPECT_EQ(trace_back.spans[0].t_end_ns, span.t_end_ns);
+  EXPECT_EQ(trace_back.spans[0].args_json, span.args_json);
+}
+
+TEST(WireFlowPayloads, TruncatedTracePayloadAtEveryOffsetFailsTyped) {
+  TracePayload trace;
+  trace.pid = 1;
+  trace.process_name = "p";
+  obs::TraceSpan span;
+  span.name = "s";
+  span.category = "c";
+  trace.spans.push_back(span);
+  const Bytes valid = trace.encode();
+  for (std::size_t n = 0; n < valid.size(); ++n) {
+    EXPECT_THROW((void)TracePayload::decode(ByteSpan(valid.data(), n)),
+                 FormatError)
+        << "prefix " << n;
+  }
 }
 
 // --- Socket layer -----------------------------------------------------------
@@ -504,6 +622,71 @@ TEST(WireEndToEnd, TwoClientsDrainTheirTenantsBitIdentically) {
   EXPECT_NE(stream_a, stream_b);  // distinct seeds, distinct streams
   EXPECT_GE(rig.registry.counter_value("wire.batches_sent_total"),
             batches_a + batches_b);
+}
+
+TEST(WireEndToEnd, TracedClientDecomposesEveryBatchAndPullsServerState) {
+  WireRig rig;
+  serve::DataService service(*rig.dataset, rig.codec, rig.service_config());
+  const std::string path = test_socket_path("flow");
+  WireServerConfig wcfg;
+  wcfg.socket_path = path;
+  wcfg.request_timeout_seconds = 5.0;
+  wcfg.metrics = &rig.registry;
+  WireServer server(service, {WireRig::tenant("f", 5)}, wcfg);
+  server.start();
+
+  // Private tracer + registry so the validation below sees exactly this
+  // client's flow instrumentation.
+  obs::MetricsRegistry client_reg;
+  obs::Tracer client_tracer;
+  WireClientConfig ccfg = rig.client_config(path, "f");
+  ccfg.trace_propagate = true;
+  ccfg.metrics = &client_reg;
+  ccfg.tracer = &client_tracer;
+  WireClient client(ccfg);
+  client.attach();
+  EXPECT_NE(client.trace_id(), 0u);
+  // The CLOCK_SYNC handshake ran at attach and produced a bounded estimate.
+  EXPECT_TRUE(client.clock_offset().valid);
+  EXPECT_GT(client.clock_offset().rtt_ns, 0u);
+  EXPECT_EQ(client.clock_offset().error_bound_ns,
+            client.clock_offset().rtt_ns / 2);
+
+  std::uint64_t batches = 0;
+  Batch batch;
+  while (client.next(batch)) ++batches;
+  EXPECT_EQ(batches, kSamples / kBatchSize);
+
+  // Control-frame pulls happen on the live session, before DETACH.
+  const StatsPayload stats = client.pull_server_stats();
+  EXPECT_EQ(stats.scope, "tenant/f");
+  EXPECT_EQ(client.server_scope(), "tenant/f");
+  const TracePayload server_trace = client.pull_server_trace();
+  EXPECT_EQ(server_trace.pid, static_cast<std::int64_t>(::getpid()));
+  EXPECT_FALSE(server_trace.process_name.empty());
+  const obs::MetricsSnapshot server_totals = client.server_totals();
+  (void)client.detach();
+  EXPECT_TRUE(server.wait_all_detached(5.0));
+  server.stop();
+
+  // The accumulated STATS deltas reproduce the server-side tenant registry:
+  // every delivered sample is accounted for in the federated view.
+  const auto samples = server_totals.counters.find("pipeline.samples_total");
+  ASSERT_NE(samples, server_totals.counters.end());
+  EXPECT_EQ(samples->second, kSamples);
+
+  // Walk the cross-process linkage: every batch span must match a server
+  // span tree with the full queue-wait/encode/send decomposition, and span
+  // time must agree with the attribution histograms on both sides.
+  const flow::FlowValidation v = flow::validate_flow(
+      client_tracer.snapshot(), server_trace.spans, client_reg.snapshot(),
+      server_totals, client_tracer.dropped_total(),
+      server_trace.spans_dropped);
+  EXPECT_EQ(v.client_batches, batches);
+  EXPECT_EQ(v.linked, batches);
+  EXPECT_EQ(v.decomposed, batches);
+  EXPECT_DOUBLE_EQ(v.decomposed_fraction, 1.0);
+  EXPECT_TRUE(v.histograms_consistent);
 }
 
 TEST(WireEndToEnd, InjectedCorruptionAndDropsAreAbsorbedBitIdentically) {
